@@ -1,0 +1,44 @@
+"""Benchmark fixtures: a bench-scale evaluation context shared by every
+table/figure benchmark, plus result recording into benchmarks/results/.
+
+Scale: the paper trains on 30,000 crawled samples and tests on ~7,200 +
+8,578 attacks and 1.4M benign requests.  The bench context uses 3,000
+training samples (crawled), the full 136-vulnerability application (so the
+attack test sets match the paper's sizes), and 20,000 benign requests —
+large enough to resolve FPRs at the 0.01% level while keeping the whole
+bench suite in minutes.  EXPERIMENTS.md records a full-scale run.
+"""
+
+import os
+
+import pytest
+
+from repro.eval import EvaluationContext
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def bench_context():
+    return EvaluationContext.build(
+        seed=2012,
+        n_attack_samples=3000,
+        n_benign_train=8000,
+        n_benign_test=20_000,
+        max_cluster_rows=1500,
+        n_vulnerabilities=136,
+    )
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Writer that saves each regenerated artifact under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _write

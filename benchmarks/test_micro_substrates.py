@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+These are the pieces whose constant factors decide whether the system
+scales to the paper's 30,000 × 477 extraction and 1.4M-request test runs:
+normalization, feature extraction, UPGMA, and logistic training.
+"""
+
+import numpy as np
+
+from repro.cluster import upgma
+from repro.corpus import CorpusGenerator
+from repro.features import FeatureExtractor
+from repro.learn import train_logistic
+from repro.normalize import normalize
+
+PAYLOAD = "id=1%2527/**/UNION/**/SELECT/**/1,2,concat(database()),4--%20-"
+
+
+def test_normalize_speed(benchmark):
+    out = benchmark(normalize, PAYLOAD)
+    assert "union select" in out
+
+
+def test_feature_extraction_speed(benchmark):
+    extractor = FeatureExtractor()
+    vector = benchmark(extractor.extract, PAYLOAD)
+    assert vector.sum() > 0
+
+
+def test_extraction_batch_speed(benchmark):
+    extractor = FeatureExtractor()
+    payloads = [
+        s.payload for s in CorpusGenerator(seed=3).generate(100)
+    ]
+    matrix = benchmark.pedantic(
+        extractor.extract_many, args=(payloads,), rounds=2, iterations=1
+    )
+    assert matrix.n_samples == 100
+
+
+def test_upgma_speed_500_points(benchmark):
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(500, 40))
+    linkage = benchmark.pedantic(
+        upgma, args=(points,), rounds=2, iterations=1
+    )
+    assert linkage.shape == (499, 4)
+
+
+def test_logistic_training_speed(benchmark):
+    rng = np.random.default_rng(1)
+    x = np.vstack([
+        rng.poisson(1.0, (2000, 15)), rng.poisson(2.5, (2000, 15))
+    ]).astype(float)
+    y = np.concatenate([np.zeros(2000), np.ones(2000)])
+    model, report = benchmark.pedantic(
+        train_logistic, args=(x, y), rounds=2, iterations=1
+    )
+    assert report.newton_iterations >= 1
+
+
+def test_crawl_speed(benchmark):
+    from repro.crawler import CrawlSession, SimulatedWeb
+
+    def crawl():
+        web = SimulatedWeb(corpus_size=200, seed=5)
+        return CrawlSession(web).run()
+
+    report = benchmark.pedantic(crawl, rounds=1, iterations=1)
+    assert len(report.samples) >= 180
+
+
+def test_nfa_vs_backtracking_speed(benchmark):
+    """The linear-time guarantee: the NFA engine on a ReDoS payload."""
+    from repro.regexlib import NfaMatcher
+
+    matcher = NfaMatcher(r"(a+)+b")
+    payload = "a" * 300 + "c"
+
+    result = benchmark(matcher.search, payload)
+    assert result is False

@@ -1,0 +1,47 @@
+"""Table VI — details of the signatures for each bicluster.
+
+Paper: nine signatures; cluster sizes 1,671–13,272 samples (largest ≈ 8×
+smallest); three clusters use 90 biclustering features but logistic
+regression prunes them hard (90 → 33, 13, 11); all but one signature use
+≤ 14 features.
+"""
+
+from repro.eval import format_table, table6_cluster_details
+
+
+def test_table6(benchmark, bench_context, record):
+    rows = benchmark.pedantic(
+        table6_cluster_details, args=(bench_context,),
+        rounds=1, iterations=1,
+    )
+    table = format_table(
+        ["BICLUSTER", "SAMPLES", "FEATURES (BICLUSTERING)",
+         "FEATURES (SIGNATURE)"],
+        [
+            [r["bicluster"], r["samples"], r["features_biclustering"],
+             r["features_signature"]]
+            for r in rows
+        ],
+        title="Table VI (measured) — paper values in module docstring",
+    )
+    record("table6_cluster_details", table)
+
+    assert 5 <= len(rows) <= 9  # paper: 9 signatures
+
+    sizes = [r["samples"] for r in rows]
+    assert max(sizes) / min(sizes) >= 1.5  # wide size spread
+
+    # Logistic pruning: signatures never exceed, and usually shrink,
+    # their bicluster's feature set.
+    assert all(
+        r["features_signature"] <= r["features_biclustering"]
+        for r in rows
+    )
+    assert any(
+        r["features_signature"] < r["features_biclustering"]
+        for r in rows
+    )
+
+    # Most signatures are compact (paper: all but one ≤ 14 features).
+    compact = sum(1 for r in rows if r["features_signature"] <= 14)
+    assert compact >= len(rows) - 2

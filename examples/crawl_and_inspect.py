@@ -1,0 +1,55 @@
+"""Crawl the simulated cybersecurity portals and inspect the harvest.
+
+Phase 1 of the pipeline in isolation: the crawler walks four portals
+(index pages, advisory pages, an OSVDB-style JSON search API), honors
+robots.txt and per-host crawl delays, extracts proof-of-concept payloads
+from ``<code>``/``<pre>`` blocks by the paper's rule (everything after the
+first ``?``), and deduplicates re-posted samples by normalized digest.
+
+    python examples/crawl_and_inspect.py
+"""
+
+from collections import Counter
+
+from repro.corpus.vulndb import classify_payload, coverage, july_2012_cohort
+from repro.crawler import CrawlSession, SimulatedClock, SimulatedWeb
+
+
+def main() -> None:
+    web = SimulatedWeb(corpus_size=1200, seed=2012)
+    clock = SimulatedClock()
+    session = CrawlSession(web, clock=clock)
+    print("Crawling", ", ".join(web.portals), "...")
+    report = session.run()
+
+    print(f"\npages fetched       : {report.pages_fetched}")
+    print(f"blocked by robots   : {report.pages_blocked}")
+    print(f"payloads extracted  : {report.payloads_seen}")
+    print(f"after deduplication : {len(report.samples)}")
+    print(f"virtual crawl time  : {clock.now():.0f}s "
+          "(politeness delays honored)")
+
+    print("\nsamples per portal:")
+    for portal, count in sorted(report.per_portal.items()):
+        print(f"  {portal:24s} {count}")
+
+    families = Counter(
+        classify_payload(s.payload) for s in report.samples
+    )
+    print("\nattack-technique mix (classified from payload text):")
+    for family, count in families.most_common():
+        bar = "#" * (60 * count // max(families.values()))
+        print(f"  {family:18s} {count:5d} {bar}")
+
+    cohort = july_2012_cohort()
+    covered = coverage(cohort, report.samples)
+    print(f"\nTable I coverage check: {sum(covered.values())}/{len(cohort)} "
+          "July-2012 vulnerabilities have launchable samples in the corpus")
+
+    print("\nexample harvested payloads:")
+    for sample in report.samples[:5]:
+        print(f"  [{sample.portal}] {sample.payload[:70]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""IDS bake-off: pSigene versus Bro, Snort+ET, and ModSecurity.
+
+Reproduces a small-scale version of the paper's Experiment 1 (Table V):
+train pSigene on a crawled corpus, generate SQLmap and Arachni+Vega test
+traces against a vulnerable web application, replay one day of benign
+university traffic, and print TPR/FPR per detector.
+
+    python examples/ids_bakeoff.py
+"""
+
+from repro.eval import (
+    EvaluationContext,
+    format_table,
+    percent,
+    table5_accuracy,
+)
+
+
+def main() -> None:
+    print("Building evaluation context (train + generate test sets)...")
+    context = EvaluationContext.build(
+        seed=2012,
+        n_attack_samples=2000,
+        n_benign_train=6000,
+        n_benign_test=12_000,
+        max_cluster_rows=1200,
+        n_vulnerabilities=60,
+    )
+    print(f"  sqlmap trace : {len(context.datasets.sqlmap)} attacks")
+    print(f"  arachni set  : {len(context.datasets.arachni)} attacks")
+    print(f"  benign trace : {len(context.datasets.benign)} requests\n")
+
+    rows = table5_accuracy(context)
+    print(format_table(
+        ["RULES", "TPR%(SQLmap)", "TPR%(Arachni)", "FPR%", "FALSE ALARMS"],
+        [
+            [r["rules"], percent(r["tpr_sqlmap"]),
+             percent(r["tpr_arachni"]), percent(r["fpr"], 4),
+             r["false_alarms"]]
+            for r in rows
+        ],
+        title="Experiment 1 / Table V (small scale)",
+    ))
+    print(
+        "\nPaper (Table V): ModSec 96.07/98.72/0.0515, "
+        "pSigene-9 86.53/90.52/0.037, pSigene-7 82.72/89.48/0.016, "
+        "Snort-ET 79.55/76.59/0.1742, Bro 73.23/76.33/0.0"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Incremental retraining: the paper's Experiment 2 as an operational loop.
+
+Deploy pSigene, watch a scanner attack a protected application, fold the
+freshly observed attack samples back into training (only Θ is relearned —
+the cluster structure stays fixed), and measure detection before/after.
+
+    python examples/incremental_retraining.py
+"""
+
+from repro.core import PipelineConfig, PSigenePipeline, incremental_update
+from repro.corpus import VulnerableWebApp
+from repro.http import Trace
+from repro.ids import PSigeneDetector, SignatureEngine
+from repro.scanners import SqlmapSimulator
+
+
+def detection_rate(signature_set, trace) -> float:
+    engine = SignatureEngine(PSigeneDetector(signature_set))
+    return float(engine.run(trace).alert_flags.mean())
+
+
+def main() -> None:
+    print("Day 0: train pSigene from the public-portal crawl")
+    pipeline = PSigenePipeline(PipelineConfig(
+        seed=2012, n_attack_samples=1500, n_benign_train=4000,
+        max_cluster_rows=1000,
+    ))
+    result = pipeline.run()
+
+    print("Day 1: a scanner attacks the protected application")
+    app = VulnerableWebApp(seed=404, n_vulnerabilities=30)
+    observed = SqlmapSimulator(app, seed=99).scan()
+    half = len(observed) // 2
+    today = Trace(name="day1", requests=observed.requests[:half])
+    tomorrow = Trace(name="day2", requests=observed.requests[half:])
+
+    before = detection_rate(result.signature_set, tomorrow)
+    print(f"  detection on tomorrow's traffic (no update): {before:.2%}")
+
+    print("Night 1: fold today's confirmed attacks into training "
+          f"({len(today)} samples; automatic, Θ-only)")
+    update = incremental_update(
+        pipeline, result, today.payloads()
+    )
+    for index, count in sorted(update.assigned.items()):
+        print(f"    bicluster {index}: +{count} samples")
+
+    after = detection_rate(update.signature_set, tomorrow)
+    print(f"\n  detection on tomorrow's traffic (after update): {after:.2%}")
+    print(f"  change: {after - before:+.2%} "
+          "(paper: +2.6% at 20% augmentation, +4.6% at 40%)")
+
+
+if __name__ == "__main__":
+    main()

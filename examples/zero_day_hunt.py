@@ -1,0 +1,73 @@
+"""Zero-day hunt: how generalized signatures catch unseen attack shapes.
+
+The paper's central claim is that signatures trained on crawled samples
+match attacks they were never trained on ("generalized implies the
+signatures will be able to match some zero-day attacks").  This example
+trains the pipeline, then probes it with hand-crafted payloads that use
+table names, functions, and structures absent from the training grammar —
+and contrasts pSigene's verdicts with a Perdisci-style token-subsequence
+signature set trained on the same corpus.
+
+    python examples/zero_day_hunt.py
+"""
+
+from repro.core import PipelineConfig, PSigenePipeline
+from repro.perdisci import PerdisciSystem
+
+ZERO_DAYS = [
+    # Novel vocabulary and structure, same attack physics.
+    "report=Q4' UNION SELECT billing_token,NULL,NULL FROM "
+    "vault.payment_methods WHERE region='eu'-- -",
+    "ticket=88' AND (SELECT 1 FROM stand_in WHERE "
+    "tag=0x6465616462656566 AND sleep(11))-- -",
+    "locale=fr' OR 'zebra'='zebra",
+    "doc=7';CREATE TABLE pwned(flag varchar(64));-- -",
+    "sid=3' AND ORD(MID((SELECT api_key FROM tenants LIMIT 1),7,1))>99#",
+    "export=csv' INTO OUTFILE '/var/www/shell.php'-- -",
+]
+
+LOOKALIKES = [
+    # Benign strings that merely smell like SQL.
+    "q=select+committee+report+2012",
+    "q=union+station+parking",
+    "comment=I+really+like+null+coffee+--+dave",
+    "title=Drop+the+Bass+%28remix%29",
+]
+
+
+def main() -> None:
+    print("Training pSigene...")
+    pipeline = PSigenePipeline(PipelineConfig(
+        seed=2012, n_attack_samples=1500, n_benign_train=4000,
+        max_cluster_rows=1000,
+    ))
+    result = pipeline.run()
+    signatures = result.signature_set
+
+    print("Training the Perdisci token-subsequence baseline...")
+    perdisci = PerdisciSystem(max_training=500, seed=1)
+    perdisci.fit([s.payload for s in result.samples])
+
+    print(f"\n{'':52s}  pSigene      Perdisci")
+    print("zero-day payloads (never seen, novel vocabulary):")
+    for payload in ZERO_DAYS:
+        score = signatures.score(payload)
+        psig = f"p={score:0.3f} {'ALERT' if signatures.matches(payload) else 'miss '}"
+        perd = "ALERT" if perdisci.matches(payload) else "miss "
+        print(f"  {payload[:50]:52s}  {psig}  {perd}")
+
+    print("\nbenign lookalikes:")
+    for payload in LOOKALIKES:
+        score = signatures.score(payload)
+        psig = f"p={score:0.3f} {'ALERT' if signatures.matches(payload) else 'pass '}"
+        perd = "ALERT" if perdisci.matches(payload) else "pass "
+        print(f"  {payload[:50]:52s}  {psig}  {perd}")
+
+    caught = sum(1 for p in ZERO_DAYS if signatures.matches(p))
+    print(f"\npSigene caught {caught}/{len(ZERO_DAYS)} zero-days; "
+          "Perdisci's memorized token subsequences catch (almost) none — "
+          "the paper's Experiment 3 in miniature.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: lets ``pip install -e .`` work on environments
+without the ``wheel`` package (offline PEP 517 editable installs need it)."""
+from setuptools import setup
+
+setup()

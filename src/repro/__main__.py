@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    train   run the four-phase pipeline and write a signature JSON file
+    score   score payloads (args or stdin) against a signature file
+    crawl   run phase 1 alone and print crawl statistics
+    eval    small-scale Table V (accuracy comparison of all detectors)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import (
+        PipelineConfig,
+        PSigenePipeline,
+        signature_set_to_json,
+    )
+
+    config = PipelineConfig(
+        seed=args.seed,
+        n_attack_samples=args.samples,
+        n_benign_train=args.benign,
+        max_cluster_rows=args.max_cluster_rows,
+    )
+    result = PSigenePipeline(config).run()
+    with open(args.output, "w") as handle:
+        handle.write(signature_set_to_json(result.signature_set))
+    print(
+        f"trained {len(result.signature_set)} signatures from "
+        f"{len(result.samples)} crawled samples "
+        f"({result.pruning.final_features} active features); "
+        f"wrote {args.output}"
+    )
+    return 0
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    from repro.core import signature_set_from_json
+
+    with open(args.signatures) as handle:
+        signature_set = signature_set_from_json(handle.read())
+    payloads = args.payloads or [
+        line.rstrip("\n") for line in sys.stdin if line.strip()
+    ]
+    exit_code = 0
+    for payload in payloads:
+        score = signature_set.score(payload)
+        fired = signature_set.alerts(payload)
+        verdict = "ALERT" if fired else "pass "
+        detail = f" signatures={fired}" if fired else ""
+        print(f"[{verdict}] p={score:0.4f}{detail}  {payload}")
+        if fired:
+            exit_code = 3
+    return exit_code
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    from repro.crawler import CrawlSession, SimulatedWeb
+
+    web = SimulatedWeb(corpus_size=args.samples, seed=args.seed)
+    report = CrawlSession(web).run()
+    print(f"pages fetched: {report.pages_fetched}")
+    print(f"blocked by robots: {report.pages_blocked}")
+    print(f"payloads extracted: {report.payloads_seen}")
+    print(f"unique samples: {len(report.samples)}")
+    for portal, count in sorted(report.per_portal.items()):
+        print(f"  {portal}: {count}")
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    from repro.eval import (
+        EvaluationContext,
+        format_table,
+        percent,
+        table5_accuracy,
+    )
+
+    context = EvaluationContext.build(
+        seed=args.seed,
+        n_attack_samples=args.samples,
+        n_benign_train=min(args.samples * 3, 10_000),
+        n_benign_test=args.benign,
+        max_cluster_rows=min(args.samples, 1500),
+        n_vulnerabilities=args.vulnerabilities,
+    )
+    rows = table5_accuracy(context)
+    print(format_table(
+        ["RULES", "TPR%(SQLmap)", "TPR%(Arachni)", "FPR%"],
+        [
+            [r["rules"], percent(r["tpr_sqlmap"]),
+             percent(r["tpr_arachni"]), percent(r["fpr"], 4)]
+            for r in rows
+        ],
+        title="Accuracy comparison (Table V)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="pSigene reproduction (DSN 2014) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train and export signatures")
+    train.add_argument("-o", "--output", default="signatures.json")
+    train.add_argument("--samples", type=int, default=2000)
+    train.add_argument("--benign", type=int, default=6000)
+    train.add_argument("--max-cluster-rows", type=int, default=1200)
+    train.add_argument("--seed", type=int, default=2012)
+    train.set_defaults(func=_cmd_train)
+
+    score = sub.add_parser("score", help="score payloads against signatures")
+    score.add_argument("-s", "--signatures", default="signatures.json")
+    score.add_argument("payloads", nargs="*")
+    score.set_defaults(func=_cmd_score)
+
+    crawl = sub.add_parser("crawl", help="crawl the simulated portals")
+    crawl.add_argument("--samples", type=int, default=1000)
+    crawl.add_argument("--seed", type=int, default=2012)
+    crawl.set_defaults(func=_cmd_crawl)
+
+    evaluate = sub.add_parser("eval", help="run the Table V comparison")
+    evaluate.add_argument("--samples", type=int, default=1500)
+    evaluate.add_argument("--benign", type=int, default=8000)
+    evaluate.add_argument("--vulnerabilities", type=int, default=40)
+    evaluate.add_argument("--seed", type=int, default=2012)
+    evaluate.set_defaults(func=_cmd_eval)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

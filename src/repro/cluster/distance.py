@@ -1,0 +1,57 @@
+"""Pairwise distance computation for the clustering substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def euclidean_matrix(data: np.ndarray) -> np.ndarray:
+    """Full symmetric Euclidean distance matrix of the rows of *data*.
+
+    Computed via the expanded form ``|x|² + |y|² - 2x·y`` (one matmul rather
+    than an O(n²·d) Python loop); tiny negative values from cancellation are
+    clamped before the square root.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError("data must be 2-D (rows are points)")
+    squared_norms = np.einsum("ij,ij->i", data, data)
+    gram = data @ data.T
+    squared = squared_norms[:, None] + squared_norms[None, :] - 2.0 * gram
+    np.maximum(squared, 0.0, out=squared)
+    # Cancellation leaves identical rows with squared distances of order
+    # eps·|x|² instead of exactly zero; snap those to zero so duplicate
+    # rows merge at height 0 (the weighted-UPGMA equivalence depends on
+    # it).
+    scale = float(squared_norms.max(initial=0.0))
+    if scale > 0:
+        squared[squared < 1e-12 * scale] = 0.0
+    matrix = np.sqrt(squared)
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+def euclidean_condensed(data: np.ndarray) -> np.ndarray:
+    """Condensed (upper-triangle, row-major) form, scipy-compatible."""
+    matrix = euclidean_matrix(data)
+    index_upper = np.triu_indices(matrix.shape[0], k=1)
+    return matrix[index_upper]
+
+
+def unique_rows_with_weights(
+    data: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse duplicate rows into weighted prototypes.
+
+    Returns ``(prototypes, weights, inverse)`` where ``prototypes`` holds the
+    unique rows, ``weights[i]`` counts how many original rows collapsed into
+    prototype ``i``, and ``inverse[j]`` maps original row ``j`` to its
+    prototype.  Weighted UPGMA over the prototypes yields exactly the same
+    dendrogram (above height 0) as unweighted UPGMA over the raw matrix,
+    because identical rows always merge first at distance zero.
+    """
+    data = np.asarray(data)
+    prototypes, inverse, counts = np.unique(
+        data, axis=0, return_inverse=True, return_counts=True
+    )
+    return prototypes, counts.astype(np.float64), inverse

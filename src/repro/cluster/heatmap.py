@@ -1,0 +1,131 @@
+"""Figure 2 substrate: standardized heatmap data and renderings.
+
+The paper's Figure 2 is a heatmap of the reordered 30,000 × 159 matrix with
+dendrograms on both axes; values are column z-scores (black ≈ mean, red
+high, green low).  This module produces (a) the reordered z-score matrix
+with both leaf orders — the exact data behind the figure — and (b) two
+renderings: a coarse ANSI/text heatmap for terminals and logs, and a PPM
+image writer with the red/black/green colormap for pixel output, neither of
+which needs a plotting library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.bicluster import BiclusteringResult
+from repro.cluster.dendrogram import Dendrogram
+from repro.cluster.linkage import upgma
+
+
+@dataclass
+class HeatmapData:
+    """The data behind Figure 2.
+
+    Attributes:
+        z: standardized matrix, rows/columns already reordered.
+        row_order: original row index of each displayed row.
+        column_order: original column index of each displayed column.
+        row_cluster_of: bicluster number of each displayed row (0 = none).
+    """
+
+    z: np.ndarray
+    row_order: np.ndarray
+    column_order: np.ndarray
+    row_cluster_of: np.ndarray
+
+
+def standardize_columns(counts: np.ndarray) -> np.ndarray:
+    """Column z-scores, constant columns mapping to zero (the mean color)."""
+    values = np.asarray(counts, dtype=np.float64)
+    mean = values.mean(axis=0)
+    std = values.std(axis=0)
+    safe = np.where(std == 0, 1.0, std)
+    z = (values - mean) / safe
+    z[:, std == 0] = 0.0
+    return z
+
+
+def build_heatmap(
+    counts: np.ndarray, result: BiclusteringResult
+) -> HeatmapData:
+    """Reorder the standardized matrix by both dendrograms.
+
+    Row order comes from the sample dendrogram (prototype leaf order
+    expanded back to original rows); column order from a fresh UPGMA pass
+    over feature profiles, as the two-way method prescribes.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    z = standardize_columns(counts)
+
+    proto_order = result.sample_dendrogram.leaf_order()
+    rank = {proto: position for position, proto in enumerate(proto_order)}
+    row_keys = np.array([rank[p] for p in result.prototype_inverse])
+    row_order = np.argsort(row_keys, kind="stable")
+
+    if counts.shape[1] >= 2:
+        feature_linkage = upgma(z.T)
+        feature_dendrogram = Dendrogram(feature_linkage, counts.shape[1])
+        column_order = np.array(feature_dendrogram.leaf_order())
+    else:
+        column_order = np.arange(counts.shape[1])
+
+    cluster_of = np.zeros(counts.shape[0], dtype=int)
+    for bicluster in result.biclusters:
+        cluster_of[bicluster.sample_indices] = bicluster.index
+
+    return HeatmapData(
+        z=z[np.ix_(row_order, column_order)],
+        row_order=row_order,
+        column_order=column_order,
+        row_cluster_of=cluster_of[row_order],
+    )
+
+
+_TEXT_RAMP = " .:-=+*#%@"
+
+
+def render_text(
+    heatmap: HeatmapData, *, max_rows: int = 40, max_cols: int = 80
+) -> str:
+    """Coarse text rendering (block-averaged) of the heatmap."""
+    z = heatmap.z
+    rows = min(max_rows, z.shape[0])
+    cols = min(max_cols, z.shape[1])
+    if rows == 0 or cols == 0:
+        return ""
+    row_edges = np.linspace(0, z.shape[0], rows + 1).astype(int)
+    col_edges = np.linspace(0, z.shape[1], cols + 1).astype(int)
+    lines: list[str] = []
+    for r in range(rows):
+        block_rows = z[row_edges[r]:max(row_edges[r + 1], row_edges[r] + 1)]
+        chars: list[str] = []
+        for c in range(cols):
+            block = block_rows[
+                :, col_edges[c]:max(col_edges[c + 1], col_edges[c] + 1)
+            ]
+            intensity = np.clip((block.mean() + 2.0) / 4.0, 0.0, 0.999)
+            chars.append(_TEXT_RAMP[int(intensity * len(_TEXT_RAMP))])
+        cluster = heatmap.row_cluster_of[
+            row_edges[r]:max(row_edges[r + 1], row_edges[r] + 1)
+        ]
+        dominant = int(np.bincount(cluster).argmax()) if cluster.size else 0
+        label = f" |{dominant:2d}" if dominant else " | ."
+        lines.append("".join(chars) + label)
+    return "\n".join(lines)
+
+
+def render_ppm(heatmap: HeatmapData, path: str) -> None:
+    """Write the heatmap as a binary PPM image (red/black/green colormap)."""
+    z = np.clip(heatmap.z, -2.5, 2.5) / 2.5
+    height, width = z.shape
+    red = np.where(z > 0, (z * 255), 0).astype(np.uint8)
+    green = np.where(z < 0, (-z * 255), 0).astype(np.uint8)
+    blue = np.zeros_like(red)
+    pixels = np.stack([red, green, blue], axis=-1)
+    header = f"P6\n{width} {height}\n255\n".encode("ascii")
+    with open(path, "wb") as handle:
+        handle.write(header)
+        handle.write(pixels.tobytes())

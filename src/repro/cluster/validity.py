@@ -1,0 +1,81 @@
+"""Cluster validity indices.
+
+Two consumers: the pSigene pipeline validates its dendrograms with the
+cophenetic correlation coefficient (implemented on
+:class:`~repro.cluster.dendrogram.Dendrogram`), and the Perdisci baseline
+(Experiment 3) controls its fine-grained clustering with the Davies–Bouldin
+validity index — "Controlling the clustering process by using the DB
+validity index (Section 3 of [29])".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def davies_bouldin(data: np.ndarray, labels: np.ndarray) -> float:
+    """Davies–Bouldin index of a flat clustering (lower is better).
+
+    ``DB = (1/k) Σ_i max_{j≠i} (σ_i + σ_j) / d(c_i, c_j)`` where ``σ`` is
+    the mean within-cluster distance to the centroid and ``d`` the distance
+    between centroids.  Singleton-only clusterings return 0 (perfectly
+    compact); a clustering with one cluster returns ``inf`` conventionally,
+    since the index is undefined there and the Perdisci search must not
+    stop on it.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    labels = np.asarray(labels)
+    unique = np.unique(labels)
+    k = unique.size
+    if k < 2:
+        return float("inf")
+    centroids = np.vstack([data[labels == u].mean(axis=0) for u in unique])
+    scatter = np.array([
+        np.linalg.norm(data[labels == u] - centroids[i], axis=1).mean()
+        if (labels == u).sum() > 1 else 0.0
+        for i, u in enumerate(unique)
+    ])
+    separation = np.linalg.norm(
+        centroids[:, None, :] - centroids[None, :, :], axis=2
+    )
+    ratios = np.full((k, k), -np.inf)
+    for i in range(k):
+        for j in range(k):
+            if i == j:
+                continue
+            if separation[i, j] == 0:
+                ratios[i, j] = np.inf
+            else:
+                ratios[i, j] = (scatter[i] + scatter[j]) / separation[i, j]
+    return float(ratios.max(axis=1).mean())
+
+
+def silhouette_mean(data: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient (used in ablation benches).
+
+    Returns 0 for degenerate clusterings (k < 2 or all-singleton).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    labels = np.asarray(labels)
+    unique = np.unique(labels)
+    if unique.size < 2 or unique.size == data.shape[0]:
+        return 0.0
+    from repro.cluster.distance import euclidean_matrix
+
+    distances = euclidean_matrix(data)
+    scores: list[float] = []
+    for index in range(data.shape[0]):
+        own = labels[index]
+        own_mask = labels == own
+        if own_mask.sum() <= 1:
+            scores.append(0.0)
+            continue
+        a = distances[index, own_mask & (np.arange(len(labels)) != index)].mean()
+        b = min(
+            distances[index, labels == other].mean()
+            for other in unique
+            if other != own
+        )
+        denom = max(a, b)
+        scores.append(0.0 if denom == 0 else (b - a) / denom)
+    return float(np.mean(scores))

@@ -1,0 +1,29 @@
+"""pSigene core: the four-phase pipeline and its signature artifacts."""
+
+from repro.core.generalizer import (
+    GeneralizerConfig,
+    SignatureGeneralizer,
+    SignatureTraining,
+)
+from repro.core.incremental import IncrementalUpdate, incremental_update
+from repro.core.pipeline import PipelineConfig, PipelineResult, PSigenePipeline
+from repro.core.serialize import (
+    signature_set_from_json,
+    signature_set_to_json,
+)
+from repro.core.signature import GeneralizedSignature, SignatureSet
+
+__all__ = [
+    "GeneralizedSignature",
+    "SignatureSet",
+    "GeneralizerConfig",
+    "SignatureGeneralizer",
+    "SignatureTraining",
+    "PipelineConfig",
+    "PipelineResult",
+    "PSigenePipeline",
+    "incremental_update",
+    "IncrementalUpdate",
+    "signature_set_to_json",
+    "signature_set_from_json",
+]

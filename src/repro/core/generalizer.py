@@ -1,0 +1,137 @@
+"""Phase 4: turning biclusters into generalized signatures.
+
+For each active bicluster, a logistic model is trained on the bicluster's
+samples (positive class) against benign traffic (negative class), using the
+bicluster's features as the hypothesis variables (Section II-D).  After
+training, coefficients near zero are pruned and the model refit — this is
+the effect the paper observes in Table VI, where "logistic regression does
+significant amount of pruning of features" (90 biclustering features become
+a 33-feature signature, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.bicluster import Bicluster
+from repro.core.signature import GeneralizedSignature
+from repro.features.definitions import FeatureCatalog
+from repro.learn.logistic import TrainingReport, train_logistic
+
+
+@dataclass
+class GeneralizerConfig:
+    """Signature-training knobs.
+
+    Attributes:
+        l2: ridge strength for the logistic fit.
+        prune_ratio: features whose |coefficient|·std falls below this
+            fraction of the largest such influence are pruned.
+        threshold: operating probability threshold of the signatures.
+            The default 0.8 is the ROC-chosen operating point (Figure 3's
+            purpose): at 0.5 a bare quote probe squeaks past the weakest
+            signature at p≈0.503, while real attack payloads saturate the
+            sigmoid well above 0.9.
+        refit_after_prune: retrain on the surviving features (keeps Θ
+            properly calibrated for the pruned feature set).
+        max_negative_samples: cap on benign rows per signature fit (the
+            benign trace is huge; a balanced slice trains identically).
+    """
+
+    l2: float = 1.0
+    prune_ratio: float = 0.05
+    threshold: float = 0.8
+    refit_after_prune: bool = True
+    max_negative_samples: int = 20_000
+
+
+@dataclass
+class SignatureTraining:
+    """A trained signature plus its optimization diagnostics."""
+
+    signature: GeneralizedSignature
+    report: TrainingReport
+    pruned_features: int
+
+
+class SignatureGeneralizer:
+    """Trains one :class:`GeneralizedSignature` per active bicluster."""
+
+    def __init__(self, config: GeneralizerConfig | None = None) -> None:
+        self.config = config if config is not None else GeneralizerConfig()
+
+    def train(
+        self,
+        bicluster: Bicluster,
+        attack_counts: np.ndarray,
+        benign_counts: np.ndarray,
+        catalog: FeatureCatalog,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> SignatureTraining:
+        """Train the signature for one bicluster.
+
+        Args:
+            bicluster: the bicluster (sample rows + feature columns).
+            attack_counts: full training count matrix (all attack samples).
+            benign_counts: benign count matrix over the same catalog.
+            catalog: the (pruned) feature catalog both matrices use.
+            rng: used only to subsample an oversized benign matrix.
+        """
+        config = self.config
+        columns = bicluster.feature_indices
+        positives = attack_counts[np.ix_(bicluster.sample_indices, columns)]
+        negatives = benign_counts[:, columns]
+        if negatives.shape[0] > config.max_negative_samples:
+            rng = rng if rng is not None else np.random.default_rng(0)
+            picked = rng.choice(
+                negatives.shape[0], config.max_negative_samples, replace=False
+            )
+            negatives = negatives[np.sort(picked)]
+
+        x = np.vstack([positives, negatives]).astype(np.float64)
+        y = np.concatenate([
+            np.ones(positives.shape[0]), np.zeros(negatives.shape[0])
+        ])
+        model, report = train_logistic(x, y, l2=config.l2)
+
+        kept_local = self._select_features(x, model.coefficients)
+        pruned = len(columns) - kept_local.size
+        if pruned and config.refit_after_prune and kept_local.size:
+            model, report = train_logistic(
+                x[:, kept_local], y, l2=config.l2
+            )
+            columns = columns[kept_local]
+        elif kept_local.size == 0:
+            kept_local = np.arange(len(columns))
+            pruned = 0
+
+        signature = GeneralizedSignature(
+            bicluster_index=bicluster.index,
+            features=catalog.subset([int(c) for c in columns]),
+            model=model,
+            threshold=config.threshold,
+            bicluster_feature_count=bicluster.n_features,
+            training_samples=bicluster.n_samples,
+        )
+        return SignatureTraining(
+            signature=signature, report=report, pruned_features=pruned
+        )
+
+    def _select_features(
+        self, x: np.ndarray, coefficients: np.ndarray
+    ) -> np.ndarray:
+        """Indices (into the bicluster's feature list) that survive pruning.
+
+        Influence is ``|coefficient| · column std`` — a large weight on a
+        never-varying column is as useless as a tiny weight on an active
+        one.
+        """
+        std = x.std(axis=0)
+        influence = np.abs(coefficients) * np.where(std == 0, 1e-12, std)
+        ceiling = influence.max()
+        if ceiling <= 0:
+            return np.arange(len(coefficients))
+        return np.nonzero(influence >= self.config.prune_ratio * ceiling)[0]

@@ -1,0 +1,39 @@
+"""Attack corpus substrate: SQLi grammar, benign traffic, vuln DB, webapp."""
+
+from repro.corpus.benign import BenignTrafficGenerator
+from repro.corpus.families import (
+    BLACK_HOLE_FAMILIES,
+    FAMILIES,
+    FAMILY_NAMES,
+    Family,
+    family_by_name,
+)
+from repro.corpus.grammar import AttackSample, CorpusGenerator, TemplateRenderer
+from repro.corpus.mutators import MUTATORS
+from repro.corpus.vulndb import (
+    TABLE1_RECORDS,
+    VulnRecord,
+    coverage,
+    july_2012_cohort,
+)
+from repro.corpus.webapp import InjectionPoint, Response, VulnerableWebApp
+
+__all__ = [
+    "Family",
+    "FAMILIES",
+    "FAMILY_NAMES",
+    "BLACK_HOLE_FAMILIES",
+    "family_by_name",
+    "AttackSample",
+    "CorpusGenerator",
+    "TemplateRenderer",
+    "MUTATORS",
+    "VulnRecord",
+    "TABLE1_RECORDS",
+    "july_2012_cohort",
+    "coverage",
+    "VulnerableWebApp",
+    "InjectionPoint",
+    "Response",
+    "BenignTrafficGenerator",
+]

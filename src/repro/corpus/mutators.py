@@ -1,0 +1,98 @@
+"""Evasion mutations applied to rendered payloads.
+
+Public sample dumps are full of encoding and whitespace tricks — the same
+tricks that motivate the paper's normalization transformations.  Each
+mutator takes a payload value and an RNG and returns a transformed value.
+The normalizer must undo all of them; a property test
+(``tests/corpus/test_mutators.py``) asserts exactly that.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+Mutator = Callable[[str, np.random.Generator], str]
+
+
+def mixed_case(value: str, rng: np.random.Generator) -> str:
+    """Randomize letter case: ``union select`` → ``UnIoN SeLeCt``."""
+    flips = rng.random(len(value)) < 0.5
+    return "".join(
+        ch.upper() if flip and ch.isalpha() else ch
+        for ch, flip in zip(value, flips)
+    )
+
+
+def url_encode_specials(value: str, rng: np.random.Generator) -> str:
+    """Percent-encode quotes, spaces, and commas (scanner wire format)."""
+    table = {"'": "%27", '"': "%22", " ": "%20", ",": "%2C", "#": "%23",
+             ";": "%3B", "(": "%28", ")": "%29"}
+    out = []
+    for ch in value:
+        encoded = table.get(ch)
+        if encoded is not None and rng.random() < 0.8:
+            out.append(encoded)
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def double_encode_quotes(value: str, rng: np.random.Generator) -> str:
+    """Double-encode quotes: ``'`` → ``%2527`` (decodes to ``%27`` then ``'``)."""
+    del rng
+    return value.replace("'", "%2527").replace('"', "%2522")
+
+
+def plus_spaces(value: str, rng: np.random.Generator) -> str:
+    """Encode spaces as ``+`` (form-urlencoded convention)."""
+    del rng
+    return value.replace(" ", "+")
+
+
+def comment_spaces(value: str, rng: np.random.Generator) -> str:
+    """Replace spaces with inline comments: ``union select`` →
+    ``union/**/select`` — the classic keyword-splitting evasion."""
+    separators = ("/**/", "/*x*/", "%09", "%0a")
+    out = []
+    for ch in value:
+        if ch == " " and rng.random() < 0.7:
+            out.append(separators[int(rng.integers(len(separators)))])
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def tab_spaces(value: str, rng: np.random.Generator) -> str:
+    """Replace spaces with tabs/newlines (alternate SQL whitespace)."""
+    whitespace = ("\t", "\n", "  ")
+    out = []
+    for ch in value:
+        if ch == " " and rng.random() < 0.6:
+            out.append(whitespace[int(rng.integers(len(whitespace)))])
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def unicode_fullwidth(value: str, rng: np.random.Generator) -> str:
+    """Swap some ASCII characters for their fullwidth Unicode forms."""
+    out = []
+    for ch in value:
+        if 0x21 <= ord(ch) <= 0x7E and ch.isalpha() and rng.random() < 0.3:
+            out.append(chr(ord(ch) - 0x21 + 0xFF01))
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+MUTATORS: tuple[Mutator, ...] = (
+    mixed_case,
+    url_encode_specials,
+    double_encode_quotes,
+    plus_spaces,
+    comment_spaces,
+    tab_spaces,
+    unicode_fullwidth,
+)

@@ -1,0 +1,155 @@
+"""Vulnerability database records and the corpus coverage check.
+
+Table I of the paper lists example SQLi vulnerabilities published in July
+2012 (NVD, MySQL-backed web applications) and Section II-A describes a
+heuristic coverage check: for each of ~30 high/medium-risk July-2012 SQLi
+CVEs, verify the crawled dataset contains attack samples that could be
+launched against the vulnerable application.
+
+This module carries those records (the four printed in Table I plus the
+rest of the cohort, synthesized to the same schema) and implements the
+coverage heuristic: a vulnerability is *covered* when the corpus contains a
+sample of a family matching the vulnerability's injection context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.grammar import AttackSample
+
+
+@dataclass(frozen=True)
+class VulnRecord:
+    """One published SQLi vulnerability.
+
+    Attributes:
+        cve_id: CVE identifier.
+        product: vulnerable application/component (Table I column 1).
+        context: injection context — ``numeric``, ``string``, or ``order-by``;
+            decides which attack families apply.
+        risk: ``high`` or ``medium`` (the cohort the paper reviewed).
+    """
+
+    cve_id: str
+    product: str
+    context: str
+    risk: str
+
+
+#: The four examples printed in Table I.
+TABLE1_RECORDS: tuple[VulnRecord, ...] = (
+    VulnRecord("CVE-2012-3554", "Joomla 1.5.x RSGallery 2.3.20 component",
+               "numeric", "high"),
+    VulnRecord("CVE-2012-2306", "Drupal 6.x-4.2 Addressbook module",
+               "string", "high"),
+    VulnRecord("CVE-2012-3395",
+               "Moodle 2.0.x mod/feedback/complete.php 2.0.10",
+               "string", "medium"),
+    VulnRecord("CVE-2012-3881", "RTG 0.7.4 and RTG2 0.9.2 95/view/rtg.php",
+               "numeric", "high"),
+)
+
+#: The rest of the ~30-record July-2012 cohort (synthesized to schema).
+_COHORT_PRODUCTS: tuple[tuple[str, str, str], ...] = (
+    ("WordPress plugin Newsletter 1.5", "numeric", "high"),
+    ("phpMyAdmin table_ops 3.4.x", "string", "medium"),
+    ("e107 CMS content.php 1.0.4", "numeric", "high"),
+    ("OpenCart product filter 1.5.3", "string", "medium"),
+    ("MyBB private.php 1.6.8", "numeric", "high"),
+    ("Piwigo picture.php 2.4.2", "numeric", "medium"),
+    ("Dolphin 7.0.9 search module", "string", "high"),
+    ("vBulletin announcement.php 4.1", "numeric", "high"),
+    ("Zen Cart ipn_main_handler 1.5", "string", "medium"),
+    ("SMF profile view 2.0.2", "numeric", "medium"),
+    ("Tiki Wiki tiki-listpages 8.3", "order-by", "high"),
+    ("Joomla com_jce 2.1.x", "numeric", "high"),
+    ("Coppermine gallery displayimage 1.5.18", "numeric", "medium"),
+    ("XOOPS mydirname module 2.5.4", "string", "high"),
+    ("osCommerce categories.php 2.3.1", "numeric", "medium"),
+    ("PrestaShop getProducts 1.4.8", "order-by", "medium"),
+    ("Moodle grade report 2.2.3", "string", "medium"),
+    ("concrete5 index.php 5.5.2", "numeric", "high"),
+    ("LimeSurvey admin 1.92", "string", "high"),
+    ("Gallery3 rest module 3.0.3", "numeric", "medium"),
+    ("TYPO3 felogin 4.5.x", "string", "high"),
+    ("Magento catalog search 1.6.2", "string", "medium"),
+    ("web2py admin 1.99.7", "numeric", "medium"),
+    ("GLPI tracking.php 0.83.3", "numeric", "high"),
+    ("Mantis view_all_set 1.2.10", "order-by", "medium"),
+    ("DokuWiki authmysql 2012-01-25", "string", "high"),
+)
+
+#: Which attack families exercise which injection context.
+CONTEXT_FAMILIES: dict[str, tuple[str, ...]] = {
+    "numeric": ("union-extract", "boolean-blind", "time-blind",
+                "error-based", "enumeration"),
+    "string": ("tautology", "union-extract", "boolean-blind",
+               "encoded-evasion", "quote-probe"),
+    "order-by": ("enumeration",),
+}
+
+
+def july_2012_cohort() -> list[VulnRecord]:
+    """All July-2012 records: Table I's four plus the synthesized rest."""
+    records = list(TABLE1_RECORDS)
+    for index, (product, context, risk) in enumerate(_COHORT_PRODUCTS):
+        records.append(
+            VulnRecord(f"CVE-2012-9{index:03d}", product, context, risk)
+        )
+    return records
+
+
+#: Ordered classification rules: first matching pattern wins.  Used to
+#: type *crawled* samples, whose generating family is unknown (the paper's
+#: reviewers likewise judged coverage from the payload text alone).
+_CLASSIFY_RULES: tuple[tuple[str, str], ...] = (
+    (r"union\s+(?:all\s+)?select", "union-extract"),
+    (r"extractvalue|updatexml|floor\s*\(\s*rand|exp\s*\(\s*~|gtid_subset",
+     "error-based"),
+    (r"sleep\s*\(|benchmark\s*\(", "time-blind"),
+    (r"load_file|into\s+(?:out|dump)file", "file-io"),
+    (r";\s*(?:drop|insert|update|delete|create|select|shutdown)",
+     "stacked-query"),
+    (r"order\s+by\s+\d|group\s+by|limit\s+\d", "enumeration"),
+    (r"char\s*\(\s*\d+\s*,|0x[0-9a-f]{4,}", "encoded-evasion"),
+    (r"(?:and|or)\s+(?:ascii|ord|length|mid|substring?|exists)\s*\(",
+     "boolean-blind"),
+    (r"(?:'|\")\s*(?:or|and|\|\||&&)|or\s+\d+\s*=|and\s+\d+\s*=",
+     "tautology"),
+    (r"^.{0,24}(?:'|\"|%27|%22)\)?;?$", "quote-probe"),
+)
+
+
+def classify_payload(payload: str) -> str:
+    """Best-effort family classification of a (possibly crawled) payload."""
+    from repro.normalize import normalize
+    from repro.regexlib import matches
+
+    normalized = normalize(payload)
+    for pattern, family in _CLASSIFY_RULES:
+        if matches(pattern, normalized):
+            return family
+    return "fuzz-junk"
+
+
+def coverage(
+    records: list[VulnRecord],
+    samples: list[AttackSample],
+) -> dict[str, bool]:
+    """Per-CVE coverage of the corpus (the Section II-A heuristic).
+
+    A record is covered when the corpus contains at least one sample from a
+    family applicable to the record's injection context.  Samples without a
+    ground-truth family label (crawled corpora) are classified from their
+    payload text.
+    """
+    present_families = {
+        s.family if s.family else classify_payload(s.payload)
+        for s in samples
+    }
+    result: dict[str, bool] = {}
+    for record in records:
+        needed = CONTEXT_FAMILIES.get(record.context, ())
+        result[record.cve_id] = any(f in present_families for f in needed)
+    return result

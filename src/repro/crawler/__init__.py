@@ -1,0 +1,33 @@
+"""Webcrawling substrate: portals, fetcher, frontier, parsers, dedup."""
+
+from repro.crawler.dedup import PayloadDeduplicator
+from repro.crawler.fetcher import Fetcher, FetchResult, FetchStats, SimulatedClock
+from repro.crawler.frontier import Frontier
+from repro.crawler.parsers import (
+    extract_links,
+    extract_payloads_from_html,
+    extract_payloads_from_json,
+)
+from repro.crawler.portals import PORTAL_NAMES, Page, Portal, SimulatedWeb
+from repro.crawler.robots import RobotsPolicy, parse_robots
+from repro.crawler.session import CrawlReport, CrawlSession
+
+__all__ = [
+    "Portal",
+    "Page",
+    "SimulatedWeb",
+    "PORTAL_NAMES",
+    "RobotsPolicy",
+    "parse_robots",
+    "Fetcher",
+    "FetchResult",
+    "FetchStats",
+    "SimulatedClock",
+    "Frontier",
+    "extract_links",
+    "extract_payloads_from_html",
+    "extract_payloads_from_json",
+    "PayloadDeduplicator",
+    "CrawlSession",
+    "CrawlReport",
+]

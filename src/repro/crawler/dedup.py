@@ -1,0 +1,39 @@
+"""Cross-portal sample deduplication.
+
+Public portals republish each other's advisories; the same proof-of-concept
+appears on several sites.  Dedup is by digest of the *normalized* payload,
+so trivially re-encoded copies (``%27`` vs ``'``) collapse too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.normalize import Normalizer
+
+
+class PayloadDeduplicator:
+    """Accepts payloads once; rejects normalized duplicates."""
+
+    def __init__(self, normalizer: Normalizer | None = None) -> None:
+        self._normalizer = normalizer if normalizer is not None else Normalizer()
+        self._seen: set[bytes] = set()
+        self.accepted = 0
+        self.rejected = 0
+
+    def _digest(self, payload: str) -> bytes:
+        normalized = self._normalizer(payload)
+        return hashlib.sha256(normalized.encode("utf-8", "replace")).digest()
+
+    def admit(self, payload: str) -> bool:
+        """True when *payload* is new; records it either way."""
+        digest = self._digest(payload)
+        if digest in self._seen:
+            self.rejected += 1
+            return False
+        self._seen.add(digest)
+        self.accepted += 1
+        return True
+
+    def __len__(self) -> int:
+        return len(self._seen)

@@ -1,0 +1,128 @@
+"""Polite fetching layer over the simulated web.
+
+Enforces per-host crawl delays from robots.txt against a simulated clock
+(so tests and benchmarks don't actually sleep), caches robots policies,
+and keeps fetch statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crawler.portals import Page, SimulatedWeb
+from repro.crawler.robots import RobotsPolicy, parse_robots
+from repro.http.url import split_url
+
+
+class SimulatedClock:
+    """Monotonic clock the fetcher advances instead of sleeping."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Advance virtual time (raises on negative durations)."""
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self._now += seconds
+
+    def tick(self, seconds: float = 0.001) -> None:
+        """Advance time by the small per-request overhead."""
+        self._now += seconds
+
+
+@dataclass
+class FetchResult:
+    """Outcome of one fetch."""
+
+    url: str
+    status: int
+    content_type: str
+    body: str
+
+    @property
+    def ok(self) -> bool:
+        """True for a successful (HTTP 200) fetch."""
+        return self.status == 200
+
+
+@dataclass
+class FetchStats:
+    """Counters the crawl report exposes."""
+
+    attempted: int = 0
+    succeeded: int = 0
+    blocked_by_robots: int = 0
+    errors: int = 0
+    total_delay: float = 0.0
+    per_host: dict[str, int] = field(default_factory=dict)
+
+
+class Fetcher:
+    """Fetches URLs from a :class:`SimulatedWeb`, honoring robots.txt.
+
+    Args:
+        web: the simulated network.
+        clock: time source for politeness delays.
+        user_agent: agent string matched against robots groups.
+    """
+
+    def __init__(
+        self,
+        web: SimulatedWeb,
+        clock: SimulatedClock | None = None,
+        user_agent: str = "psigene-crawler",
+    ) -> None:
+        self._web = web
+        self._clock = clock if clock is not None else SimulatedClock()
+        self._agent = user_agent
+        self._robots: dict[str, RobotsPolicy] = {}
+        self._last_fetch: dict[str, float] = {}
+        self.stats = FetchStats()
+
+    def _policy(self, host: str) -> RobotsPolicy:
+        policy = self._robots.get(host)
+        if policy is None:
+            page = self._web.get(host, "/robots.txt")
+            text = page.body if page.status == 200 else ""
+            policy = parse_robots(text, self._agent)
+            self._robots[host] = policy
+        return policy
+
+    def fetch(self, url: str) -> FetchResult | None:
+        """Fetch *url*; returns ``None`` when robots.txt forbids it."""
+        host, path, query = split_url(url)
+        self.stats.attempted += 1
+        policy = self._policy(host)
+        if not policy.allowed(path):
+            self.stats.blocked_by_robots += 1
+            return None
+        self._wait_politely(host, policy)
+        target = path + (f"?{query}" if query else "")
+        page: Page = self._web.get(host, target)
+        self._last_fetch[host] = self._clock.now()
+        self.stats.per_host[host] = self.stats.per_host.get(host, 0) + 1
+        if page.status != 200:
+            self.stats.errors += 1
+        else:
+            self.stats.succeeded += 1
+        return FetchResult(
+            url=url, status=page.status,
+            content_type=page.content_type, body=page.body,
+        )
+
+    def _wait_politely(self, host: str, policy: RobotsPolicy) -> None:
+        last = self._last_fetch.get(host)
+        if last is None or policy.crawl_delay <= 0:
+            self._clock.tick()
+            return
+        elapsed = self._clock.now() - last
+        remaining = policy.crawl_delay - elapsed
+        if remaining > 0:
+            self._clock.sleep(remaining)
+            self.stats.total_delay += remaining
+        self._clock.tick()

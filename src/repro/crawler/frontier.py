@@ -1,0 +1,67 @@
+"""Crawl frontier: BFS URL queue with visited tracking and budgets."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.http.url import split_url
+
+
+class Frontier:
+    """FIFO frontier with per-URL dedup, depth, and page budgets.
+
+    Args:
+        max_pages: hard budget of URLs handed out.
+        max_depth: link distance from the seeds beyond which URLs are
+            dropped (seeds are depth 0).
+        allowed_hosts: when given, URLs on other hosts are ignored —
+            the crawl stays on the cybersecurity portals.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_pages: int = 10_000,
+        max_depth: int = 25,
+        allowed_hosts: set[str] | None = None,
+    ) -> None:
+        if max_pages <= 0:
+            raise ValueError("max_pages must be positive")
+        self._queue: deque[tuple[str, int]] = deque()
+        self._enqueued: set[str] = set()
+        self._max_pages = max_pages
+        self._max_depth = max_depth
+        self._allowed_hosts = allowed_hosts
+        self.dispensed = 0
+        self.dropped_offsite = 0
+        self.dropped_depth = 0
+
+    def add(self, url: str, depth: int = 0) -> bool:
+        """Queue *url*; returns whether it was accepted."""
+        if url in self._enqueued:
+            return False
+        if depth > self._max_depth:
+            self.dropped_depth += 1
+            return False
+        host, _path, _query = split_url(url)
+        if self._allowed_hosts is not None and host not in self._allowed_hosts:
+            self.dropped_offsite += 1
+            return False
+        self._enqueued.add(url)
+        self._queue.append((url, depth))
+        return True
+
+    def next(self) -> tuple[str, int] | None:
+        """Next URL and its depth, or ``None`` when done/budget exhausted."""
+        if self.dispensed >= self._max_pages or not self._queue:
+            return None
+        self.dispensed += 1
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no more URLs can be dispensed."""
+        return not self._queue or self.dispensed >= self._max_pages

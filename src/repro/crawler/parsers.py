@@ -1,0 +1,77 @@
+"""Parsing fetched pages: link extraction and payload extraction.
+
+Section II-A: "what we see during the web crawling is the entire HTTP
+request payload and we extract the SQL query from it by leaving out the
+HTTP address, the port, and the path (typically a ? indicates the start of
+the query string)."  Advisory pages embed proof-of-concept URLs or raw
+requests inside ``<code>``/``<pre>`` blocks; the payload extractor applies
+exactly that rule to each embedded exploit line.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.crawler.portals import html_unescape
+
+_HREF_RE = re.compile(r'href="([^"]+)"', re.IGNORECASE)
+_CODE_BLOCK_RE = re.compile(r"<(code|pre)>(.*?)</\1>", re.IGNORECASE | re.S)
+
+
+def extract_links(body: str, base_host: str) -> list[str]:
+    """Absolute URLs of all links on an HTML page.
+
+    Relative links resolve against *base_host*; off-page anchors and
+    non-http schemes are dropped.
+    """
+    links: list[str] = []
+    for href in _HREF_RE.findall(body):
+        if href.startswith("#") or href.startswith("mailto:"):
+            continue
+        if href.startswith("http://") or href.startswith("https://"):
+            links.append(href)
+        elif href.startswith("/"):
+            links.append(f"http://{base_host}{href}")
+        else:
+            links.append(f"http://{base_host}/{href}")
+    return links
+
+
+def extract_payloads_from_html(body: str) -> list[str]:
+    """Query-string payloads from the code/pre blocks of an advisory page.
+
+    Each block is scanned line by line; the paper's rule — everything after
+    the first ``?`` — is applied to lines that look like exploit URLs or
+    raw request lines.  Trailing HTTP-version tokens from raw request lines
+    are stripped.
+    """
+    payloads: list[str] = []
+    for _tag, block in _CODE_BLOCK_RE.findall(body):
+        for line in html_unescape(block).splitlines():
+            line = line.strip()
+            if "?" not in line:
+                continue
+            after = line.split("?", 1)[1]
+            after = re.sub(r"\s+HTTP/[0-9.]+$", "", after)
+            if after:
+                payloads.append(after)
+    return payloads
+
+
+def extract_payloads_from_json(body: str) -> tuple[list[str], int, int]:
+    """Payloads plus ``(page, pages)`` pagination from a search-API response.
+
+    Malformed JSON yields no payloads rather than an exception — a crawler
+    must survive whatever a remote endpoint returns.
+    """
+    try:
+        data = json.loads(body)
+    except json.JSONDecodeError:
+        return [], 0, 1
+    results = data.get("results", [])
+    payloads = [
+        str(entry["payload"]) for entry in results
+        if isinstance(entry, dict) and "payload" in entry
+    ]
+    return payloads, int(data.get("page", 0)), int(data.get("pages", 1))

@@ -1,0 +1,83 @@
+"""robots.txt parsing and policy enforcement.
+
+The paper's collection phase crawls public portals; a well-behaved crawler
+(and ours is part of the reproduced system, not a mock) honors each site's
+``robots.txt``.  Only the subset of the protocol the portals use is
+implemented: ``User-agent``, ``Disallow``, ``Allow``, ``Crawl-delay``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RobotsPolicy:
+    """Parsed robots rules for one user-agent.
+
+    Attributes:
+        disallow: path prefixes the crawler must not fetch.
+        allow: path prefixes explicitly re-allowed (override disallow when
+            the allow rule is the longer match, per the de-facto standard).
+        crawl_delay: seconds the crawler must wait between fetches.
+    """
+
+    disallow: list[str] = field(default_factory=list)
+    allow: list[str] = field(default_factory=list)
+    crawl_delay: float = 0.0
+
+    def allowed(self, path: str) -> bool:
+        """Longest-match evaluation of allow/disallow prefixes."""
+        best_dis = max(
+            (len(p) for p in self.disallow if p and path.startswith(p)),
+            default=-1,
+        )
+        best_allow = max(
+            (len(p) for p in self.allow if p and path.startswith(p)),
+            default=-1,
+        )
+        if best_dis == -1:
+            return True
+        return best_allow >= best_dis
+
+
+def parse_robots(text: str, user_agent: str = "psigene-crawler") -> RobotsPolicy:
+    """Parse a robots.txt body for *user_agent*.
+
+    Rules in the ``*`` group apply unless a more specific group matching the
+    agent name exists; the specific group then wins outright (standard
+    robots semantics: groups are not merged).
+    """
+    groups: dict[str, RobotsPolicy] = {}
+    current_agents: list[str] = []
+    saw_rule = True
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line or ":" not in line:
+            continue
+        key, value = (part.strip() for part in line.split(":", 1))
+        key = key.lower()
+        if key == "user-agent":
+            if saw_rule:
+                current_agents = []
+                saw_rule = False
+            current_agents.append(value.lower())
+            groups.setdefault(value.lower(), RobotsPolicy())
+            continue
+        saw_rule = True
+        for agent in current_agents:
+            policy = groups[agent]
+            if key == "disallow" and value:
+                policy.disallow.append(value)
+            elif key == "allow" and value:
+                policy.allow.append(value)
+            elif key == "crawl-delay":
+                try:
+                    policy.crawl_delay = float(value)
+                except ValueError:
+                    pass
+    agent_key = user_agent.lower()
+    for candidate, policy in groups.items():
+        if candidate != "*" and candidate in agent_key:
+            return policy
+    return groups.get("*", RobotsPolicy())

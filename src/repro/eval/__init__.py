@@ -1,0 +1,64 @@
+"""Evaluation harness: one driver per paper table and figure."""
+
+from repro.eval.datasets import TestDatasets, build_test_datasets
+from repro.eval.experiments import (
+    EvaluationContext,
+    experiment2_incremental,
+    experiment3_perdisci,
+    experiment4_performance,
+    figure2_heatmap,
+    figure3_roc,
+    figure4_cumulative_tpr,
+    table1_vulnerability_coverage,
+    table2_feature_sources,
+    table3_signature_features,
+    table4_ruleset_comparison,
+    table5_accuracy,
+    table6_cluster_details,
+)
+from repro.eval.reporting import format_table, percent
+from repro.eval.drift import DriftRound, drift_study, drifted_families
+from repro.eval.evasion import (
+    BASE_ATTACKS,
+    TECHNIQUES,
+    EvasionCell,
+    evasion_matrix,
+    evasion_payloads,
+)
+from repro.eval.report import render_report, write_report
+from repro.eval.svg import LineChart, render_dendrogram_svg
+from repro.eval.tuning import SignatureTuning, tune_thresholds
+
+__all__ = [
+    "TestDatasets",
+    "build_test_datasets",
+    "EvaluationContext",
+    "table1_vulnerability_coverage",
+    "table2_feature_sources",
+    "table3_signature_features",
+    "table4_ruleset_comparison",
+    "table5_accuracy",
+    "table6_cluster_details",
+    "figure2_heatmap",
+    "figure3_roc",
+    "figure4_cumulative_tpr",
+    "experiment2_incremental",
+    "experiment3_perdisci",
+    "experiment4_performance",
+    "format_table",
+    "percent",
+    "tune_thresholds",
+    "SignatureTuning",
+    "render_report",
+    "write_report",
+    "LineChart",
+    "render_dendrogram_svg",
+    "evasion_matrix",
+    "evasion_payloads",
+    "EvasionCell",
+    "TECHNIQUES",
+    "BASE_ATTACKS",
+    "drift_study",
+    "drifted_families",
+    "DriftRound",
+]

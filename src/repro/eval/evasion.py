@@ -1,0 +1,134 @@
+"""Evasion-technique detection matrix.
+
+Section I motivates pSigene with the brittleness of simple signatures
+against attack *variations*; Section IV's discussion centers on how far
+test attacks may drift from training.  This module systematizes that:
+a battery of canonical SQLi payloads, each wrapped in one well-defined
+evasion technique, evaluated against every detector — producing a
+technique × detector detection matrix that localizes exactly which
+transformations each approach survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.http.url import quote
+
+#: Canonical un-evaded payload values the techniques wrap.
+BASE_ATTACKS: tuple[str, ...] = (
+    "1' union select 1,2,database()-- -",
+    "5' or '1'='1",
+    "9' and sleep(5)-- -",
+    "3'; drop table users-- -",
+    "7' and extractvalue(1,concat(0x7e,version()))-- -",
+)
+
+
+def _case_mix(value: str) -> str:
+    return "".join(
+        ch.upper() if i % 2 else ch.lower() for i, ch in enumerate(value)
+    )
+
+
+def _space2comment(value: str) -> str:
+    return value.replace(" ", "/**/")
+
+
+def _double_encode(value: str) -> str:
+    return quote(quote(value))
+
+
+def _unicode_escape(value: str) -> str:
+    return value.replace("'", "%u0027").replace(" ", "%u0020")
+
+
+def _fullwidth(value: str) -> str:
+    return "".join(
+        chr(ord(ch) - 0x21 + 0xFF01)
+        if ch.isalpha() and ord(ch) < 127 else ch
+        for ch in value
+    )
+
+
+def _hex_keywords(value: str) -> str:
+    return value.replace("database()", "unhex(hex(database()))")
+
+
+def _tab_whitespace(value: str) -> str:
+    return value.replace(" ", "%09")
+
+
+def _plus_spaces(value: str) -> str:
+    return quote(value).replace("%20", "+")
+
+
+#: The evasion techniques: (name, transform).  ``identity`` is the
+#: control row.
+TECHNIQUES: tuple[tuple[str, object], ...] = (
+    ("identity", lambda v: v),
+    ("url-encoded", quote),
+    ("plus-spaces", _plus_spaces),
+    ("case-mixing", _case_mix),
+    ("inline-comments", _space2comment),
+    ("double-encoding", _double_encode),
+    ("unicode-%u", _unicode_escape),
+    ("fullwidth-unicode", _fullwidth),
+    ("hex-wrapping", _hex_keywords),
+    ("tab-whitespace", _tab_whitespace),
+)
+
+
+@dataclass
+class EvasionCell:
+    """One matrix cell: a detector's recall against one technique.
+
+    Attributes:
+        technique: evasion name.
+        detector: detector name.
+        detected: payloads caught.
+        total: payloads tried.
+    """
+
+    technique: str
+    detector: str
+    detected: int
+    total: int
+
+    @property
+    def recall(self) -> float:
+        """Fraction of the technique's payloads the detector caught."""
+        return self.detected / self.total if self.total else 0.0
+
+
+def evasion_payloads() -> dict[str, list[str]]:
+    """The full battery: technique name → evaded query strings."""
+    battery: dict[str, list[str]] = {}
+    for name, transform in TECHNIQUES:
+        battery[name] = [
+            f"id={transform(value)}" for value in BASE_ATTACKS
+        ]
+    return battery
+
+
+def evasion_matrix(detectors: list) -> list[EvasionCell]:
+    """Evaluate every detector against every technique.
+
+    Args:
+        detectors: objects exposing ``name`` and
+            ``inspect(payload) -> Detection``.
+    """
+    cells: list[EvasionCell] = []
+    for technique, payloads in evasion_payloads().items():
+        for detector in detectors:
+            detected = sum(
+                1 for payload in payloads
+                if detector.inspect(payload).alert
+            )
+            cells.append(EvasionCell(
+                technique=technique,
+                detector=detector.name,
+                detected=detected,
+                total=len(payloads),
+            ))
+    return cells

@@ -1,0 +1,189 @@
+"""Self-contained HTML evaluation report.
+
+One call renders the whole evaluation — every table and figure the paper
+reports — into a single HTML file with embedded SVG charts: the Figure 3
+ROC curves, the Figure 4 cumulative-TPR staircase, the Figure 2 heatmap
+(as an inline SVG raster with both dendrograms), and the Tables as styled
+HTML.  No external assets, viewable offline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.experiments import (
+    EvaluationContext,
+    figure2_heatmap,
+    figure3_roc,
+    figure4_cumulative_tpr,
+    table4_ruleset_comparison,
+    table5_accuracy,
+    table6_cluster_details,
+)
+from repro.eval.svg import LineChart, render_dendrogram_svg
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em auto; max-width: 68em; }
+h1 { border-bottom: 2px solid #444; padding-bottom: 0.2em; }
+h2 { margin-top: 2em; color: #234; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #999; padding: 4px 10px; text-align: left; }
+th { background: #eef; }
+.paper { color: #777; font-style: italic; }
+figure { margin: 1em 0; }
+"""
+
+
+def _html_table(headers: list[str], rows: list[list[object]]) -> str:
+    head = "".join(f"<th>{h}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{cell}</td>" for cell in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><tr>{head}</tr>{body}</table>"
+
+
+def _heatmap_svg(context: EvaluationContext, *, cell: int = 2) -> str:
+    """Figure 2 as an inline SVG raster with marginal dendrograms."""
+    heatmap, _ = figure2_heatmap(context)
+    z = np.clip(heatmap.z, -2.5, 2.5) / 2.5
+    rows, columns = z.shape
+    row_step = max(1, rows // 220)
+    z = z[::row_step]
+    rows = z.shape[0]
+    width, height = columns * cell, rows * cell
+    rects = []
+    for r in range(rows):
+        for c in range(columns):
+            value = z[r, c]
+            red = int(max(value, 0) * 255)
+            green = int(max(-value, 0) * 255)
+            if red == green == 0:
+                continue  # black background covers it
+            rects.append(
+                f'<rect x="{c * cell}" y="{r * cell}" width="{cell}" '
+                f'height="{cell}" fill="rgb({red},{green},0)"/>'
+            )
+    raster = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}">'
+        f'<rect width="{width}" height="{height}" fill="black"/>'
+        + "".join(rects) + "</svg>"
+    )
+    sample_tree = render_dendrogram_svg(
+        context.result.biclustering.sample_dendrogram.linkage,
+        context.result.biclustering.sample_dendrogram.n_leaves,
+        title="sample dendrogram (prototypes)",
+    )
+    return raster + "<br/>" + sample_tree
+
+
+def render_report(context: EvaluationContext, *, title: str | None = None) -> str:
+    """Render the full evaluation report; returns HTML text."""
+    result = context.result
+    parts: list[str] = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<style>{_STYLE}</style>",
+        f"<title>{title or 'pSigene reproduction report'}</title></head>",
+        "<body>",
+        f"<h1>{title or 'pSigene reproduction — evaluation report'}</h1>",
+        "<p>Reproduction of <em>pSigene: Webcrawling to Generalize SQL "
+        "Injection Signatures</em> (DSN 2014). Paper values shown in "
+        "<span class='paper'>italics</span>.</p>",
+    ]
+
+    # Training summary.
+    parts.append("<h2>Training summary</h2>")
+    parts.append(_html_table(
+        ["quantity", "measured", "paper"],
+        [
+            ["training samples", len(result.samples),
+             "<span class='paper'>30,000</span>"],
+            ["features after pruning", result.pruning.final_features,
+             "<span class='paper'>159 (from 477)</span>"],
+            ["biclusters / black holes",
+             f"{len(result.biclusters)} / "
+             f"{sum(b.is_black_hole for b in result.biclusters)}",
+             "<span class='paper'>11 / 2</span>"],
+            ["signatures", len(result.signature_set),
+             "<span class='paper'>9</span>"],
+            ["cophenetic correlation",
+             f"{result.biclustering.cophenetic_correlation:.3f}",
+             "<span class='paper'>0.92</span>"],
+        ],
+    ))
+
+    # Table IV.
+    parts.append("<h2>Table IV — ruleset comparison</h2>")
+    ruleset_rows = table4_ruleset_comparison()
+    parts.append(_html_table(
+        ["ruleset", "SQLi rules", "enabled %", "regex %"],
+        [[r["rules"], r["sqli_rules"], r["enabled_pct"], r["regex_pct"]]
+         for r in ruleset_rows],
+    ))
+
+    # Table V.
+    parts.append("<h2>Table V — accuracy (Experiment 1)</h2>")
+    accuracy_rows = table5_accuracy(context)
+    parts.append(_html_table(
+        ["rules", "TPR % (SQLmap)", "TPR % (Arachni)", "FPR %"],
+        [[r["rules"], f"{100 * r['tpr_sqlmap']:.2f}",
+          f"{100 * r['tpr_arachni']:.2f}", f"{100 * r['fpr']:.4f}"]
+         for r in accuracy_rows],
+    ))
+
+    # Table VI.
+    parts.append("<h2>Table VI — per-bicluster details</h2>")
+    parts.append(_html_table(
+        ["bicluster", "samples", "features (biclustering)",
+         "features (signature)"],
+        [[r["bicluster"], r["samples"], r["features_biclustering"],
+          r["features_signature"]] for r in table6_cluster_details(context)],
+    ))
+
+    # Figure 2.
+    parts.append("<h2>Figure 2 — heatmap and dendrogram</h2>")
+    parts.append(f"<figure>{_heatmap_svg(context)}</figure>")
+
+    # Figure 3.
+    parts.append("<h2>Figure 3 — per-signature ROC curves</h2>")
+    roc_chart = LineChart(
+        title="ROC curves for generalized signatures",
+        x_label="False Positive Rate", y_label="True Positive Rate",
+        x_max=0.05, y_max=1.0,
+    )
+    for index, curve in sorted(figure3_roc(context).items()):
+        keep = curve.fpr <= 0.05
+        roc_chart.add(
+            f"signature {index}", curve.fpr[keep], curve.tpr[keep]
+        )
+    parts.append(f"<figure>{roc_chart.render()}</figure>")
+
+    # Figure 4.
+    parts.append("<h2>Figure 4 — cumulative TPR</h2>")
+    cumulative_rows = figure4_cumulative_tpr(context)
+    cumulative_chart = LineChart(
+        title="Cumulative TPR as signatures are added (best first)",
+        x_label="signatures enabled", y_label="cumulative TPR",
+        y_max=1.0,
+    )
+    cumulative_chart.add(
+        "cumulative",
+        [r["rank"] for r in cumulative_rows],
+        [r["cumulative_tpr"] for r in cumulative_rows],
+    )
+    cumulative_chart.add(
+        "individual",
+        [r["rank"] for r in cumulative_rows],
+        [r["individual_tpr"] for r in cumulative_rows],
+    )
+    parts.append(f"<figure>{cumulative_chart.render()}</figure>")
+
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_report(context: EvaluationContext, path: str, **kwargs) -> None:
+    """Render and save the report to *path*."""
+    with open(path, "w") as handle:
+        handle.write(render_report(context, **kwargs))

@@ -1,0 +1,233 @@
+"""Hand-rolled SVG chart primitives for the figure reproductions.
+
+No plotting library is available offline, so Figures 2–4 render through
+this small SVG layer: line charts with axes/ticks/legend (ROC curves,
+cumulative TPR) and dendrogram trees (the margins of Figure 2).  Output is
+self-contained SVG text suitable for embedding in the HTML report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Default series colors (colorblind-safe-ish cycle).
+PALETTE = (
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377",
+    "#bbbbbb", "#000000", "#997700", "#cc3311", "#009988",
+)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+@dataclass
+class Series:
+    """One polyline on a chart.
+
+    Attributes:
+        label: legend entry.
+        x: x coordinates (data space).
+        y: y coordinates (data space).
+        color: stroke color; assigned from the palette when empty.
+    """
+
+    label: str
+    x: list[float]
+    y: list[float]
+    color: str = ""
+
+
+@dataclass
+class LineChart:
+    """A minimal line chart with axes, ticks, and a legend.
+
+    Attributes:
+        title: chart title.
+        x_label / y_label: axis captions.
+        series: the polylines.
+        width / height: canvas size in pixels.
+        x_max / y_max: data-space axis limits (auto when ``None``).
+    """
+
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    width: int = 560
+    height: int = 380
+    x_max: float | None = None
+    y_max: float | None = None
+
+    _MARGIN = 58
+
+    def add(self, label: str, x, y) -> None:
+        """Append one series (coordinates coerced to floats)."""
+        self.series.append(Series(
+            label=label,
+            x=[float(v) for v in x],
+            y=[float(v) for v in y],
+        ))
+
+    def _limits(self) -> tuple[float, float]:
+        x_max = self.x_max
+        y_max = self.y_max
+        if x_max is None:
+            x_max = max(
+                (max(s.x) for s in self.series if s.x), default=1.0
+            ) or 1.0
+        if y_max is None:
+            y_max = max(
+                (max(s.y) for s in self.series if s.y), default=1.0
+            ) or 1.0
+        return float(x_max), float(y_max)
+
+    def render(self) -> str:
+        """Produce the SVG document text."""
+        margin = self._MARGIN
+        plot_w = self.width - 2 * margin
+        plot_h = self.height - 2 * margin
+        x_max, y_max = self._limits()
+
+        def sx(value: float) -> float:
+            return margin + (value / x_max) * plot_w if x_max else margin
+
+        def sy(value: float) -> float:
+            return (
+                self.height - margin - (value / y_max) * plot_h
+                if y_max else self.height - margin
+            )
+
+        parts: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'font-family="sans-serif" font-size="11">',
+            f'<rect width="{self.width}" height="{self.height}" '
+            f'fill="white"/>',
+            f'<text x="{self.width / 2}" y="20" text-anchor="middle" '
+            f'font-size="14">{_escape(self.title)}</text>',
+        ]
+        # Axes.
+        parts.append(
+            f'<line x1="{margin}" y1="{self.height - margin}" '
+            f'x2="{self.width - margin}" y2="{self.height - margin}" '
+            f'stroke="black"/>'
+        )
+        parts.append(
+            f'<line x1="{margin}" y1="{margin}" x2="{margin}" '
+            f'y2="{self.height - margin}" stroke="black"/>'
+        )
+        # Ticks (5 per axis).
+        for tick in range(6):
+            xv = x_max * tick / 5
+            yv = y_max * tick / 5
+            parts.append(
+                f'<text x="{sx(xv):.1f}" y="{self.height - margin + 16}" '
+                f'text-anchor="middle">{xv:.3g}</text>'
+            )
+            parts.append(
+                f'<text x="{margin - 6}" y="{sy(yv) + 4:.1f}" '
+                f'text-anchor="end">{yv:.3g}</text>'
+            )
+            parts.append(
+                f'<line x1="{sx(xv):.1f}" y1="{self.height - margin}" '
+                f'x2="{sx(xv):.1f}" y2="{self.height - margin + 4}" '
+                f'stroke="black"/>'
+            )
+        # Axis labels.
+        parts.append(
+            f'<text x="{self.width / 2}" y="{self.height - 12}" '
+            f'text-anchor="middle">{_escape(self.x_label)}</text>'
+        )
+        parts.append(
+            f'<text x="16" y="{self.height / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 16 {self.height / 2})">'
+            f'{_escape(self.y_label)}</text>'
+        )
+        # Series.
+        for index, series in enumerate(self.series):
+            color = series.color or PALETTE[index % len(PALETTE)]
+            points = " ".join(
+                f"{sx(min(x, x_max)):.1f},{sy(min(y, y_max)):.1f}"
+                for x, y in zip(series.x, series.y)
+            )
+            parts.append(
+                f'<polyline points="{points}" fill="none" '
+                f'stroke="{color}" stroke-width="1.6"/>'
+            )
+            legend_y = margin + 14 * index
+            parts.append(
+                f'<line x1="{self.width - margin - 110}" y1="{legend_y}" '
+                f'x2="{self.width - margin - 92}" y2="{legend_y}" '
+                f'stroke="{color}" stroke-width="2"/>'
+            )
+            parts.append(
+                f'<text x="{self.width - margin - 88}" '
+                f'y="{legend_y + 4}">{_escape(series.label)}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
+def render_dendrogram_svg(
+    linkage: np.ndarray,
+    n_leaves: int,
+    *,
+    width: int = 420,
+    height: int = 300,
+    title: str = "dendrogram",
+) -> str:
+    """Render a linkage matrix as a classic right-angle dendrogram."""
+    from repro.cluster.dendrogram import Dendrogram
+
+    dendrogram = Dendrogram(np.asarray(linkage), n_leaves)
+    order = dendrogram.leaf_order()
+    leaf_x = {leaf: position for position, leaf in enumerate(order)}
+    max_height = float(linkage[:, 2].max()) or 1.0
+    margin = 28
+    plot_w = width - 2 * margin
+    plot_h = height - 2 * margin
+
+    def sx(position: float) -> float:
+        if n_leaves == 1:
+            return margin
+        return margin + position / (n_leaves - 1) * plot_w
+
+    def sy(merge_height: float) -> float:
+        return height - margin - (merge_height / max_height) * plot_h
+
+    # Track each cluster's (x, height) as merges happen.
+    position_of: dict[int, float] = {
+        leaf: float(leaf_x[leaf]) for leaf in range(n_leaves)
+    }
+    height_of: dict[int, float] = {leaf: 0.0 for leaf in range(n_leaves)}
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="10">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="16" text-anchor="middle">'
+        f'{_escape(title)}</text>',
+    ]
+    for step in range(n_leaves - 1):
+        left = int(linkage[step, 0])
+        right = int(linkage[step, 1])
+        merge_height = float(linkage[step, 2])
+        x_left, x_right = position_of[left], position_of[right]
+        y_left, y_right = height_of[left], height_of[right]
+        y_top = sy(merge_height)
+        parts.append(
+            f'<path d="M {sx(x_left):.1f} {sy(y_left):.1f} '
+            f'L {sx(x_left):.1f} {y_top:.1f} '
+            f'L {sx(x_right):.1f} {y_top:.1f} '
+            f'L {sx(x_right):.1f} {sy(y_right):.1f}" '
+            f'fill="none" stroke="#333" stroke-width="1"/>'
+        )
+        merged = n_leaves + step
+        position_of[merged] = (x_left + x_right) / 2
+        height_of[merged] = merge_height
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,120 @@
+"""Operating-point tuning from per-signature ROC curves.
+
+Section III-D: "From a ROC curve like this and with an idea of a desired
+TPR and FPR, a security administrator can visually, and approximately,
+decide which signatures to enable or disable."  This module automates that
+workflow: given per-signature score distributions over labelled traffic,
+pick per-signature probability thresholds meeting an FPR budget, and
+decide which signatures are worth enabling at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.signature import GeneralizedSignature, SignatureSet
+from repro.http.traffic import Trace
+
+
+@dataclass
+class SignatureTuning:
+    """Tuning outcome for one signature.
+
+    Attributes:
+        bicluster_index: which signature.
+        threshold: chosen probability threshold.
+        tpr: detection rate at the threshold (on the tuning traffic).
+        fpr: false positive rate at the threshold.
+        enabled: whether the signature is worth running at all — false
+            when even its best threshold contributes no detections within
+            the FPR budget.
+    """
+
+    bicluster_index: int
+    threshold: float
+    tpr: float
+    fpr: float
+    enabled: bool
+
+
+def _scores(signature_set: SignatureSet, trace: Trace) -> np.ndarray:
+    if not len(trace):
+        return np.zeros((0, len(signature_set)))
+    return np.vstack([
+        signature_set.probabilities(payload) for payload in trace.payloads()
+    ])
+
+
+def tune_thresholds(
+    signature_set: SignatureSet,
+    attacks: Trace,
+    benign: Trace,
+    *,
+    max_fpr_per_signature: float = 0.0005,
+    min_tpr: float = 0.01,
+) -> tuple[SignatureSet, list[SignatureTuning]]:
+    """Choose per-signature thresholds under a per-signature FPR budget.
+
+    For each signature the lowest threshold whose FPR on the benign tuning
+    trace stays within budget is selected (lower threshold = more recall).
+    Signatures that cannot reach ``min_tpr`` within the budget are
+    disabled (dropped from the returned set), reproducing the
+    enable/disable decision the paper leaves to the administrator.
+
+    Returns:
+        the tuned (possibly smaller) signature set and the per-signature
+        tuning records, in original order.
+    """
+    if not 0.0 <= max_fpr_per_signature <= 1.0:
+        raise ValueError("max_fpr_per_signature must be in [0, 1]")
+    attack_scores = _scores(signature_set, attacks)
+    benign_scores = _scores(signature_set, benign)
+
+    tunings: list[SignatureTuning] = []
+    kept: list[GeneralizedSignature] = []
+    for column, signature in enumerate(signature_set):
+        attack_column = attack_scores[:, column]
+        benign_column = benign_scores[:, column]
+        candidates = np.unique(np.concatenate([
+            np.linspace(0.05, 0.999, 60), attack_column,
+        ]))
+        best: SignatureTuning | None = None
+        for threshold in np.sort(candidates):
+            fpr = float((benign_column >= threshold).mean()) if (
+                benign_column.size
+            ) else 0.0
+            if fpr > max_fpr_per_signature:
+                continue
+            tpr = float((attack_column >= threshold).mean()) if (
+                attack_column.size
+            ) else 0.0
+            best = SignatureTuning(
+                bicluster_index=signature.bicluster_index,
+                threshold=float(threshold),
+                tpr=tpr,
+                fpr=fpr,
+                enabled=tpr >= min_tpr,
+            )
+            break  # lowest compliant threshold maximizes recall
+        if best is None:
+            best = SignatureTuning(
+                bicluster_index=signature.bicluster_index,
+                threshold=1.0,
+                tpr=0.0,
+                fpr=0.0,
+                enabled=False,
+            )
+        tunings.append(best)
+        if best.enabled:
+            kept.append(GeneralizedSignature(
+                bicluster_index=signature.bicluster_index,
+                features=signature.features,
+                model=signature.model,
+                threshold=best.threshold,
+                bicluster_feature_count=signature.bicluster_feature_count,
+                training_samples=signature.training_samples,
+            ))
+    tuned = SignatureSet(kept, normalizer=signature_set.normalizer)
+    return tuned, tunings

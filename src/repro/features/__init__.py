@@ -1,0 +1,28 @@
+"""Feature system: catalog from three sources, extraction, and pruning."""
+
+from repro.features.definitions import (
+    SOURCE_REFERENCE,
+    SOURCE_RESERVED,
+    SOURCE_SIGNATURE,
+    SOURCES,
+    FeatureCatalog,
+    FeatureDefinition,
+    build_catalog,
+)
+from repro.features.extractor import FeatureExtractor
+from repro.features.matrix import FeatureMatrix
+from repro.features.pruning import PruningReport, prune
+
+__all__ = [
+    "FeatureDefinition",
+    "FeatureCatalog",
+    "build_catalog",
+    "FeatureExtractor",
+    "FeatureMatrix",
+    "prune",
+    "PruningReport",
+    "SOURCES",
+    "SOURCE_RESERVED",
+    "SOURCE_SIGNATURE",
+    "SOURCE_REFERENCE",
+]

@@ -1,0 +1,131 @@
+"""Feature catalog: the union of the three feature sources.
+
+The paper "first started with 477 features for SQL injection attacks,
+corresponding to various keywords, symbols and their relative placements"
+(Section I) and, after pruning features absent from every training sample,
+kept 159 (Section II-B).  This module builds the *initial* catalog; pruning
+to the active set happens in :mod:`repro.features.pruning` once a training
+matrix exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.features.reference_strings import REFERENCE_PATTERNS
+from repro.features.reserved_words import reserved_word_patterns
+from repro.features.signature_fragments import fragment_patterns
+from repro.regexlib import validate
+
+SOURCE_RESERVED = "mysql-reserved"
+SOURCE_SIGNATURE = "nids-signature"
+SOURCE_REFERENCE = "reference-doc"
+
+#: Stable ordering of sources for reporting (mirrors Table II's rows).
+SOURCES: tuple[str, ...] = (SOURCE_RESERVED, SOURCE_SIGNATURE, SOURCE_REFERENCE)
+
+
+@dataclass(frozen=True)
+class FeatureDefinition:
+    """One feature: a regex counted against the normalized sample.
+
+    Attributes:
+        index: position in the catalog; column index in the feature matrix.
+        pattern: the regular expression.
+        label: short human-readable name (``kw:select``, ``ref:union-select``).
+        source: one of :data:`SOURCES`.
+    """
+
+    index: int
+    pattern: str
+    label: str
+    source: str
+
+
+class FeatureCatalog:
+    """An ordered, immutable collection of feature definitions."""
+
+    def __init__(self, definitions: list[FeatureDefinition]):
+        self._definitions = tuple(definitions)
+        self._by_label = {d.label: d for d in self._definitions}
+
+    def __len__(self) -> int:
+        return len(self._definitions)
+
+    def __iter__(self):
+        return iter(self._definitions)
+
+    def __getitem__(self, index: int) -> FeatureDefinition:
+        return self._definitions[index]
+
+    @property
+    def patterns(self) -> list[str]:
+        """All regex patterns, in column order."""
+        return [d.pattern for d in self._definitions]
+
+    @property
+    def labels(self) -> list[str]:
+        """All human-readable labels, in column order."""
+        return [d.label for d in self._definitions]
+
+    def by_label(self, label: str) -> FeatureDefinition:
+        """Look up a definition by its label (raises KeyError)."""
+        return self._by_label[label]
+
+    def by_source(self, source: str) -> list[FeatureDefinition]:
+        """All definitions contributed by one of the three sources."""
+        return [d for d in self._definitions if d.source == source]
+
+    def source_counts(self) -> dict[str, int]:
+        """Feature counts per source — the quantitative half of Table II."""
+        counts = {source: 0 for source in SOURCES}
+        for definition in self._definitions:
+            counts[definition.source] = counts.get(definition.source, 0) + 1
+        return counts
+
+    def subset(self, indices: list[int]) -> "FeatureCatalog":
+        """A new catalog of the selected columns, re-indexed from 0.
+
+        Used by pruning (477 → 159) and by per-bicluster signature models.
+        """
+        picked = [self._definitions[i] for i in indices]
+        return FeatureCatalog(
+            [
+                FeatureDefinition(
+                    index=new_index,
+                    pattern=d.pattern,
+                    label=d.label,
+                    source=d.source,
+                )
+                for new_index, d in enumerate(picked)
+            ]
+        )
+
+
+def build_catalog() -> FeatureCatalog:
+    """Build the initial feature catalog from the three sources.
+
+    Duplicate patterns across sources keep their first occurrence (the paper
+    notes "overlapping features" were among what pruning later removed; exact
+    duplicates are removed eagerly since they carry no information).
+    """
+    definitions: list[FeatureDefinition] = []
+    seen_patterns: set[str] = set()
+
+    def add(pattern: str, label: str, source: str) -> None:
+        if pattern in seen_patterns or not validate(pattern):
+            return
+        seen_patterns.add(pattern)
+        definitions.append(
+            FeatureDefinition(
+                index=len(definitions), pattern=pattern, label=label, source=source
+            )
+        )
+
+    for pattern, label in reserved_word_patterns():
+        add(pattern, label, SOURCE_RESERVED)
+    for pattern, label, _origin in fragment_patterns():
+        add(pattern, label, SOURCE_SIGNATURE)
+    for pattern, label in REFERENCE_PATTERNS:
+        add(pattern, label, SOURCE_REFERENCE)
+    return FeatureCatalog(definitions)

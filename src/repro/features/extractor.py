@@ -1,0 +1,67 @@
+"""Feature extraction: normalized sample text → count vector / matrix.
+
+Section II-B: "All features included in the set were of numeric type, each
+one measuring the number of times a feature was found in an attack sample."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.features.definitions import FeatureCatalog, build_catalog
+from repro.features.matrix import FeatureMatrix
+from repro.normalize import Normalizer
+from repro.regexlib import compile_pattern
+
+
+class FeatureExtractor:
+    """Counts every catalog feature in (normalized) payload strings.
+
+    Patterns are compiled once at construction; extraction is then a pure
+    function of the input string, making the extractor safe to share.
+    """
+
+    def __init__(
+        self,
+        catalog: FeatureCatalog | None = None,
+        normalizer: Normalizer | None = None,
+    ) -> None:
+        self.catalog = catalog if catalog is not None else build_catalog()
+        self.normalizer = normalizer if normalizer is not None else Normalizer()
+        self._compiled = [compile_pattern(d.pattern) for d in self.catalog]
+
+    def extract(self, payload: str) -> np.ndarray:
+        """Count vector for one payload (normalization included)."""
+        normalized = self.normalizer(payload)
+        counts = np.zeros(len(self.catalog), dtype=np.int32)
+        for column, compiled in enumerate(self._compiled):
+            counts[column] = sum(1 for _ in compiled.finditer(normalized))
+        return counts
+
+    def extract_many(
+        self,
+        payloads: Iterable[str],
+        *,
+        sample_ids: Sequence[str] | None = None,
+    ) -> FeatureMatrix:
+        """Count matrix for a collection of payloads.
+
+        Args:
+            payloads: raw payload strings (query strings / form bodies).
+            sample_ids: optional row identifiers; defaults to ``s<i>``.
+        """
+        rows = [self.extract(p) for p in payloads]
+        counts = (
+            np.vstack(rows) if rows else np.zeros((0, len(self.catalog)), np.int32)
+        )
+        if sample_ids is None:
+            ids = [f"s{i}" for i in range(counts.shape[0])]
+        else:
+            ids = list(sample_ids)
+        return FeatureMatrix(counts=counts, catalog=self.catalog, sample_ids=ids)
+
+    def with_catalog(self, catalog: FeatureCatalog) -> "FeatureExtractor":
+        """A new extractor over a (typically pruned) catalog."""
+        return FeatureExtractor(catalog=catalog, normalizer=self.normalizer)

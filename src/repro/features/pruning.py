@@ -1,0 +1,88 @@
+"""Feature pruning: the paper's 477 → 159 reduction.
+
+Section II-B: "The resulting feature set used in the experiments had 159
+entries (from an initial set of 477), after removing those features that
+were not found in any of the samples used in the training phase of the
+system.  The removed features also corresponded to cases for attacks to
+non-MySQL databases ... or because of multiple features looking for similar
+SQLi strings (overlapping features)."
+
+Two pruning passes are implemented: zero-support removal (exact paper rule)
+and duplicate-column collapse (the "overlapping features" rule — columns
+whose value is identical on every training sample carry the same
+information; the first is kept).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features.matrix import FeatureMatrix
+
+
+@dataclass(frozen=True)
+class PruningReport:
+    """What pruning did, for the record.
+
+    Attributes:
+        initial_features: catalog size before pruning.
+        zero_support: indices removed because no training sample matched.
+        duplicates: indices removed because an earlier column was identical.
+        kept: surviving indices, in original order.
+    """
+
+    initial_features: int
+    zero_support: tuple[int, ...]
+    duplicates: tuple[int, ...]
+    kept: tuple[int, ...]
+
+    @property
+    def final_features(self) -> int:
+        """Surviving feature count (paper: 159)."""
+        return len(self.kept)
+
+
+def prune(
+    matrix: FeatureMatrix,
+    *,
+    min_support: int = 1,
+    collapse_duplicates: bool = True,
+) -> tuple[FeatureMatrix, PruningReport]:
+    """Remove inactive and duplicate feature columns.
+
+    Args:
+        matrix: training feature matrix over the full catalog.
+        min_support: minimum number of samples a feature must appear in to
+            survive (paper rule: 1).
+        collapse_duplicates: also drop columns identical to an earlier one.
+
+    Returns:
+        The pruned matrix (columns re-indexed) and a :class:`PruningReport`.
+    """
+    support = matrix.column_support()
+    zero_support = [int(i) for i in np.nonzero(support < min_support)[0]]
+    removed = set(zero_support)
+
+    duplicates: list[int] = []
+    if collapse_duplicates:
+        seen: dict[bytes, int] = {}
+        for column in range(matrix.n_features):
+            if column in removed:
+                continue
+            key = matrix.counts[:, column].tobytes()
+            if key in seen:
+                duplicates.append(column)
+                removed.add(column)
+            else:
+                seen[key] = column
+
+    kept = [i for i in range(matrix.n_features) if i not in removed]
+    report = PruningReport(
+        initial_features=matrix.n_features,
+        zero_support=tuple(zero_support),
+        duplicates=tuple(duplicates),
+        kept=tuple(kept),
+    )
+    return matrix.select_columns(kept), report

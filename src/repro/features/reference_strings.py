@@ -1,0 +1,126 @@
+"""Feature source 3: SQLi reference documents (Table II, row 3).
+
+Section II-B cites the Websec SQL injection pocket reference (Salgado, 2011)
+and *SQL Injection Attacks and Defense* (Clarke, 2009) as the third feature
+source: "Common strings found in SQLi attacks, shared by subject matter
+experts."  The table's own examples — ``' ORDER BY [0-9]-- -``, ``/*/``,
+``\\"`` — are included below alongside the standard cheat-sheet idioms those
+documents enumerate (tautologies, comment terminators, enumeration probes,
+time-based and error-based extraction helpers, and common evasions).
+"""
+
+from __future__ import annotations
+
+#: ``(pattern, label)`` pairs.  Patterns are regular expressions applied to
+#: the *normalized* (lower-cased, decoded) sample text.
+REFERENCE_PATTERNS: tuple[tuple[str, str], ...] = (
+    # Tautologies and quote breaking.
+    (r"\'\s*or\s*\'?\d", "ref:quote-or-digit"),
+    (r"\d\s*=\s*\d", "ref:digit-eq-digit"),
+    (r"\'\s*=\s*\'", "ref:quote-eq-quote"),
+    (r"or\s+1\s*=\s*1", "ref:or-1-eq-1"),
+    (r"and\s+1\s*=\s*[01]", "ref:and-1-eq"),
+    (r"\'\s*(?:or|and)\s*\'[^\']*\'\s*(?:=|like)", "ref:quoted-tautology"),
+    (r"(?:^|[?&=])\'", "ref:leading-quote"),
+    (r"\\\"", "ref:escaped-double-quote"),
+    (r"\'\'", "ref:doubled-quote"),
+    # Comment terminators.
+    (r"--\s*-?\s*$", "ref:dash-dash-eol"),
+    (r"--\s", "ref:dash-dash-space"),
+    (r"#\s*$", "ref:hash-eol"),
+    (r"/\*/", "ref:slash-star-slash"),
+    (r"/\*.*?\*/", "ref:inline-comment"),
+    (r";\s*--", "ref:semicolon-comment"),
+    (r"\'\s*--", "ref:quote-comment"),
+    # Column/row enumeration.
+    (r"order\s+by\s+[0-9]+\s*--\s*-?", "ref:order-by-comment"),
+    (r"order\s+by\s+[0-9]+", "ref:order-by-n"),
+    (r"union\s+(?:all\s+)?select", "ref:union-select"),
+    (r"select\s+(?:null\s*,\s*)+null", "ref:select-nulls"),
+    (r"(?:\d+\s*,\s*){3,}\d+", "ref:column-count-probe"),
+    (r"limit\s+\d+\s*,\s*\d+", "ref:limit-offset"),
+    (r"group\s+by\s+.+having", "ref:group-by-having"),
+    # Schema and data extraction.
+    (r"information_schema\.(?:tables|columns|schemata)", "ref:infoschema-table"),
+    (r"table_schema\s*=", "ref:table-schema-eq"),
+    (r"from\s+information_schema", "ref:from-infoschema"),
+    (r"select.+from\s+mysql\.user", "ref:mysql-user-table"),
+    (r"@@(?:version|datadir|hostname)", "ref:at-at-variable"),
+    (r"(?:current_)?user\s*\(\s*\)", "ref:user-call"),
+    (r"database\s*\(\s*\)", "ref:database-call"),
+    (r"version\s*\(\s*\)", "ref:version-call"),
+    # Error-based extraction helpers.
+    (r"extractvalue\s*\(", "ref:extractvalue"),
+    (r"updatexml\s*\(", "ref:updatexml"),
+    (r"floor\s*\(\s*rand\s*\(", "ref:floor-rand"),
+    (r"count\s*\(\s*\*\s*\)", "ref:count-star"),
+    (r"row\s*\(\s*\d", "ref:row-constructor"),
+    (r"procedure\s+analyse", "ref:procedure-analyse"),
+    # Time-based probes.
+    (r"sleep\s*\(\s*\d+", "ref:sleep-n"),
+    (r"benchmark\s*\(\s*\d+", "ref:benchmark-n"),
+    (r"waitfor\s+delay", "ref:waitfor-delay"),
+    (r"if\s*\(.+sleep", "ref:if-sleep"),
+    # String building / evasion.
+    (r"concat\s*\(", "ref:concat-call"),
+    (r"concat_ws\s*\(", "ref:concat-ws-call"),
+    (r"group_concat\s*\(", "ref:group-concat-call"),
+    (r"char\s*\(\s*\d+(?:\s*,\s*\d+)*\s*\)", "ref:char-list"),
+    (r"0x[0-9a-f]{4,}", "ref:hex-literal"),
+    (r"unhex\s*\(", "ref:unhex-call"),
+    (r"cast\s*\(.+as\s+(?:char|binary)", "ref:cast-as-char"),
+    (r"convert\s*\(.+using", "ref:convert-using"),
+    (r"%2[27]", "ref:encoded-quote"),
+    (r"%u00[0-9a-f]{2}", "ref:unicode-escape"),
+    # Stacked queries and writes.
+    (r";\s*(?:select|insert|update|delete|drop)", "ref:stacked-query"),
+    (r"into\s+(?:out|dump)file", "ref:into-outfile"),
+    (r"load_file\s*\(", "ref:load-file"),
+    (r"drop\s+table", "ref:drop-table"),
+    (r"insert\s+into", "ref:insert-into"),
+    (r"delete\s+from", "ref:delete-from"),
+    (r"update\s+\w+\s+set", "ref:update-set"),
+    # Boolean-blind scaffolding.
+    (r"and\s+\d+\s*[<>]\s*\d+", "ref:and-compare"),
+    (r"and\s+(?:ascii|ord)\s*\(", "ref:and-ascii"),
+    (r"substring?\s*\(", "ref:substring-call"),
+    (r"mid\s*\(", "ref:mid-call"),
+    (r"length\s*\(", "ref:length-call"),
+    (r"ascii\s*\(", "ref:ascii-call"),
+    (r"\(\s*select\s", "ref:paren-select"),
+    (r"exists\s*\(\s*select", "ref:exists-select"),
+    (r"is\s+(?:not\s+)?null", "ref:is-null"),
+    (r"between\s+\d+\s+and", "ref:between-and"),
+    (r"like\s+\'%", "ref:like-percent"),
+    (r"rlike\s+", "ref:rlike"),
+    (r"regexp\s+", "ref:regexp"),
+    (r"xor\s+", "ref:xor"),
+    (r"\|\|", "ref:double-pipe"),
+    (r"&&", "ref:double-amp"),
+    (r"!\s*=", "ref:bang-eq"),
+    (r"<>", "ref:angle-neq"),
+    (r"null\s*,\s*null", "ref:null-null"),
+    (r"\*\s*from", "ref:star-from"),
+    (r"\bselect\b.{0,60}\bfrom\b", "ref:select-from-window"),
+    # Symbol-level features ("various keywords, symbols and their relative
+    # placements", Section I).
+    (r"\(", "ref:open-paren"),
+    (r"\)", "ref:close-paren"),
+    (r",", "ref:comma"),
+    (r";", "ref:semicolon"),
+    (r"\'", "ref:single-quote"),
+    (r"\"", "ref:double-quote"),
+    (r"`", "ref:backtick"),
+    (r"=\s*\'", "ref:eq-quote"),
+    (r"=\s*-?\d", "ref:eq-digit"),
+    (r"-\d", "ref:negative-number"),
+    (r"%", "ref:percent"),
+    (r"\breturn\b", "ref:return-kw"),
+    (r"@\w+", "ref:user-variable"),
+    (r"@@\w+", "ref:system-variable"),
+    (r"\$\{", "ref:dollar-brace"),
+    (r"\[\s*\d+\s*\]", "ref:bracket-index"),
+    (r"0x[0-9a-f]{2}", "ref:hex-prefix"),
+    (r"\bnull\b", "ref:null-kw"),
+    (r"\+{2,}", "ref:plus-run"),
+)

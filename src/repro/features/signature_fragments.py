@@ -1,0 +1,98 @@
+"""Feature source 2: deconstructed NIDS/WAF signatures (Table II, row 2).
+
+Section II-B: existing signatures "are the result of a usually long
+optimization process, so it could be assumed that these signatures have
+components (strings inside a signature) that can be used as features".
+Donor signatures below are representative SQLi rules in the style of the
+ModSecurity CRS 2.2.4, Snort 2920 / Emerging Threats, and Bro 2.0 rulesets
+the paper harvested; each is deconstructed into its logical components with
+:func:`repro.regexlib.deconstruct`, and each component becomes one feature.
+
+The fragments the paper prints verbatim (Table III and the Section IV
+discussion of signature 4) are all present: ``=``, ``=[-0-9\\%]*``,
+``<=>|r?like|sounds\\s+like|regex``, ``([^a-zA-Z&]+)?&|exists``,
+``[\\?&][^\\s\\x00-\\x37\\|]+?``, ``\\)?;``, ``in\\s*?\\(+\\s*?select``,
+``char``, ``@``, ``information_schema``, ``ch(a)?r\\s*?\\(\\s*?\\d``.
+"""
+
+from __future__ import annotations
+
+from repro.regexlib import deconstruct, validate
+
+#: Donor signatures: (origin ruleset, full signature pattern).  Groups and
+#: top-level alternations delimit the logical components.
+DONOR_SIGNATURES: tuple[tuple[str, str], ...] = (
+    # ModSecurity CRS style: wide alternations of operator abuse.
+    ("modsec", r"(?:is\s+null)|(?:like\s+null)|(?:<=>|r?like|sounds\s+like|regex)|"
+               r"(?:union([^a-z]|select))|(?:having\s+[0-9=])"),
+    ("modsec", r"(?:in\s*?\(+\s*?select)|(?:\)?;)|(?:--[\s-])|(?:#.*$)|(?:/\*!?)"),
+    ("modsec", r"(?:\'\s*?(?:and|or|xor|&&|\|\|)\s*?[\(\'0-9a-z])|(?:\'\s*?=\s*?\')|"
+               r"(?:\d\s*?=\s*?\d)"),
+    ("modsec", r"(?:select\s+?[\w\*\)\(\,\s]+?from)|(?:insert\s+?into)|"
+               r"(?:delete\s+?from)|(?:update\s+?\w+\s+?set)|(?:drop\s+?table)"),
+    ("modsec", r"(?:@@(?:version|datadir|hostname|basedir))|(?:@[\w\.]+)|"
+               r"(?:information_schema)|(?:table_name)|(?:column_name)"),
+    ("modsec", r"(?:ch(a)?r\s*?\(\s*?\d)|(?:0x[0-9a-f]{4,})|(?:unhex\s*?\()|"
+               r"(?:convert\s*?\()|(?:cast\s*?\()"),
+    ("modsec", r"(?:benchmark\s*?\(\s*?\d)|(?:sleep\s*?\(\s*?\d)|"
+               r"(?:waitfor\s+delay)|(?:pg_sleep)"),
+    ("modsec", r"(?:group_concat\s*?\()|(?:concat(?:_ws)?\s*?\()|"
+               r"(?:extractvalue\s*?\()|(?:updatexml\s*?\()|(?:make_set\s*?\()"),
+    # Snort / Emerging Threats style: short, specific strings.
+    ("snort", r"(?:union\s+(?:all\s+)?select)|(?:select\s+user\s*?\()"),
+    ("snort", r"(?:order\s+by\s+[0-9]{1,3})|(?:group\s+by\s+[0-9])"),
+    ("snort", r"(?:=[-0-9\%]*)|(?:=)"),
+    ("snort", r"(?:([^a-zA-Z&]+)?&|exists)|(?:[^a-zA-Z&]+=)"),
+    ("snort", r"(?:\'(?:\s|\+|%20)*?or)|(?:\'(?:\s|\+|%20)*?and)"),
+    ("snort", r"(?:load_file\s*?\()|(?:into\s+(?:out|dump)file)"),
+    ("snort", r"(?:;\s*?(?:drop|shutdown|exec))|(?:exec\s+?(?:xp|sp)_)"),
+    # Bro 2.0 style: long composite payload matchers.
+    ("bro", r"(?:[\?&][^\s\x00-\x37\|]+?=)|(?:[\?&][^\s\x00-\x37\|]+?)|"
+            r"(?:\'|\")|(?:%27|%22)"),
+    ("bro", r"(?:select.{0,40}(?:from|limit|count))|"
+            r"(?:union.{0,40}select)|(?:insert.{0,40}into)"),
+    ("bro", r"(?:null(?:\s|,)+null)|(?:,\s*?null)|(?:\bchar\b)|(?:@)"),
+    ("bro", r"(?:sleep\(\s*?\d+\s*?\))|(?:benchmark\(.+?,.+?\))|"
+            r"(?:and\s+\d{1,10}\s*?[=<>])"),
+    ("bro", r"(?:--\s*?$)|(?:;--)|(?:;\s*?#)|(?:\'--)"),
+)
+
+#: Curated fragments quoted verbatim in the paper that the deconstruction of
+#: the donors must surface; kept as an explicit list so a refactor of the
+#: donor set cannot silently lose them.
+PAPER_FRAGMENTS: tuple[str, ...] = (
+    r"=",
+    r"=[-0-9\%]*",
+    r"<=>|r?like|sounds\s+like|regex",
+    r"([^a-zA-Z&]+)?&|exists",
+    r"[\?&][^\s\x00-\x37\|]+?",
+    r"\)?;",
+    r"in\s*?\(+\s*?select",
+    r"\bchar\b",
+    r"@",
+    r"information_schema",
+    r"ch(a)?r\s*?\(\s*?\d",
+)
+
+
+def fragment_patterns() -> list[tuple[str, str, str]]:
+    """Deconstruct the donor signatures into feature fragments.
+
+    Returns ``(pattern, label, origin)`` triples, de-duplicated in first-seen
+    order.  Fragments that fail to compile or can match the empty string are
+    dropped (they cannot serve as count features).
+    """
+    seen: set[str] = set()
+    out: list[tuple[str, str, str]] = []
+    for origin, signature in DONOR_SIGNATURES:
+        for index, fragment in enumerate(deconstruct(signature)):
+            if fragment in seen or not validate(fragment):
+                continue
+            seen.add(fragment)
+            out.append((fragment, f"sig:{origin}:{index}", origin))
+    for fragment in PAPER_FRAGMENTS:
+        if fragment in seen or not validate(fragment):
+            continue
+        seen.add(fragment)
+        out.append((fragment, "sig:paper", "paper"))
+    return out

@@ -1,0 +1,30 @@
+"""HTTP substrate: URL codec, request model, and traffic traces."""
+
+from repro.http.request import HttpRequest, RequestParseError
+from repro.http.traffic import LABEL_ATTACK, LABEL_BENIGN, Trace
+from repro.http.persistence import (
+    TraceFormatError,
+    dump_trace,
+    iter_trace,
+    load_trace,
+    save_trace,
+)
+from repro.http.url import encode_query, parse_query, quote, split_url, unquote
+
+__all__ = [
+    "HttpRequest",
+    "RequestParseError",
+    "Trace",
+    "LABEL_ATTACK",
+    "LABEL_BENIGN",
+    "quote",
+    "unquote",
+    "split_url",
+    "parse_query",
+    "encode_query",
+    "save_trace",
+    "load_trace",
+    "dump_trace",
+    "iter_trace",
+    "TraceFormatError",
+]

@@ -1,0 +1,84 @@
+"""Traffic traces: ordered collections of HTTP requests with ground truth.
+
+The evaluation (Section III-B) uses three test datasets — a benign 1-week
+trace for FPR and two attack traces (SQLmap, Arachni+Vega) for TPR.  A
+:class:`Trace` is the common container those datasets flow through on their
+way to the IDS engine and the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.http.request import HttpRequest
+
+LABEL_ATTACK = "attack"
+LABEL_BENIGN = "benign"
+
+
+@dataclass
+class Trace:
+    """An ordered set of requests plus bookkeeping.
+
+    Attributes:
+        name: human-readable identifier (``"sqlmap-test"``, ``"benign-week"``).
+        requests: the requests in arrival order.
+    """
+
+    name: str
+    requests: list[HttpRequest] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[HttpRequest]:
+        return iter(self.requests)
+
+    def __getitem__(self, index: int) -> HttpRequest:
+        return self.requests[index]
+
+    def append(self, request: HttpRequest) -> None:
+        """Add one request at the end of the trace."""
+        self.requests.append(request)
+
+    def extend(self, requests: Iterable[HttpRequest]) -> None:
+        """Append several requests, preserving order."""
+        self.requests.extend(requests)
+
+    def attacks(self) -> "Trace":
+        """Sub-trace of requests labelled as attacks."""
+        return Trace(
+            name=f"{self.name}:attacks",
+            requests=[r for r in self.requests if r.label == LABEL_ATTACK],
+        )
+
+    def benign(self) -> "Trace":
+        """Sub-trace of requests labelled as benign."""
+        return Trace(
+            name=f"{self.name}:benign",
+            requests=[r for r in self.requests if r.label == LABEL_BENIGN],
+        )
+
+    def payloads(self) -> list[str]:
+        """Detector-visible payloads of every request, in order."""
+        return [r.payload() for r in self.requests]
+
+    def merged(self, other: "Trace", name: str | None = None) -> "Trace":
+        """A new trace holding this trace's requests followed by *other*'s."""
+        return Trace(
+            name=name or f"{self.name}+{other.name}",
+            requests=list(self.requests) + list(other.requests),
+        )
+
+    def subsample(self, fraction: float, *, seed: int = 0) -> "Trace":
+        """Deterministic subsample of the trace (used by Experiment 2)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        count = int(round(fraction * len(self.requests)))
+        idx = rng.choice(len(self.requests), size=count, replace=False)
+        picked = [self.requests[i] for i in sorted(idx)]
+        return Trace(name=f"{self.name}:{fraction:.0%}", requests=picked)

@@ -1,0 +1,136 @@
+"""Parallel signature matching — the paper's proposed optimization.
+
+Experiment 4 / future work: "the signature matching is completely
+parallelizable — each parallel thread can match one signature and this
+functionality is inbuilt in Bro (Bro's cluster mode).  But we do not have
+this obvious performance optimization implemented yet."
+
+This module implements it: signatures are sharded across simulated Bro
+cluster workers, each request's per-signature matching cost is measured,
+and the engine reports the *critical-path* latency — the slowest worker's
+share — which is what a real cluster deployment would exhibit.  (True
+thread parallelism would be defeated by the GIL for ``re`` matching, so
+the cluster-mode model is both faithful to Bro and honest about Python.)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.signature import SignatureSet
+from repro.http.traffic import Trace
+
+
+@dataclass
+class ParallelRun:
+    """Outcome of a cluster-mode inspection.
+
+    Attributes:
+        workers: number of simulated cluster workers.
+        shard_sizes: signatures per worker.
+        serial_us: mean per-request latency with one worker.
+        critical_path_us: mean per-request latency with the shards running
+            concurrently (max over workers, per request).
+        speedup: ``serial / critical_path``.
+        alert_flags: per-request verdicts (identical to serial matching).
+    """
+
+    workers: int
+    shard_sizes: list[int]
+    serial_us: float
+    critical_path_us: float
+    speedup: float
+    alert_flags: np.ndarray
+
+
+def _balanced_shards(costs: list[float], workers: int) -> list[list[int]]:
+    """Greedy longest-processing-time assignment of signatures to workers."""
+    order = sorted(range(len(costs)), key=lambda i: -costs[i])
+    loads = [0.0] * workers
+    shards: list[list[int]] = [[] for _ in range(workers)]
+    for index in order:
+        target = int(np.argmin(loads))
+        shards[target].append(index)
+        loads[target] += costs[index]
+    return [sorted(shard) for shard in shards]
+
+
+class ClusterModeEngine:
+    """Shards a signature set across simulated Bro cluster workers.
+
+    Args:
+        signature_set: the deployed signatures.
+        workers: cluster size; capped at the signature count (one
+            signature per worker is the paper's limiting case).
+    """
+
+    def __init__(self, signature_set: SignatureSet, workers: int = 4):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.signature_set = signature_set
+        self.workers = min(workers, max(1, len(signature_set)))
+
+    def run(self, trace: Trace, *, calibration: int = 50) -> ParallelRun:
+        """Measure serial vs cluster-mode latency over *trace*.
+
+        Args:
+            trace: requests to inspect.
+            calibration: how many requests to use for the signature-cost
+                estimate that drives shard balancing.
+        """
+        signatures = self.signature_set.signatures
+        normalizer = self.signature_set.normalizer
+        n_signatures = len(signatures)
+        if n_signatures == 0 or len(trace) == 0:
+            return ParallelRun(
+                workers=self.workers, shard_sizes=[],
+                serial_us=0.0, critical_path_us=0.0, speedup=1.0,
+                alert_flags=np.zeros(len(trace), dtype=bool),
+            )
+
+        # Calibration pass: estimate each signature's per-request cost.
+        calibration_payloads = [
+            normalizer(r.payload())
+            for r in trace.requests[:calibration]
+        ]
+        costs = []
+        for signature in signatures:
+            start = time.perf_counter()
+            for payload in calibration_payloads:
+                signature.probability(payload)
+            costs.append(time.perf_counter() - start)
+        shards = _balanced_shards(costs, self.workers)
+
+        # Measurement pass: per-request, per-signature timings.
+        per_signature_us = np.zeros((len(trace), n_signatures))
+        flags = np.zeros(len(trace), dtype=bool)
+        for row, request in enumerate(trace):
+            payload = normalizer(request.payload())
+            for column, signature in enumerate(signatures):
+                start = time.perf_counter()
+                probability = signature.probability(payload)
+                per_signature_us[row, column] = (
+                    time.perf_counter() - start
+                ) * 1e6
+                if probability >= signature.threshold:
+                    flags[row] = True
+
+        serial = float(per_signature_us.sum(axis=1).mean())
+        worker_time = np.zeros((len(trace), len(shards)))
+        for worker, shard in enumerate(shards):
+            if shard:
+                worker_time[:, worker] = per_signature_us[:, shard].sum(
+                    axis=1
+                )
+        critical = float(worker_time.max(axis=1).mean())
+        return ParallelRun(
+            workers=self.workers,
+            shard_sizes=[len(s) for s in shards],
+            serial_us=serial,
+            critical_path_us=critical,
+            speedup=serial / critical if critical > 0 else 1.0,
+            alert_flags=flags,
+        )

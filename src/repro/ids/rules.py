@@ -1,0 +1,185 @@
+"""Rule models and matching semantics for the baseline detectors.
+
+Section III-A: "Snort and Bro use a deterministic approach to handle the
+signatures ... these systems produce an alert only if all the requisites
+defined in a signature are met.  In contrast, ModSecurity takes a
+probabilistic approach and uses a scoring scheme where signatures are
+weighted and can contribute to determine the level of anomaly for a
+particular trace."  Both semantics are implemented here over a common
+detector interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.normalize import Normalizer
+from repro.regexlib import compile_pattern
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One IDS rule.
+
+    Attributes:
+        sid: rule identifier (Snort-style numeric id).
+        name: human-readable message.
+        pattern: the rule's regular expression.
+        enabled: disabled rules ship with the set but never fire (70% of
+            the Snort ruleset is disabled by default — Section I).
+        weight: anomaly contribution for scoring rulesets.
+        uses_regex: Table IV reports per-set regex usage; the few
+            non-regex (plain content match) rules set this false.
+    """
+
+    sid: int
+    name: str
+    pattern: str
+    enabled: bool = True
+    weight: int = 1
+    uses_regex: bool = True
+
+
+@dataclass
+class Detection:
+    """Outcome of inspecting one payload.
+
+    Attributes:
+        alert: the set-level verdict.
+        score: anomaly score (scoring sets) or matched-rule count.
+        matched_sids: sids of every rule that matched.
+    """
+
+    alert: bool
+    score: float
+    matched_sids: list[int] = field(default_factory=list)
+
+
+class RuleSet:
+    """Base: a named collection of rules plus input handling.
+
+    Args:
+        name: ruleset name (``bro``, ``snort-et``...).
+        rules: member rules.
+        normalize_input: whether payloads are run through the full
+            normalization pipeline before matching.  ModSecurity applies
+            transformation chains; Snort/Bro effectively see the raw
+            (url-decoded at most) request, which is exactly why evasion-
+            encoded payloads slip past them.
+        url_decode_only: apply only url-decoding + lowercasing (the
+            Snort ``http_uri`` behaviour).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        rules: list[Rule],
+        *,
+        normalize_input: bool = False,
+        url_decode_only: bool = False,
+    ) -> None:
+        self.name = name
+        self.rules = list(rules)
+        self.normalize_input = normalize_input
+        self.url_decode_only = url_decode_only
+        self._normalizer = Normalizer()
+        self._compiled = {
+            rule.sid: compile_pattern(rule.pattern)
+            for rule in self.rules
+            if rule.enabled
+        }
+
+    # -- Table IV statistics -------------------------------------------------
+
+    @property
+    def total_rules(self) -> int:
+        """Ruleset size (Table IV column 2)."""
+        return len(self.rules)
+
+    @property
+    def enabled_fraction(self) -> float:
+        """Fraction of rules enabled by default (Table IV column 3)."""
+        if not self.rules:
+            return 0.0
+        return sum(1 for r in self.rules if r.enabled) / len(self.rules)
+
+    @property
+    def regex_fraction(self) -> float:
+        """Fraction of rules using regular expressions (Table IV column 4)."""
+        if not self.rules:
+            return 0.0
+        return sum(1 for r in self.rules if r.uses_regex) / len(self.rules)
+
+    def average_pattern_length(self) -> float:
+        """Mean pattern length in characters (Section III-A statistic)."""
+        if not self.rules:
+            return 0.0
+        return sum(len(r.pattern) for r in self.rules) / len(self.rules)
+
+    # -- matching -------------------------------------------------------------
+
+    def prepare(self, payload: str) -> str:
+        """Apply this set's input handling (none / single decode / full)."""
+        if self.normalize_input:
+            return self._normalizer(payload)
+        if self.url_decode_only:
+            # Single-pass percent decode, as HTTP preprocessors do: no
+            # ``+``-as-space, no %uXXXX, no double-decode — the gaps that
+            # let encoded payloads slip past Snort and Bro.
+            from repro.http.url import unquote
+
+            return unquote(payload, plus_as_space=False).lower()
+        return payload
+
+    def inspect(self, payload: str) -> Detection:
+        """Subclasses implement the set's alerting semantics."""
+        raise NotImplementedError
+
+
+class DeterministicRuleSet(RuleSet):
+    """Snort/Bro semantics: any enabled rule match is an alert."""
+
+    def inspect(self, payload: str) -> Detection:
+        """Alert if any enabled rule matches the prepared payload."""
+        text = self.prepare(payload)
+        matched = [
+            sid for sid, compiled in self._compiled.items()
+            if compiled.search(text)
+        ]
+        return Detection(
+            alert=bool(matched), score=float(len(matched)),
+            matched_sids=matched,
+        )
+
+
+class ScoringRuleSet(RuleSet):
+    """ModSecurity semantics: weighted rules versus an anomaly threshold."""
+
+    def __init__(
+        self,
+        name: str,
+        rules: list[Rule],
+        *,
+        threshold: int = 5,
+        normalize_input: bool = True,
+        url_decode_only: bool = False,
+    ) -> None:
+        super().__init__(
+            name, rules,
+            normalize_input=normalize_input,
+            url_decode_only=url_decode_only,
+        )
+        self.threshold = threshold
+        self._weights = {rule.sid: rule.weight for rule in self.rules}
+
+    def inspect(self, payload: str) -> Detection:
+        """Sum matched-rule weights; alert at or above the threshold."""
+        text = self.prepare(payload)
+        matched = [
+            sid for sid, compiled in self._compiled.items()
+            if compiled.search(text)
+        ]
+        score = float(sum(self._weights[sid] for sid in matched))
+        return Detection(
+            alert=score >= self.threshold, score=score, matched_sids=matched
+        )

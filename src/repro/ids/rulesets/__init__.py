@@ -1,0 +1,27 @@
+"""The four baseline rulesets of Section III-A."""
+
+from repro.ids.rulesets.bro import BRO_RULES, build_bro_ruleset
+from repro.ids.rulesets.emerging_threats import (
+    ET_RULE_COUNT,
+    build_merged_snort_et_ruleset,
+    generate_et_rules,
+)
+from repro.ids.rulesets.modsecurity import (
+    ANOMALY_THRESHOLD,
+    MODSEC_RULES,
+    build_modsec_ruleset,
+)
+from repro.ids.rulesets.snort import SNORT_RULES, build_snort_ruleset
+
+__all__ = [
+    "BRO_RULES",
+    "build_bro_ruleset",
+    "SNORT_RULES",
+    "build_snort_ruleset",
+    "ET_RULE_COUNT",
+    "generate_et_rules",
+    "build_merged_snort_et_ruleset",
+    "MODSEC_RULES",
+    "ANOMALY_THRESHOLD",
+    "build_modsec_ruleset",
+]

@@ -1,0 +1,84 @@
+"""Bro 2.0 SQLi ruleset (re-implementation).
+
+Section III-A: "We analyzed the 6 SQLi rules present on Bro v2.0 to detect
+SQLi attacks.  All six of the rules make extensive usage of regular
+expressions" with an average length of 247.7 characters (max 429, min 27).
+
+The six rules below reproduce the *style* and operating point of Bro's
+``detect-sqli``-era signatures: long, composite expressions that demand an
+actual injection context (a quote break, a comment terminator, or an SQL
+statement shape inside a parameter) before alerting.  That conservatism is
+what gives Bro its zero false positives — and its blindness to encoded or
+whitespace-obfuscated payloads, which it inspects raw.
+"""
+
+from __future__ import annotations
+
+from repro.ids.rules import DeterministicRuleSet, Rule
+
+_SQL_VERBS = r"(?:select|insert|update|delete|drop|union|alter|create)"
+
+BRO_RULES: list[Rule] = [
+    Rule(
+        sid=1,
+        name="bro sqli-url-quote-context",
+        pattern=(
+            r"(?:^|[?&])[^=&]*=[^&]*(?:'|%27|\")[\s+]*\)*[\s+]*"
+            r"(?:or|and|xor|\|\||&&)[\s+]*\(*[\s+]*"
+            r"(?:'[^'&]*'|\"[^\"&]*\"|[0-9]+|true|false|null|"
+            r"[a-z_]+[\s+]+like)"
+            r"[\s+]*(?:=|<|>|<=|>=|<>|like|rlike|regexp|is|')"
+        ),
+    ),
+    Rule(
+        sid=2,
+        name="bro sqli-union-statement",
+        pattern=(
+            r"(?:^|[?&])[^=&]*=[^&]*(?:'|%27|\)|[0-9])[\s+]*union[\s+]+(?:all[\s+]+)?select"
+            r"[\s+]+(?:[0-9]|null|char|concat|\*|@)"
+            r"(?:[^&]*\bfrom\b)?"
+        ),
+    ),
+    Rule(
+        sid=3,
+        name="bro sqli-comment-termination",
+        pattern=(
+            r"(?:^|[?&])[^=&]*=[^&]*(?:'|%27|\"|[0-9][\s+])[`'\"\s+,]*"
+            r"(?:(?:or|and)[\s+]+[^&]{1,40})?"
+            r"(?:--(?:[\s+'\",]|$|%20)|--$|#[\s+]*$|;[\s+]*--)"
+        ),
+    ),
+    Rule(
+        sid=4,
+        name="bro sqli-statement-injection",
+        pattern=(
+            r"(?:^|[?&])[^=&]*=[^&]*;[\s+]*" + _SQL_VERBS +
+            r"[\s+]+(?:\*|[a-z_]+|into|from|table)\b[^&]*"
+            r"(?:from|into|set|table|values|where)?"
+        ),
+    ),
+    Rule(
+        sid=5,
+        name="bro sqli-function-probe",
+        pattern=(
+            r"(?:^|[?&])[^=&]*=[^&]*(?:'|%27|[\s+]|\()"
+            r"(?:benchmark|sleep|load_file|extractvalue|updatexml|"
+            r"group_concat|information_schema)[\s+]*(?:\(|\.)"
+        ),
+    ),
+    Rule(
+        sid=6,
+        name="bro sqli-numeric-tautology",
+        pattern=(
+            r"(?:^|[?&])[^=&]*=(?:[^&]*[0-9]'?|)[\s+]*(?:or|and)[\s+]+"
+            r"'?[0-9]+'?[\s+]*=[\s+]*'?[0-9]+"
+        ),
+    ),
+]
+
+
+def build_bro_ruleset() -> DeterministicRuleSet:
+    """Bro's HTTP analyzer percent-decodes the URI once; nothing more."""
+    return DeterministicRuleSet(
+        "bro", BRO_RULES, normalize_input=False, url_decode_only=True
+    )

@@ -1,0 +1,115 @@
+"""ModSecurity CRS 2.2.4 SQLi ruleset (re-implementation).
+
+Table IV: 34 SQLi rules, 100% enabled, 100% regex; regular expressions
+averaging 390 characters.  Section III-A: "ModSecurity takes a
+probabilistic approach and uses a scoring scheme where signatures are
+weighted and can contribute to determine the level of anomaly".
+
+The 34 rules below mirror the CRS sqli_attacks family: broad, multi-group
+alternations applied to the *fully transformed* input (the CRS
+transformation pipeline ≈ our five normalizations), each adding its weight
+to an anomaly score compared against the inbound threshold (CRS default 5).
+Criticality: specific injection evidence scores 5 (alert on its own);
+weaker contextual indicators score 2–3 and must co-occur.
+"""
+
+from __future__ import annotations
+
+from repro.ids.rules import Rule, ScoringRuleSet
+
+ANOMALY_THRESHOLD = 5
+
+MODSEC_RULES: list[Rule] = [
+    # -- critical (weight 5): enough evidence alone -------------------------
+    # The transformation pipeline collapses /**/ comments to spaces before
+    # matching, so the whitespace alternation needs no comment branch —
+    # which also keeps the pattern free of nested unbounded repetition
+    # (ReDoS-lint clean).
+    Rule(981231, "union-select statement",
+         r"(?:'|\)|[0-9]|\s)union(?:\s|%20)+(?:all\s+)?select\b|"
+         r"union\s+select\s+(?:[0-9]|null|char|concat|@)", weight=5),
+    Rule(981242, "classic quote tautology",
+         r"['\"]\s*\)*\s*(?:or|and|xor)\s*\(*\s*(?:['\"][^'\"]*['\"]|[0-9]+|"
+         r"[a-z_]+\s+like)\s*(?:=|like|rlike|<|>|\s|\))|"
+         r"['\"]\s*(?:or|and)\s+(?:not\s+)?(?:true|false|null)\b", weight=5),
+    Rule(981243, "quoted-string equality",
+         r"['\"]\s*=\s*['\"]|['\"][^'\"]*['\"]\s*(?:=|like)\s*['\"]",
+         weight=5),
+    Rule(981244, "comment termination after quote",
+         r"'\s*(?:--|#|;)|--\s*-?\s*$|;\s*--", weight=5),
+    Rule(981245, "stacked statement",
+         r";\s*(?:select|insert|update|delete|drop|create|alter|shutdown)\b",
+         weight=5),
+    Rule(981246, "schema harvesting",
+         r"information_schema\b|mysql\.user\b|table_schema\s*=", weight=5),
+    Rule(981247, "error-based extraction",
+         r"extractvalue\s*\(|updatexml\s*\(|floor\s*\(\s*rand\s*\(|"
+         r"procedure\s+analyse|exp\s*\(\s*~", weight=5),
+    Rule(981248, "time-based probe",
+         r"sleep\s*\(\s*[0-9]|benchmark\s*\(\s*[0-9]+\s*,|waitfor\s+delay|"
+         r"pg_sleep\s*\(", weight=5),
+    Rule(981249, "file read/write",
+         r"load_file\s*\(|into\s+(?:out|dump)file\b", weight=5),
+    Rule(981250, "char()-built string",
+         r"ch(?:a)?r\s*\(\s*[0-9]+\s*(?:,\s*[0-9]+\s*)+\)", weight=5),
+    Rule(981251, "numeric tautology with context",
+         r"(?:'|[0-9])\s+(?:or|and)\s+[0-9]+\s*=\s*[0-9]+|"
+         r"(?:or|and)\s+[0-9]+\s*(?:=|<|>)\s*[0-9]+\s*(?:--|#|$)", weight=5),
+    Rule(981252, "blind boolean scaffolding",
+         r"(?:and|or)\s+(?:ascii|ord|length|mid|substring?)\s*\(", weight=5),
+    Rule(981253, "subquery injection",
+         r"\(\s*select\s+[^)]{1,80}\bfrom\b|in\s*\(+\s*select|"
+         r"exists\s*\(\s*select", weight=5),
+    Rule(981254, "order-by enumeration with break",
+         r"'\s*order\s+by\s+[0-9]|order\s+by\s+[0-9]+\s*(?:--|#|,)",
+         weight=5),
+    Rule(981255, "hex-literal operand",
+         r"(?:=|,|\(|like)\s*0x[0-9a-f]{4,}", weight=5),
+    Rule(981256, "db fingerprint functions",
+         r"@@(?:version|datadir|hostname|basedir)\b|"
+         r"(?:database|version|current_user|system_user)\s*\(\s*\)",
+         weight=5),
+    Rule(981257, "string-build functions",
+         r"(?:group_)?concat(?:_ws)?\s*\(|make_set\s*\(|unhex\s*\(",
+         weight=5),
+    Rule(981258, "mssql/oracle vectors",
+         r"xp_cmdshell|sp_password|utl_http|dbms_pipe|openrowset", weight=5),
+    Rule(981259, "quote adjacent to comment/terminator",
+         r"['\"`][^&]{0,12}--|--[^&]{0,8}['\"]|['\"`]\s*[;#]|[;#]\s*['\"`]|"
+         r"^\s*['\"]\s*$",
+         weight=5),
+    # -- warning (weight 3): strong indicators needing corroboration --------
+    Rule(981260, "quote before keyword", r"'\s*(?:or|and|union|select)\b",
+         weight=3),
+    Rule(981261, "select-from shape", r"\bselect\b[^&]{0,60}\bfrom\b",
+         weight=3),
+    Rule(981262, "insert-into shape", r"\binsert\b\s+\binto\b", weight=3),
+    Rule(981263, "update-set shape", r"\bupdate\b\s+\w+\s+\bset\b",
+         weight=3),
+    Rule(981264, "delete-from shape", r"\bdelete\b\s+\bfrom\b", weight=3),
+    Rule(981265, "drop statement", r"\bdrop\b\s+(?:table|database)\b",
+         weight=3),
+    Rule(981266, "null flooding", r"null\s*,\s*null", weight=3),
+    Rule(981267, "like/rlike operator", r"\b(?:rlike|sounds\s+like)\b",
+         weight=3),
+    Rule(981268, "double-operator glue", r"\|\||&&|<=>", weight=3),
+    # -- notice (weight 2): weak contextual indicators ----------------------
+    Rule(981270, "sql comment tokens", r"/\*|\*/|#\s*$|--", weight=2),
+    Rule(981271, "quote in parameter", r"(?:^|=|&)[^=&]*'", weight=2),
+    Rule(981272, "equals-digit chain", r"=\s*-?[0-9]+\s*(?:--|#|'|\))",
+         weight=2),
+    Rule(981273, "quote-run syntax breaker",
+         r"['\"`]{2,}|['\"]`|`['\"]|['\"][\s+]+['\"]|\\['\"]",
+         weight=5),
+    Rule(981274, "sql keyword in value", r"=\s*[^&]*\b(?:select|union|"
+         r"insert|update|delete|drop|declare|cast|exec)\b", weight=2),
+    Rule(981275, "semicolon in value", r"=\s*[^&]*;", weight=2),
+]
+
+
+def build_modsec_ruleset(threshold: int = ANOMALY_THRESHOLD) -> ScoringRuleSet:
+    """CRS over fully transformed input with the inbound anomaly threshold."""
+    return ScoringRuleSet(
+        "modsecurity", MODSEC_RULES,
+        threshold=threshold, normalize_input=True,
+    )

@@ -1,0 +1,115 @@
+"""Snort 2920 SQLi ruleset (re-implementation).
+
+Table IV: 79 SQLi rules, 61% enabled, 82% using (simple) regular
+expressions, average pattern length ~27 characters.  Section I calls out
+the pathologies this file reproduces deliberately: near-duplicate rules
+("signatures with identifiers 19439 and 19440 have the same regular
+expression, except for the last character"), overly simple expressions
+(``.+UNION\\s+SELECT``), and a large disabled fraction.
+
+The simplicity is the point — short patterns catch common attack shapes
+*and* benign strings like a search for ``1=1 boolean logic homework``,
+which is where Snort's comparatively high FPR in Table V comes from.
+"""
+
+from __future__ import annotations
+
+from repro.ids.rules import DeterministicRuleSet, Rule
+
+SNORT_RULES: list[Rule] = [
+    # -- enabled, regex (the working core) ---------------------------------
+    Rule(19401, "sql union select", r".+union[\s+]+select"),
+    Rule(19402, "sql union all select", r".+union[\s+]+all[\s+]+select"),
+    Rule(19403, "sql select from", r"select[\s+]+[^&]{1,60}from[\s+]"),
+    Rule(19404, "sql insert into", r"insert[\s+]+into[\s+]"),
+    Rule(19405, "sql delete from", r"delete[\s+]+from[\s+]"),
+    Rule(19406, "sql drop table", r"drop[\s+]+table[\s+]"),
+    Rule(19407, "sql update set", r"update[\s+]+\w+[\s+]+set[\s+]"),
+    Rule(19408, "sql 1=1 tautology", r"1[\s+]*=[\s+]*1"),
+    Rule(19409, "sql quote or", r"'[\s+]*or[\s+]"),
+    Rule(19410, "sql quote and", r"'[\s+]*and[\s+]"),
+    Rule(19411, "sql or 1=1", r"or[\s+]+1[\s+]*=[\s+]*1"),
+    Rule(19412, "sql comment dashdash", r"--(?:[\s+']|$)"),
+    Rule(19413, "sql semicolon comment", r";[\s+]*--"),
+    Rule(19414, "sql order by probe", r"order[\s+]+by[\s+]+[0-9]"),
+    Rule(19415, "sql group by probe", r"group[\s+]+by[\s+]+[0-9]"),
+    Rule(19416, "sql sleep call", r"sleep[\s+]*\([0-9]"),
+    Rule(19417, "sql benchmark call", r"benchmark[\s+]*\([0-9]"),
+    Rule(19418, "sql load_file", r"load_file[\s+]*\("),
+    Rule(19419, "sql into outfile", r"into[\s+]+(?:out|dump)file"),
+    Rule(19420, "sql information_schema", r"information_schema"),
+    Rule(19421, "sql concat call", r"concat[\s+]*\("),
+    Rule(19422, "sql group_concat", r"group_concat[\s+]*\("),
+    Rule(19423, "sql char list", r"char[\s+]*\([0-9]{2,3},"),
+    Rule(19424, "sql hex literal", r"0x[0-9a-f]{8}"),
+    Rule(19425, "sql extractvalue", r"extractvalue[\s+]*\("),
+    Rule(19426, "sql updatexml", r"updatexml[\s+]*\("),
+    Rule(19427, "sql atat version", r"@@version"),
+    Rule(19428, "sql atat datadir", r"@@datadir"),
+    Rule(19429, "sql exec xp", r"exec[\s+]+xp_\w+"),
+    Rule(19430, "sql waitfor delay", r"waitfor[\s+]+delay"),
+    Rule(19431, "sql having probe", r"having[\s+]+[0-9][\s+]*="),
+    Rule(19432, "sql cast as", r"cast[\s+]*\([^&]{1,30}as[\s+]"),
+    Rule(19433, "sql ascii substring", r"ascii[\s+]*\([\s+]*substr"),
+    Rule(19434, "sql quoted equals", r"'[\s+]*=[\s+]*'"),
+    Rule(19435, "sql stacked select", r";[\s+]*select[\s+]"),
+    Rule(19436, "sql stacked drop", r";[\s+]*drop[\s+]"),
+    Rule(19437, "sql procedure analyse", r"procedure[\s+]+analyse"),
+    Rule(19438, "sql mysql user table", r"mysql\.user"),
+    # Near-duplicates the paper singles out (19439/19440 differ in the
+    # final character only).
+    Rule(19439, "sql or quote-digit a", r"or[\s+]+'[0-9]'[\s+]*=[\s+]*'[0-9]"),
+    Rule(19440, "sql or quote-digit b", r"or[\s+]+'[0-9]'[\s+]*=[\s+]*'[0-8]"),
+    Rule(19445, "sql unhex hex", r"unhex[\s+]*\("),
+    Rule(19446, "sql floor rand", r"floor[\s+]*\([\s+]*rand"),
+    Rule(19447, "sql quote orderby", r"'[\s+]*order[\s+]+by"),
+    Rule(19448, "sql db funcs", r"(?:database|version|user)[\s+]*\([\s+]*\)"),
+    # -- enabled, non-regex (plain content matches) --------------------------
+    Rule(19460, "sql content xp_cmdshell", r"xp_cmdshell", uses_regex=False),
+    Rule(19461, "sql content sp_password", r"sp_password", uses_regex=False),
+    Rule(19462, "sql content utl_http", r"utl_http", uses_regex=False),
+    Rule(19463, "sql content pg_sleep", r"pg_sleep", uses_regex=False),
+    # -- disabled by default (the 39%) ---------------------------------------
+    Rule(19470, "sql bare quote", r"%27|'", enabled=False),
+    Rule(19471, "sql bare dashes", r"--", enabled=False),
+    Rule(19472, "sql bare semicolon", r";", enabled=False, uses_regex=False),
+    Rule(19473, "sql bare equals quote", r"='", enabled=False,
+         uses_regex=False),
+    Rule(19474, "sql bare select", r"\bselect\b", enabled=False),
+    Rule(19475, "sql bare union", r"\bunion\b", enabled=False),
+    Rule(19476, "sql bare insert", r"\binsert\b", enabled=False),
+    Rule(19477, "sql bare update", r"\bupdate\b", enabled=False),
+    Rule(19478, "sql bare delete", r"\bdelete\b", enabled=False),
+    Rule(19479, "sql bare drop", r"\bdrop\b", enabled=False),
+    Rule(19480, "sql bare where", r"\bwhere\b", enabled=False),
+    Rule(19481, "sql bare from", r"\bfrom\b", enabled=False),
+    Rule(19482, "sql bare exec", r"\bexec\b", enabled=False),
+    Rule(19483, "sql bare declare", r"\bdeclare\b", enabled=False),
+    Rule(19484, "sql bare cast", r"\bcast\b", enabled=False),
+    Rule(19485, "sql bare convert", r"\bconvert\b", enabled=False),
+    Rule(19486, "sql bare create", r"\bcreate\b", enabled=False),
+    Rule(19487, "sql bare alter", r"\balter\b", enabled=False),
+    Rule(19488, "sql bare truncate", r"\btruncate\b", enabled=False),
+    Rule(19489, "sql bare shutdown", r"\bshutdown\b", enabled=False),
+    Rule(19490, "sql bare grant", r"\bgrant\b", enabled=False),
+    Rule(19491, "sql bare revoke", r"\brevoke\b", enabled=False),
+    Rule(19492, "sql percent27 raw", r"%27", enabled=False,
+         uses_regex=False),
+    Rule(19493, "sql percent22 raw", r"%22", enabled=False,
+         uses_regex=False),
+    Rule(19494, "sql double pipe", r"\|\|", enabled=False,
+         uses_regex=False),
+    Rule(19495, "sql double amp", r"&&", enabled=False, uses_regex=False),
+    Rule(19496, "sql angle neq", r"<>", enabled=False, uses_regex=False),
+    Rule(19497, "sql bang eq", r"!=", enabled=False, uses_regex=False),
+    Rule(19498, "sql backtick", r"`", enabled=False, uses_regex=False),
+    Rule(19499, "sql null keyword", r"\bnull\b", enabled=False),
+    Rule(19500, "sql like percent", r"like[\s+]+'%", enabled=False),
+]
+
+
+def build_snort_ruleset() -> DeterministicRuleSet:
+    """Snort's http_inspect percent-decodes the URI once (no '+', no %u)."""
+    return DeterministicRuleSet(
+        "snort", SNORT_RULES, normalize_input=False, url_decode_only=True
+    )

@@ -1,0 +1,132 @@
+"""Snort rule-format interop: render and parse ``.rules`` files.
+
+The paper works from the shipped Snort/ET rule files ("Snort version 2920
+and ET version 7098 rulesets"), where each rule is a single line of the
+form::
+
+    alert tcp $EXTERNAL_NET any -> $HTTP_SERVERS $HTTP_PORTS \
+        (msg:"SQL union select"; flow:to_server,established; \
+         content:"union"; nocase; pcre:"/union\\s+select/i"; \
+         sid:19401; rev:1;)
+
+Disabled rules are shipped commented out with ``# alert ...``.  This
+module renders our rule objects in that format and parses the subset of
+the syntax the SQLi rules use (``msg``, ``content``, ``pcre``, ``sid``)
+back into runnable rulesets — the interop a practitioner would need to
+compare or deploy the reproduced sets.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ids.rules import DeterministicRuleSet, Rule
+from repro.regexlib.parser import literal_text
+
+_HEADER = (
+    "alert tcp $EXTERNAL_NET any -> $HTTP_SERVERS $HTTP_PORTS"
+)
+
+_OPTION_RE = re.compile(r'(\w+)\s*:\s*(?:"((?:[^"\\]|\\.)*)"|([^;]*))\s*;')
+_RULE_RE = re.compile(r"^(#\s*)?alert\s+tcp\s+[^(]*\((.*)\)\s*$")
+
+
+class RulesParseError(ValueError):
+    """Raised on malformed .rules content (with a line number)."""
+
+
+def render_rules_file(rules: list[Rule]) -> str:
+    """Render rules as a Snort ``.rules`` file.
+
+    Regex rules get a ``pcre`` option (case-insensitive, matching our
+    engine's semantics) plus a fast-path ``content`` string when the
+    pattern has extractable literal text; plain content rules get only
+    ``content``.  Disabled rules are commented out.
+    """
+    lines: list[str] = []
+    for rule in rules:
+        options = [f'msg:"{rule.name}"', "flow:to_server,established"]
+        literal = literal_text(rule.pattern).strip()
+        if rule.uses_regex:
+            if len(literal) >= 4 and '"' not in literal:
+                options.append(f'content:"{literal[:20]}"')
+                options.append("nocase")
+            escaped = rule.pattern.replace("/", r"\/")
+            options.append(f'pcre:"/{escaped}/i"')
+        else:
+            options.append(f'content:"{rule.pattern}"')
+            options.append("nocase")
+        options.append(f"sid:{rule.sid}")
+        options.append("rev:1")
+        line = f"{_HEADER} ({'; '.join(options)};)"
+        if not rule.enabled:
+            line = "# " + line
+        lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+def _unescape_pcre(body: str) -> tuple[str, bool]:
+    """Strip the /.../flags wrapper; returns (pattern, ignore_case)."""
+    if not body.startswith("/"):
+        raise RulesParseError(f"malformed pcre body {body!r}")
+    closing = body.rfind("/")
+    if closing == 0:
+        raise RulesParseError(f"unterminated pcre body {body!r}")
+    pattern = body[1:closing].replace(r"\/", "/")
+    flags = body[closing + 1:]
+    return pattern, "i" in flags
+
+
+def parse_rules_file(text: str) -> list[Rule]:
+    """Parse a .rules file back into rule objects.
+
+    ``pcre`` wins over ``content`` when both are present (our engine is
+    regex-based); content-only rules become literal patterns with
+    ``uses_regex=False``.  Commented-out ``# alert`` lines load as
+    disabled rules; other comments are skipped.
+    """
+    rules: list[Rule] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#") and "alert" not in line:
+            continue
+        match = _RULE_RE.match(line)
+        if match is None:
+            if line.startswith("#"):
+                continue
+            raise RulesParseError(f"line {line_number}: not a rule")
+        disabled = bool(match.group(1))
+        options: dict[str, str] = {}
+        for name, quoted, bare in _OPTION_RE.findall(match.group(2)):
+            options[name] = quoted if quoted else bare.strip()
+        if "sid" not in options:
+            raise RulesParseError(f"line {line_number}: rule without sid")
+        sid = int(options["sid"])
+        message = options.get("msg", f"rule {sid}")
+        if "pcre" in options:
+            pattern, _ignore_case = _unescape_pcre(options["pcre"])
+            uses_regex = True
+        elif "content" in options:
+            pattern = re.escape(options["content"])
+            uses_regex = False
+        else:
+            raise RulesParseError(
+                f"line {line_number}: rule without pcre or content"
+            )
+        rules.append(Rule(
+            sid=sid,
+            name=message,
+            pattern=pattern,
+            enabled=not disabled,
+            uses_regex=uses_regex,
+        ))
+    return rules
+
+
+def ruleset_from_rules_file(
+    text: str, name: str = "snort-file", **ruleset_kwargs
+) -> DeterministicRuleSet:
+    """Load a .rules file straight into a runnable deterministic ruleset."""
+    return DeterministicRuleSet(name, parse_rules_file(text), **ruleset_kwargs)

@@ -1,0 +1,48 @@
+"""Learning substrate: PCG solver, logistic regression, detection metrics."""
+
+from repro.learn.calibration import (
+    CalibrationReport,
+    ReliabilityBin,
+    calibration_report,
+    score_signature_set,
+)
+from repro.learn.crossval import (
+    CrossValidationReport,
+    FoldResult,
+    cross_validate,
+)
+from repro.learn.logistic import (
+    LogisticModel,
+    TrainingReport,
+    log_loss,
+    sigmoid,
+    train_logistic,
+)
+from repro.learn.metrics import (
+    Confusion,
+    RocCurve,
+    confusion_from_alerts,
+    roc_curve,
+)
+from repro.learn.pcg import PCGResult, pcg
+
+__all__ = [
+    "pcg",
+    "PCGResult",
+    "sigmoid",
+    "log_loss",
+    "LogisticModel",
+    "TrainingReport",
+    "train_logistic",
+    "Confusion",
+    "confusion_from_alerts",
+    "RocCurve",
+    "roc_curve",
+    "cross_validate",
+    "CrossValidationReport",
+    "FoldResult",
+    "calibration_report",
+    "CalibrationReport",
+    "ReliabilityBin",
+    "score_signature_set",
+]

@@ -1,0 +1,129 @@
+"""Probability calibration analysis for the signature models.
+
+Section II-D: logistic regression's output "values are interpreted as the
+estimated probability that a sample belongs to a class", and Section IV
+leans on that interpretation ("this answer is probabilistic since our
+framework gives a probability value").  The interpretation is only
+honest if the probabilities are *calibrated* — among requests scored
+p≈0.8, about 80% should actually be attacks.  This module quantifies
+that: reliability bins, expected calibration error (ECE), and Brier
+score, for any scored sample set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReliabilityBin:
+    """One bin of the reliability diagram.
+
+    Attributes:
+        low / high: probability interval covered.
+        count: scored samples falling in the bin.
+        mean_predicted: average predicted probability in the bin.
+        observed_rate: empirical attack fraction in the bin.
+    """
+
+    low: float
+    high: float
+    count: int
+    mean_predicted: float
+    observed_rate: float
+
+    @property
+    def gap(self) -> float:
+        """|predicted − observed| for this bin (0 = perfectly calibrated)."""
+        return abs(self.mean_predicted - self.observed_rate)
+
+
+@dataclass
+class CalibrationReport:
+    """Calibration summary over a scored sample set.
+
+    Attributes:
+        bins: non-empty reliability bins, in probability order.
+        ece: expected calibration error (count-weighted mean bin gap).
+        brier: Brier score (mean squared probability error).
+        n_samples: scored samples.
+    """
+
+    bins: list[ReliabilityBin]
+    ece: float
+    brier: float
+    n_samples: int
+
+
+def calibration_report(
+    probabilities: np.ndarray,
+    labels: np.ndarray,
+    *,
+    n_bins: int = 10,
+) -> CalibrationReport:
+    """Build the reliability diagram and summary scores.
+
+    Args:
+        probabilities: predicted attack probabilities in [0, 1].
+        labels: ground truth (1 = attack).
+        n_bins: equal-width probability bins.
+
+    Raises:
+        ValueError: on shape mismatch, empty input, or out-of-range
+            probabilities.
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if probabilities.shape != labels.shape:
+        raise ValueError("probabilities and labels must align")
+    if probabilities.size == 0:
+        raise ValueError("need at least one scored sample")
+    if ((probabilities < 0) | (probabilities > 1)).any():
+        raise ValueError("probabilities must lie in [0, 1]")
+    if n_bins < 2:
+        raise ValueError("need at least two bins")
+
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    # Right-inclusive final bin so p=1.0 lands somewhere.
+    indices = np.clip(
+        np.digitize(probabilities, edges[1:-1]), 0, n_bins - 1
+    )
+    bins: list[ReliabilityBin] = []
+    weighted_gap = 0.0
+    for bin_number in range(n_bins):
+        mask = indices == bin_number
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        mean_predicted = float(probabilities[mask].mean())
+        observed = float(labels[mask].mean())
+        bins.append(ReliabilityBin(
+            low=float(edges[bin_number]),
+            high=float(edges[bin_number + 1]),
+            count=count,
+            mean_predicted=mean_predicted,
+            observed_rate=observed,
+        ))
+        weighted_gap += count * abs(mean_predicted - observed)
+
+    brier = float(np.mean((probabilities - labels) ** 2))
+    return CalibrationReport(
+        bins=bins,
+        ece=weighted_gap / probabilities.size,
+        brier=brier,
+        n_samples=int(probabilities.size),
+    )
+
+
+def score_signature_set(
+    signature_set,
+    attack_payloads: list[str],
+    benign_payloads: list[str],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Helper: set-level scores + labels for calibration analysis."""
+    scores = [signature_set.score(p) for p in attack_payloads]
+    scores += [signature_set.score(p) for p in benign_payloads]
+    labels = [1.0] * len(attack_payloads) + [0.0] * len(benign_payloads)
+    return np.asarray(scores), np.asarray(labels)

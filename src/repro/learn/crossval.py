@@ -1,0 +1,135 @@
+"""K-fold cross-validation for signature-model quality estimation.
+
+Section IV asks "How far apart can the attacks in training and test be?"
+— the perennial generalization question.  Cross-validation is the
+standard instrument: fold the bicluster's labelled data, train Θ on k−1
+folds, score the held-out fold, and report the spread.  Used by the
+ablation benches and available to operators deciding whether a bicluster
+has enough coherent data to deserve a signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.learn.logistic import train_logistic
+from repro.learn.metrics import Confusion, confusion_from_alerts
+
+
+@dataclass
+class FoldResult:
+    """Held-out metrics for one fold.
+
+    Attributes:
+        fold: fold index (0-based).
+        confusion: held-out confusion counts at threshold 0.5.
+        auc_proxy: mean held-out probability gap between classes
+            (P̄(attack) − P̄(benign)); 1.0 is perfect separation.
+    """
+
+    fold: int
+    confusion: Confusion
+    auc_proxy: float
+
+
+@dataclass
+class CrossValidationReport:
+    """Aggregate over folds.
+
+    Attributes:
+        folds: per-fold results.
+        mean_tpr / std_tpr: held-out detection rate statistics.
+        mean_fpr: held-out false-positive rate.
+    """
+
+    folds: list[FoldResult]
+
+    @property
+    def mean_tpr(self) -> float:
+        """Mean held-out TPR across folds."""
+        return float(np.mean([f.confusion.tpr for f in self.folds]))
+
+    @property
+    def std_tpr(self) -> float:
+        """Standard deviation of held-out TPR across folds."""
+        return float(np.std([f.confusion.tpr for f in self.folds]))
+
+    @property
+    def mean_fpr(self) -> float:
+        """Mean held-out FPR across folds."""
+        return float(np.mean([f.confusion.fpr for f in self.folds]))
+
+
+def _stratified_folds(
+    labels: np.ndarray, k: int, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Index arrays for k folds, class-stratified."""
+    folds: list[list[int]] = [[] for _ in range(k)]
+    for value in (0.0, 1.0):
+        indices = np.nonzero(labels == value)[0]
+        rng.shuffle(indices)
+        for position, index in enumerate(indices):
+            folds[position % k].append(int(index))
+    return [np.array(sorted(fold)) for fold in folds]
+
+
+def cross_validate(
+    features: np.ndarray,
+    labels: np.ndarray,
+    *,
+    k: int = 5,
+    l2: float = 1.0,
+    threshold: float = 0.5,
+    seed: int = 0,
+) -> CrossValidationReport:
+    """Stratified k-fold CV of the logistic signature model.
+
+    Args:
+        features: ``(n, d)`` count matrix.
+        labels: 0/1 labels.
+        k: number of folds (each fold must retain both classes).
+        l2: ridge strength passed to training.
+        threshold: alert threshold for the held-out confusion counts.
+        seed: shuffling seed.
+
+    Raises:
+        ValueError: if *k* < 2 or a fold would lose a class.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    positives = int(labels.sum())
+    negatives = len(labels) - positives
+    if positives < k or negatives < k:
+        raise ValueError(
+            f"need at least k={k} samples of each class "
+            f"(have {positives} positive, {negatives} negative)"
+        )
+    rng = np.random.default_rng(seed)
+    folds = _stratified_folds(labels, k, rng)
+    results: list[FoldResult] = []
+    all_indices = np.arange(len(labels))
+    for fold_number, held_out in enumerate(folds):
+        train_mask = np.ones(len(labels), dtype=bool)
+        train_mask[held_out] = False
+        train_idx = all_indices[train_mask]
+        model, _ = train_logistic(
+            features[train_idx], labels[train_idx], l2=l2
+        )
+        probabilities = model.predict_proba(features[held_out])
+        held_labels = labels[held_out]
+        confusion = confusion_from_alerts(
+            probabilities[held_labels == 1] >= threshold,
+            probabilities[held_labels == 0] >= threshold,
+        )
+        gap = float(
+            probabilities[held_labels == 1].mean()
+            - probabilities[held_labels == 0].mean()
+        ) if (held_labels == 1).any() and (held_labels == 0).any() else 0.0
+        results.append(FoldResult(
+            fold=fold_number, confusion=confusion, auc_proxy=gap
+        ))
+    return CrossValidationReport(folds=results)

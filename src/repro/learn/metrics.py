@@ -1,0 +1,120 @@
+"""Detection metrics: confusion counts, TPR/FPR, ROC curves, AUC.
+
+These back every number in Table V, the ROC curves of Figure 3, and the
+cumulative-TPR plot of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Confusion:
+    """Binary confusion counts.
+
+    Attributes:
+        tp: attacks alerted on.
+        fn: attacks missed.
+        fp: benign requests alerted on.
+        tn: benign requests passed.
+    """
+
+    tp: int
+    fn: int
+    fp: int
+    tn: int
+
+    @property
+    def tpr(self) -> float:
+        """True positive rate (detection rate); 0 when no attacks exist."""
+        total = self.tp + self.fn
+        return self.tp / total if total else 0.0
+
+    @property
+    def fpr(self) -> float:
+        """False positive rate; 0 when no benign traffic exists."""
+        total = self.fp + self.tn
+        return self.fp / total if total else 0.0
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 0 when nothing was alerted."""
+        total = self.tp + self.fp
+        return self.tp / total if total else 0.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        denominator = 2 * self.tp + self.fp + self.fn
+        return 2 * self.tp / denominator if denominator else 0.0
+
+
+def confusion_from_alerts(
+    attack_alerts: np.ndarray | list[bool],
+    benign_alerts: np.ndarray | list[bool],
+) -> Confusion:
+    """Build confusion counts from per-request alert flags."""
+    attack = np.asarray(attack_alerts, dtype=bool)
+    benign = np.asarray(benign_alerts, dtype=bool)
+    return Confusion(
+        tp=int(attack.sum()),
+        fn=int((~attack).sum()),
+        fp=int(benign.sum()),
+        tn=int((~benign).sum()),
+    )
+
+
+@dataclass
+class RocCurve:
+    """One ROC curve: matched FPR/TPR arrays over a threshold sweep.
+
+    Attributes:
+        thresholds: descending probability thresholds.
+        fpr: false positive rate at each threshold.
+        tpr: true positive rate at each threshold.
+    """
+
+    thresholds: np.ndarray
+    fpr: np.ndarray
+    tpr: np.ndarray
+
+    def auc(self, *, max_fpr: float = 1.0) -> float:
+        """Trapezoidal area under the curve up to *max_fpr*.
+
+        Figure 3 plots FPR only to 0.05; ``auc(max_fpr=0.05)`` gives the
+        comparable partial area.
+        """
+        fpr = np.concatenate([[0.0], self.fpr, [1.0]])
+        tpr = np.concatenate([[0.0], self.tpr, [1.0]])
+        order = np.argsort(fpr, kind="stable")
+        fpr, tpr = fpr[order], tpr[order]
+        if max_fpr < 1.0:
+            keep = fpr <= max_fpr
+            boundary_tpr = np.interp(max_fpr, fpr, tpr)
+            fpr = np.concatenate([fpr[keep], [max_fpr]])
+            tpr = np.concatenate([tpr[keep], [boundary_tpr]])
+        return float(np.trapezoid(tpr, fpr))
+
+
+def roc_curve(
+    attack_scores: np.ndarray, benign_scores: np.ndarray, *, points: int = 101
+) -> RocCurve:
+    """ROC from continuous scores by sweeping a probability threshold.
+
+    The sweep covers [0, 1] plus every distinct observed score, so the curve
+    is exact for the given data rather than grid-approximated.
+    """
+    attack = np.asarray(attack_scores, dtype=np.float64)
+    benign = np.asarray(benign_scores, dtype=np.float64)
+    grid = np.linspace(0.0, 1.0, points)
+    thresholds = np.unique(np.concatenate([grid, attack, benign]))[::-1]
+    tpr = np.array([
+        (attack >= t).mean() if attack.size else 0.0 for t in thresholds
+    ])
+    fpr = np.array([
+        (benign >= t).mean() if benign.size else 0.0 for t in thresholds
+    ])
+    return RocCurve(thresholds=thresholds, fpr=fpr, tpr=tpr)

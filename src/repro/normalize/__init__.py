@@ -1,0 +1,25 @@
+"""Sample normalization: the paper's five pre-processing transformations."""
+
+from repro.normalize.transforms import (
+    DEFAULT_TRANSFORMS,
+    HexDecode,
+    Lowercase,
+    Normalizer,
+    Transform,
+    UnicodeFold,
+    UrlDecode,
+    WhitespaceCanonicalize,
+    normalize,
+)
+
+__all__ = [
+    "Transform",
+    "Lowercase",
+    "UrlDecode",
+    "UnicodeFold",
+    "HexDecode",
+    "WhitespaceCanonicalize",
+    "Normalizer",
+    "normalize",
+    "DEFAULT_TRANSFORMS",
+]

@@ -1,0 +1,64 @@
+"""Unicode-to-ASCII folding table used by the normalizer.
+
+Attackers evade keyword filters by substituting visually or semantically
+equivalent Unicode code points for ASCII characters (fullwidth forms,
+smart quotes, alternative spaces).  This table folds the substitutions the
+SQLi evasion literature documents back to their ASCII equivalents; anything
+unmapped and non-ASCII is dropped by the transform.
+"""
+
+from __future__ import annotations
+
+#: Explicit single-character folds.
+_EXPLICIT: dict[str, str] = {
+    "‘": "'",  # left single quotation mark
+    "’": "'",  # right single quotation mark
+    "‚": "'",  # single low-9 quotation
+    "′": "'",  # prime
+    "“": '"',  # left double quotation mark
+    "”": '"',  # right double quotation mark
+    "″": '"',  # double prime
+    "«": '"',
+    "»": '"',
+    "–": "-",  # en dash
+    "—": "-",  # em dash
+    "−": "-",  # minus sign
+    " ": " ",  # no-break space
+    " ": " ",
+    " ": " ",
+    " ": " ",
+    " ": " ",
+    " ": " ",
+    " ": " ",
+    " ": " ",
+    " ": " ",
+    " ": " ",
+    " ": " ",
+    " ": " ",
+    " ": " ",
+    "　": " ",  # ideographic space
+    "⁄": "/",  # fraction slash
+    "∕": "/",  # division slash
+    "／": "/",  # fullwidth solidus
+}
+
+
+def _fullwidth_folds() -> dict[str, str]:
+    """Fullwidth ASCII variants (U+FF01..U+FF5E) fold to U+0021..U+007E."""
+    return {chr(0xFF01 + i): chr(0x21 + i) for i in range(0x5E)}
+
+
+#: The complete folding table.
+FOLD_TABLE: dict[str, str] = {**_fullwidth_folds(), **_EXPLICIT}
+
+
+def fold_char(ch: str) -> str:
+    """Fold one character to ASCII; returns '' for unmapped non-ASCII."""
+    if ord(ch) < 128:
+        return ch
+    return FOLD_TABLE.get(ch, "")
+
+
+def fold(text: str) -> str:
+    """Fold a whole string to ASCII."""
+    return "".join(fold_char(ch) for ch in text)

@@ -1,0 +1,38 @@
+"""Perdisci et al. baseline (Experiment 3): behavioral clustering +
+token-subsequence signature generation, adapted to SQLi per Section III-F."""
+
+from repro.perdisci.clustering import (
+    NAME_WEIGHT,
+    VALUE_WEIGHT,
+    FineGrainedResult,
+    build_embedding,
+    embed,
+    fine_grained_clustering,
+)
+from repro.perdisci.signatures import (
+    MERGE_THRESHOLD,
+    MIN_CONTENT_LENGTH,
+    PerdisciReport,
+    PerdisciSystem,
+)
+from repro.perdisci.token_subsequence import (
+    TokenSignature,
+    common_token_subsequence,
+    tokenize,
+)
+
+__all__ = [
+    "tokenize",
+    "common_token_subsequence",
+    "TokenSignature",
+    "build_embedding",
+    "embed",
+    "fine_grained_clustering",
+    "FineGrainedResult",
+    "VALUE_WEIGHT",
+    "NAME_WEIGHT",
+    "PerdisciSystem",
+    "PerdisciReport",
+    "MERGE_THRESHOLD",
+    "MIN_CONTENT_LENGTH",
+]

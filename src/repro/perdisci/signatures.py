@@ -1,0 +1,198 @@
+"""Perdisci signature generation: filter → per-cluster signature → merge.
+
+Section III-F, applied to the SQLi corpus: 145 fine-grained clusters were
+"reduced ... to 27 after removing clusters according to the presented
+technique, i.e., with a single sample or that produce signatures too short
+(such as ?id=.*).  At the end of phase 3, cluster merging, 10 signatures
+were produced.  To merge different clusters, we chose a threshold of 0.1 as
+this meant that two signatures would only be merged if they were nearly
+identical."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.perdisci.clustering import (
+    FineGrainedResult,
+    build_embedding,
+    embed,
+    fine_grained_clustering,
+)
+from repro.perdisci.token_subsequence import (
+    TokenSignature,
+    common_token_subsequence,
+)
+
+#: Merge when signature distance (1 - similarity) is below this.
+MERGE_THRESHOLD = 0.1
+
+#: Minimum literal content of a viable signature, in characters; filters
+#: out the paper's ``?id=.*`` degenerates.
+MIN_CONTENT_LENGTH = 8
+
+
+@dataclass
+class PerdisciReport:
+    """End-to-end bookkeeping for Experiment 3.
+
+    Attributes:
+        fine_grained: the clustering stage result.
+        clusters_after_filter: cluster count surviving the filter stage.
+        signatures: final signature list.
+    """
+
+    fine_grained: FineGrainedResult
+    clusters_after_filter: int
+    signatures: list[TokenSignature] = field(default_factory=list)
+
+
+class PerdisciSystem:
+    """The adapted Perdisci signature generator and matcher.
+
+    Args:
+        max_training: clustering is O(n²); beyond this many payloads a
+            seeded subsample is clustered (the original system clusters
+            malware corpora of this order).
+        merge_threshold: the 0.1 near-identity merge rule.
+        min_content_length: the too-short-signature filter.
+        seed: subsampling seed.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_training: int = 700,
+        merge_threshold: float = MERGE_THRESHOLD,
+        min_content_length: int = MIN_CONTENT_LENGTH,
+        seed: int = 0,
+    ) -> None:
+        self.max_training = max_training
+        self.merge_threshold = merge_threshold
+        self.min_content_length = min_content_length
+        self.seed = seed
+        self.signatures: list[TokenSignature] = []
+        self._param_names: set[str] = set()
+
+    # -- training --------------------------------------------------------------
+
+    def fit(self, payloads: list[str]) -> PerdisciReport:
+        """Run fine-grained clustering, filtering, and merging."""
+        if len(payloads) < 4:
+            raise ValueError("need at least 4 payloads")
+        rng = np.random.default_rng(self.seed)
+        if len(payloads) > self.max_training:
+            picked = rng.choice(
+                len(payloads), self.max_training, replace=False
+            )
+            training = [payloads[i] for i in sorted(picked)]
+        else:
+            training = list(payloads)
+        # Normalize before embedding and token extraction: encoding
+        # variants of one attack must land in one cluster for the common
+        # token subsequence to survive.  (Matching normalizes too.)
+        from repro.normalize import normalize
+
+        training = [normalize(p) for p in training]
+
+        embedding = build_embedding(training)
+        vectors = embed(training, embedding)
+        fine = fine_grained_clustering(vectors)
+        self._param_names = set(embedding.name_index)
+
+        # Filter: drop singletons and clusters with degenerate signatures.
+        survivors: list[tuple[TokenSignature, list[int]]] = []
+        for label in np.unique(fine.labels):
+            members = np.nonzero(fine.labels == label)[0]
+            if members.size < 2:
+                continue
+            tokens = common_token_subsequence(
+                [training[i] for i in members]
+            )
+            signature = TokenSignature(tokens)
+            if self._degenerate(signature):
+                continue
+            survivors.append((signature, [int(i) for i in members]))
+
+        merged = self._merge([s for s, _ in survivors], training, survivors)
+        self.signatures = merged
+        return PerdisciReport(
+            fine_grained=fine,
+            clusters_after_filter=len(survivors),
+            signatures=merged,
+        )
+
+    def _degenerate(self, signature: TokenSignature) -> bool:
+        """The paper's ``?id=.*`` filter: too little content, or nothing
+        beyond parameter names and query punctuation.
+
+        A viable token-subsequence signature needs at least two word-like
+        tokens that are not parameter names — pure punctuation skeletons
+        (``=.*'.*-.*-``) match half the web.
+        """
+        if signature.content_length < self.min_content_length:
+            return True
+        substantive = [
+            t for t in signature.tokens
+            if len(t) >= 3 and t not in self._param_names
+        ]
+        return len(substantive) < 2
+
+    def _content_tokens(self, signature: TokenSignature) -> set[str]:
+        """Tokens that carry attack content (names and '='/'&' excluded) —
+        the alphabet the near-identity merge compares on, so that two
+        clusters differing only in the injected parameter's name merge."""
+        return {
+            t for t in signature.tokens
+            if t not in self._param_names and t not in {"=", "&"}
+        }
+
+    def _merge(
+        self,
+        signatures: list[TokenSignature],
+        training: list[str],
+        survivors: list[tuple[TokenSignature, list[int]]],
+    ) -> list[TokenSignature]:
+        """Iteratively merge nearly identical signatures (distance < 0.1)."""
+        groups: list[list[int]] = [list(m) for _, m in survivors]
+        sigs = list(signatures)
+        changed = True
+        while changed and len(sigs) > 1:
+            changed = False
+            for i in range(len(sigs)):
+                for j in range(i + 1, len(sigs)):
+                    mine = self._content_tokens(sigs[i])
+                    theirs = self._content_tokens(sigs[j])
+                    union = mine | theirs
+                    similarity = (
+                        len(mine & theirs) / len(union) if union else 1.0
+                    )
+                    if 1.0 - similarity < self.merge_threshold:
+                        members = groups[i] + groups[j]
+                        tokens = common_token_subsequence(
+                            [training[m] for m in members]
+                        )
+                        candidate = TokenSignature(tokens)
+                        if self._degenerate(candidate):
+                            continue
+                        sigs[i] = candidate
+                        groups[i] = members
+                        del sigs[j]
+                        del groups[j]
+                        changed = True
+                        break
+                if changed:
+                    break
+        return sigs
+
+    # -- matching ----------------------------------------------------------------
+
+    def matches(self, payload: str) -> bool:
+        """True when any signature's token subsequence occurs in order
+        in the normalized payload."""
+        from repro.normalize import normalize
+
+        normalized = normalize(payload)
+        return any(s.matches(normalized) for s in self.signatures)

@@ -1,0 +1,96 @@
+"""Token-subsequence signature generation (Polygraph-style).
+
+Perdisci et al. build, for each cluster of HTTP requests, a signature that
+is an ordered sequence of invariant tokens — substrings present in every
+member, in the same order — rendered as the regular expression
+``tok1.*tok2.*...``.  Section III-F adapts this to SQLi payloads; the
+paper's throw-away example of a too-short signature is ``?id=.*``.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(r"[a-z0-9_]+|[^a-z0-9_\s]", re.IGNORECASE)
+
+
+def tokenize(payload: str) -> list[str]:
+    """Split a payload into word and punctuation tokens."""
+    return _TOKEN_RE.findall(payload.lower())
+
+
+def _lcs(a: list[str], b: list[str]) -> list[str]:
+    """Longest common subsequence of two token lists (standard DP)."""
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        return []
+    lengths = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n - 1, -1, -1):
+        row = lengths[i]
+        below = lengths[i + 1]
+        for j in range(m - 1, -1, -1):
+            if a[i] == b[j]:
+                row[j] = below[j + 1] + 1
+            else:
+                row[j] = max(below[j], row[j + 1])
+    out: list[str] = []
+    i = j = 0
+    while i < n and j < m:
+        if a[i] == b[j]:
+            out.append(a[i])
+            i += 1
+            j += 1
+        elif lengths[i + 1][j] >= lengths[i][j + 1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def common_token_subsequence(payloads: list[str]) -> list[str]:
+    """Tokens common (in order) to every payload: iterated pairwise LCS."""
+    if not payloads:
+        return []
+    current = tokenize(payloads[0])
+    for payload in payloads[1:]:
+        if not current:
+            break
+        current = _lcs(current, tokenize(payload))
+    return current
+
+
+class TokenSignature:
+    """A compiled token-subsequence signature.
+
+    Attributes:
+        tokens: the invariant token sequence.
+        pattern: the rendered ``tok1.*tok2...`` expression.
+    """
+
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = list(tokens)
+        self.pattern = ".*".join(re.escape(token) for token in self.tokens)
+        self._compiled = re.compile(self.pattern, re.IGNORECASE | re.S)
+
+    def __repr__(self) -> str:
+        return f"TokenSignature({self.pattern!r})"
+
+    @property
+    def content_length(self) -> int:
+        """Total literal characters — the 'too short' filter's measure."""
+        return sum(len(token) for token in self.tokens)
+
+    def matches(self, payload: str) -> bool:
+        """True when the token subsequence occurs in order in *payload*."""
+        if not self.tokens:
+            return False
+        return self._compiled.search(payload.lower()) is not None
+
+    def similarity(self, other: "TokenSignature") -> float:
+        """Jaccard similarity of token multisets (merge criterion input)."""
+        mine = set(self.tokens)
+        theirs = set(other.tokens)
+        if not mine and not theirs:
+            return 1.0
+        union = mine | theirs
+        return len(mine & theirs) / len(union) if union else 0.0

@@ -1,0 +1,60 @@
+"""Compiled-regex cache and the ``count_all`` matcher.
+
+Section III-C: "we coded a function ``count_all()`` that accepted as input
+two parameters, a regular expression and a string, and returned the number
+of times the regular expression was found in the string."  Every feature
+extraction and every pSigene signature evaluation goes through this
+function, so the compile cache matters for the performance experiment.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+
+
+class PatternError(ValueError):
+    """Raised when a feature pattern does not compile."""
+
+
+@lru_cache(maxsize=4096)
+def compile_pattern(pattern: str, *, ignore_case: bool = True) -> re.Pattern[str]:
+    """Compile and cache *pattern*.
+
+    SQLi signatures are case-insensitive by convention (the ModSecurity CRS
+    examples in the paper are "seven case insensitive groups"), so
+    ``ignore_case`` defaults to true.
+    """
+    flags = re.IGNORECASE if ignore_case else 0
+    try:
+        return re.compile(pattern, flags)
+    except re.error as exc:
+        raise PatternError(f"cannot compile {pattern!r}: {exc}") from exc
+
+
+def count_all(pattern: str, text: str, *, ignore_case: bool = True) -> int:
+    """Number of non-overlapping matches of *pattern* in *text*.
+
+    Zero-width matches are counted at most once per position by ``finditer``
+    semantics; patterns that can match the empty string everywhere would
+    distort counts, so they are rejected at compile time.
+    """
+    compiled = compile_pattern(pattern, ignore_case=ignore_case)
+    if compiled.match(""):
+        raise PatternError(f"pattern {pattern!r} matches the empty string")
+    return sum(1 for _ in compiled.finditer(text))
+
+
+def matches(pattern: str, text: str, *, ignore_case: bool = True) -> bool:
+    """True when *pattern* occurs at least once in *text*."""
+    compiled = compile_pattern(pattern, ignore_case=ignore_case)
+    return compiled.search(text) is not None
+
+
+def validate(pattern: str) -> bool:
+    """True when *pattern* compiles and cannot match the empty string."""
+    try:
+        compiled = compile_pattern(pattern)
+    except PatternError:
+        return False
+    return not compiled.match("")

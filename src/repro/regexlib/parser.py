@@ -1,0 +1,218 @@
+"""Structural parsing of regular expressions for signature deconstruction.
+
+Section II-B: "We did not use a whole signature as a single feature, but
+rather divided the signature into logical components ... we used
+metacharacters such as parentheses () and the alternation operator | that
+delimit logical groups and branches inside a regular expression."
+
+This module implements that deconstruction: a scanner that understands
+escapes, character classes, and group nesting well enough to split a pattern
+at *top-level* alternations and to enumerate its top-level groups — without
+needing a full regex engine (matching itself is delegated to :mod:`re`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class RegexSyntaxError(ValueError):
+    """Raised when a pattern's bracket/paren structure is malformed."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical unit of a pattern.
+
+    Attributes:
+        kind: ``literal``, ``escape``, ``class``, ``group_open``,
+            ``group_close``, ``alternation``, ``quantifier``, or ``anchor``.
+        text: the raw pattern text of the token.
+        position: index of the token's first character in the pattern.
+    """
+
+    kind: str
+    text: str
+    position: int
+
+
+_QUANTIFIER_START = "*+?{"
+_ANCHORS = "^$"
+
+
+def tokenize(pattern: str) -> list[Token]:
+    """Tokenize *pattern* into structural units.
+
+    The tokenizer is intentionally shallow: it only needs to be exact about
+    the constructs that affect *structure* (escapes, classes, groups,
+    alternation); everything else is a literal.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(pattern)
+    while i < n:
+        ch = pattern[i]
+        if ch == "\\":
+            if i + 1 >= n:
+                raise RegexSyntaxError("dangling backslash at end of pattern")
+            tokens.append(Token("escape", pattern[i : i + 2], i))
+            i += 2
+        elif ch == "[":
+            j = i + 1
+            if j < n and pattern[j] == "^":
+                j += 1
+            if j < n and pattern[j] == "]":
+                j += 1
+            while j < n and pattern[j] != "]":
+                if pattern[j] == "\\":
+                    j += 1
+                j += 1
+            if j >= n:
+                raise RegexSyntaxError(f"unterminated character class at {i}")
+            tokens.append(Token("class", pattern[i : j + 1], i))
+            i = j + 1
+        elif ch == "(":
+            j = i + 1
+            if j < n and pattern[j] == "?":
+                j += 1
+                while j < n and pattern[j] not in "):":
+                    j += 1
+                if j < n and pattern[j] == ":":
+                    j += 1
+            tokens.append(Token("group_open", pattern[i:j], i))
+            i = j
+        elif ch == ")":
+            tokens.append(Token("group_close", ")", i))
+            i += 1
+        elif ch == "|":
+            tokens.append(Token("alternation", "|", i))
+            i += 1
+        elif ch in _QUANTIFIER_START:
+            j = i + 1
+            if ch == "{":
+                while j < n and pattern[j] != "}":
+                    j += 1
+                if j >= n:
+                    # `{` with no closing brace is a literal in most flavours.
+                    tokens.append(Token("literal", "{", i))
+                    i += 1
+                    continue
+                j += 1
+            if j < n and pattern[j] == "?":
+                j += 1
+            tokens.append(Token("quantifier", pattern[i:j], i))
+            i = j
+        elif ch in _ANCHORS:
+            tokens.append(Token("anchor", ch, i))
+            i += 1
+        else:
+            tokens.append(Token("literal", ch, i))
+            i += 1
+    return tokens
+
+
+def split_alternation(pattern: str) -> list[str]:
+    """Split *pattern* at alternation operators that sit at nesting depth 0.
+
+    ``a|b(c|d)`` → ``["a", "b(c|d)"]``.  A pattern without top-level ``|``
+    returns as a single-element list.
+    """
+    branches: list[str] = []
+    depth = 0
+    start = 0
+    for token in tokenize(pattern):
+        if token.kind == "group_open":
+            depth += 1
+        elif token.kind == "group_close":
+            depth -= 1
+            if depth < 0:
+                raise RegexSyntaxError(f"unbalanced ')' at {token.position}")
+        elif token.kind == "alternation" and depth == 0:
+            branches.append(pattern[start : token.position])
+            start = token.position + 1
+    if depth != 0:
+        raise RegexSyntaxError("unbalanced '(' in pattern")
+    branches.append(pattern[start:])
+    return branches
+
+
+def top_level_groups(pattern: str) -> list[str]:
+    """Return the contents of every depth-1 group in *pattern*.
+
+    ``(?:a)|(?:b|c)d`` → ``["a", "b|c"]``.  This is the other half of the
+    deconstruction: a ModSecurity signature written as
+    ``(?:g1)|(?:g2)|...|(?:g7)`` yields its seven feature fragments.
+    """
+    groups: list[str] = []
+    depth = 0
+    body_start = 0
+    for token in tokenize(pattern):
+        if token.kind == "group_open":
+            depth += 1
+            if depth == 1:
+                body_start = token.position + len(token.text)
+        elif token.kind == "group_close":
+            if depth == 1:
+                groups.append(pattern[body_start : token.position])
+            depth -= 1
+            if depth < 0:
+                raise RegexSyntaxError(f"unbalanced ')' at {token.position}")
+    if depth != 0:
+        raise RegexSyntaxError("unbalanced '(' in pattern")
+    return groups
+
+
+def deconstruct(pattern: str) -> list[str]:
+    """Deconstruct a signature regex into logical component patterns.
+
+    The rule mirrors Section II-B: split at top-level alternation; for a
+    branch that is exactly one group, recurse into the group body.  The
+    result is a flat list of component patterns, each usable as a feature.
+    """
+    components: list[str] = []
+    for branch in split_alternation(pattern):
+        branch = branch.strip()
+        if not branch:
+            continue
+        inner = _sole_group_body(branch)
+        if inner is not None:
+            components.extend(deconstruct(inner))
+        else:
+            components.append(branch)
+    return components
+
+
+def _sole_group_body(branch: str) -> str | None:
+    """If *branch* is exactly one group (e.g. ``(?:...)``), return its body."""
+    tokens = tokenize(branch)
+    if not tokens or tokens[0].kind != "group_open":
+        return None
+    if tokens[-1].kind != "group_close":
+        return None
+    depth = 0
+    for index, token in enumerate(tokens):
+        if token.kind == "group_open":
+            depth += 1
+        elif token.kind == "group_close":
+            depth -= 1
+            if depth == 0 and index != len(tokens) - 1:
+                return None
+    head = tokens[0]
+    return branch[len(head.text) : -1]
+
+
+def literal_text(pattern: str) -> str:
+    """Best-effort extraction of the plain literal characters of *pattern*.
+
+    Used to human-label features (``"union\\s+select"`` → ``"union select"``)
+    and by tests to sanity-check deconstruction output.
+    """
+    out: list[str] = []
+    for token in tokenize(pattern):
+        if token.kind == "literal":
+            out.append(token.text)
+        elif token.kind == "escape" and token.text[1] in "sS":
+            out.append(" ")
+        elif token.kind == "escape" and token.text[1] not in "dDwWbBAZz":
+            out.append(token.text[1])
+    return "".join(out)

@@ -1,0 +1,13 @@
+"""Scanner simulators: the SQLmap and Arachni(+Vega) test-set generators."""
+
+from repro.scanners.arachni_sim import ArachniSimulator
+from repro.scanners.base import ScannerBase
+from repro.scanners.sqlmap_sim import SqlmapSimulator
+from repro.scanners.vega_sim import VegaSimulator
+
+__all__ = [
+    "ScannerBase",
+    "SqlmapSimulator",
+    "ArachniSimulator",
+    "VegaSimulator",
+]

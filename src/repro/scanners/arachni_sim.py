@@ -1,0 +1,85 @@
+"""Arachni simulator.
+
+Arachni's sql_injection and sql_injection_timing checks throw a fixed,
+small payload battery at every input — quote/backslash syntax breakers,
+tautologies with textual operands, and stacked timing probes — and watch
+for error signatures in the response.  Unlike sqlmap it does not adapt to
+the application (no column bisection), and it sends spaces as ``+``
+(Ruby's form encoding), which matters to single-decode detectors.
+"""
+
+from __future__ import annotations
+
+from repro.http.traffic import Trace
+from repro.http.url import quote
+from repro.scanners.base import ScannerBase
+
+#: Arachni's static sql_injection payload seeds (per injection variant).
+_SYNTAX_BREAKERS = (
+    "'`--",
+    "''`--",
+    "\"'`--",
+    "--',\"",
+    ";`'\"",
+)
+
+_TAUTOLOGIES = (
+    "' or '1'='1",
+    "' or 'x'='x",
+    "\" or \"x\"=\"x",
+    "') or ('x')=('x",
+    "1' or '1'='1",
+    "' or username like '%",
+    "' or 1=1--",
+    "\" or 1=1--",
+    "or 1=1--",
+)
+
+_TIMING = (
+    "';select sleep({n});--",
+    "';select benchmark({big},md5('A'));--",
+    "' and sleep({n})='",
+    "\" and sleep({n})=\"",
+    "1 or sleep({n})",
+)
+
+_ERROR_PROBES = (
+    "' union select null-- ",
+    "' union select null,null-- ",
+    "' union select null,null,null-- ",
+    "' group by 1-- ",
+    "' having 1=1-- ",
+)
+
+
+class ArachniSimulator(ScannerBase):
+    """Static-battery scan in the style of Arachni's SQLi checks."""
+
+    name = "arachni"
+
+    def encode_value(self, value: str) -> str:
+        """Ruby form encoding: spaces become '+', specials percent-encode."""
+        # Ruby form encoding: spaces become '+', specials percent-encode.
+        return quote(value).replace("%20", "+")
+
+    def scan(self) -> Trace:
+        """Throw the static battery at every injection point."""
+        for point in self.app.points:
+            base = str(self.random_int(1, 999))
+            # Arachni injects each seed in two variants: appended to the
+            # original value and replacing it outright.
+            for breaker in _SYNTAX_BREAKERS:
+                self.send(point.path, point.parameter, base + breaker)
+                self.send(point.path, point.parameter, breaker)
+            for tautology in _TAUTOLOGIES:
+                self.send(point.path, point.parameter, base + tautology)
+                self.send(point.path, point.parameter, tautology)
+            for probe in _ERROR_PROBES:
+                self.send(point.path, point.parameter, base + probe)
+            n = self.random_int(4, 9)
+            big = n * 1_000_000
+            for template in _TIMING:
+                payload = template.format(n=n, big=big)
+                self.send(point.path, point.parameter, base + payload)
+                self.send(point.path, point.parameter, payload)
+        return self.trace()

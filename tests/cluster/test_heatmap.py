@@ -1,0 +1,109 @@
+"""Tests for Figure 2 heatmap data and renderings."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Biclusterer,
+    build_heatmap,
+    render_ppm,
+    render_text,
+    standardize_columns,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(3)
+    blocks = []
+    for band in range(3):
+        block = np.zeros((40, 24))
+        block[:, band * 8:band * 8 + 8] = rng.poisson(3, (40, 8)) + 1
+        blocks.append(block)
+    counts = np.vstack(blocks)
+    result = Biclusterer().fit(counts)
+    return counts, result
+
+
+class TestStandardize:
+    def test_zero_mean(self):
+        data = np.random.default_rng(1).poisson(4, (30, 5)).astype(float)
+        z = standardize_columns(data)
+        assert np.allclose(z.mean(axis=0), 0.0)
+
+    def test_constant_column_zero(self):
+        data = np.hstack([
+            np.full((10, 1), 7.0),
+            np.random.default_rng(2).normal(size=(10, 1)),
+        ])
+        z = standardize_columns(data)
+        assert np.allclose(z[:, 0], 0.0)
+
+
+class TestBuildHeatmap:
+    def test_shape_preserved(self, fitted):
+        counts, result = fitted
+        heatmap = build_heatmap(counts, result)
+        assert heatmap.z.shape == counts.shape
+
+    def test_orders_are_permutations(self, fitted):
+        counts, result = fitted
+        heatmap = build_heatmap(counts, result)
+        assert sorted(heatmap.row_order.tolist()) == list(
+            range(counts.shape[0])
+        )
+        assert sorted(heatmap.column_order.tolist()) == list(
+            range(counts.shape[1])
+        )
+
+    def test_rows_grouped_by_bicluster(self, fitted):
+        counts, result = fitted
+        heatmap = build_heatmap(counts, result)
+        labels = heatmap.row_cluster_of
+        nonzero = labels[labels > 0]
+        transitions = sum(
+            1 for a, b in zip(nonzero, nonzero[1:]) if a != b
+        )
+        # Members of each bicluster must be contiguous in display order.
+        assert transitions == len(result.biclusters) - 1
+
+    def test_block_structure_visible(self, fitted):
+        """Within a bicluster's display rows, its own feature columns must
+        be hotter than the rest — the red blocks of Figure 2."""
+        counts, result = fitted
+        heatmap = build_heatmap(counts, result)
+        for bicluster in result.biclusters:
+            display_rows = [
+                i for i, original in enumerate(heatmap.row_order)
+                if original in set(bicluster.sample_indices.tolist())
+            ]
+            display_cols = [
+                j for j, original in enumerate(heatmap.column_order)
+                if original in set(bicluster.feature_indices.tolist())
+            ]
+            block = heatmap.z[np.ix_(display_rows, display_cols)]
+            rest = np.delete(heatmap.z[display_rows, :], display_cols,
+                             axis=1)
+            assert block.mean() > rest.mean()
+
+
+class TestRenderings:
+    def test_text_render_dimensions(self, fitted):
+        counts, result = fitted
+        heatmap = build_heatmap(counts, result)
+        text = render_text(heatmap, max_rows=20, max_cols=30)
+        lines = text.splitlines()
+        assert len(lines) == 20
+        assert all("|" in line for line in lines)
+
+    def test_ppm_render(self, fitted, tmp_path):
+        counts, result = fitted
+        heatmap = build_heatmap(counts, result)
+        path = tmp_path / "figure2.ppm"
+        render_ppm(heatmap, str(path))
+        raw = path.read_bytes()
+        assert raw.startswith(b"P6\n")
+        header, rest = raw.split(b"\n255\n", 1)
+        width, height = map(int, header.split(b"\n")[1].split())
+        assert (width, height) == (counts.shape[1], counts.shape[0])
+        assert len(rest) == width * height * 3

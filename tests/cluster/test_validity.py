@@ -1,0 +1,69 @@
+"""Tests for cluster validity indices."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import davies_bouldin, silhouette_mean
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(11)
+    data = np.vstack([
+        rng.normal(0, 0.2, (20, 3)),
+        rng.normal(6, 0.2, (20, 3)),
+    ])
+    labels = np.repeat([0, 1], 20)
+    return data, labels
+
+
+class TestDaviesBouldin:
+    def test_good_clustering_low(self, blobs):
+        data, labels = blobs
+        assert davies_bouldin(data, labels) < 0.3
+
+    def test_bad_clustering_higher(self, blobs):
+        data, labels = blobs
+        rng = np.random.default_rng(1)
+        shuffled = rng.permutation(labels)
+        assert davies_bouldin(data, shuffled) > davies_bouldin(data, labels)
+
+    def test_single_cluster_infinite(self, blobs):
+        data, _ = blobs
+        assert davies_bouldin(data, np.zeros(len(data))) == float("inf")
+
+    def test_singletons_zero_scatter(self):
+        data = np.array([[0.0, 0], [5, 0], [10, 0]])
+        value = davies_bouldin(data, np.array([0, 1, 2]))
+        assert value == 0.0
+
+    def test_coincident_centroids_infinite_ratio(self):
+        data = np.array([[0.0], [1.0], [0.0], [1.0]])
+        labels = np.array([0, 0, 1, 1])
+        assert davies_bouldin(data, labels) == float("inf")
+
+    def test_matches_reference_formula(self, blobs):
+        data, labels = blobs
+        # Independent direct computation for k=2.
+        c0 = data[labels == 0].mean(axis=0)
+        c1 = data[labels == 1].mean(axis=0)
+        s0 = np.linalg.norm(data[labels == 0] - c0, axis=1).mean()
+        s1 = np.linalg.norm(data[labels == 1] - c1, axis=1).mean()
+        expected = (s0 + s1) / np.linalg.norm(c0 - c1)
+        assert davies_bouldin(data, labels) == pytest.approx(expected)
+
+
+class TestSilhouette:
+    def test_good_clustering_high(self, blobs):
+        data, labels = blobs
+        assert silhouette_mean(data, labels) > 0.8
+
+    def test_random_labels_low(self, blobs):
+        data, labels = blobs
+        rng = np.random.default_rng(2)
+        assert silhouette_mean(data, rng.permutation(labels)) < 0.3
+
+    def test_degenerate_cases_zero(self, blobs):
+        data, _ = blobs
+        assert silhouette_mean(data, np.zeros(len(data))) == 0.0
+        assert silhouette_mean(data, np.arange(len(data))) == 0.0

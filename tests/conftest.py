@@ -1,0 +1,34 @@
+"""Shared fixtures: one small trained pipeline reused across test modules.
+
+Training even a reduced pipeline takes a few seconds, so the expensive
+artifacts are session-scoped; tests must treat them as read-only.
+"""
+
+import pytest
+
+from repro.core import PipelineConfig, PSigenePipeline
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    return PipelineConfig(
+        seed=2012,
+        n_attack_samples=900,
+        n_benign_train=2500,
+        max_cluster_rows=700,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_pipeline(small_config):
+    return PSigenePipeline(small_config)
+
+
+@pytest.fixture(scope="session")
+def small_result(small_pipeline):
+    return small_pipeline.run()
+
+
+@pytest.fixture(scope="session")
+def small_signatures(small_result):
+    return small_result.signature_set

@@ -1,0 +1,105 @@
+"""Tests for the bicluster → signature generalization step."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Bicluster
+from repro.core import GeneralizerConfig, SignatureGeneralizer
+from repro.features import build_catalog
+
+
+@pytest.fixture(scope="module")
+def training_data():
+    """Synthetic bicluster: positives active on features 0-2, negatives
+    mostly flat, a useless constant feature at column 3."""
+    rng = np.random.default_rng(8)
+    catalog = build_catalog().subset(list(range(6)))
+    positives = np.zeros((120, 6))
+    positives[:, 0] = rng.poisson(2, 120) + 1
+    positives[:, 1] = rng.poisson(1, 120)
+    positives[:, 2] = 1
+    negatives = np.zeros((300, 6))
+    negatives[:, 4] = rng.poisson(1, 300)
+    bicluster = Bicluster(
+        index=3,
+        sample_indices=np.arange(120),
+        feature_indices=np.array([0, 1, 2, 3]),
+        is_black_hole=False,
+    )
+    return catalog, positives, negatives, bicluster
+
+
+class TestTraining:
+    def test_signature_separates_classes(self, training_data):
+        catalog, positives, negatives, bicluster = training_data
+        training = SignatureGeneralizer().train(
+            bicluster, positives, negatives, catalog
+        )
+        signature = training.signature
+        original = {d.pattern: i for i, d in enumerate(catalog)}
+        columns = [original[d.pattern] for d in signature.features]
+
+        def proba(rows):
+            z = signature.model.intercept + rows[:, columns] @ (
+                signature.model.coefficients
+            )
+            return 1 / (1 + np.exp(-z))
+
+        assert proba(positives).mean() > proba(negatives).mean() + 0.5
+
+    def test_positive_probability_high(self, training_data):
+        catalog, positives, negatives, bicluster = training_data
+        training = SignatureGeneralizer().train(
+            bicluster, positives, negatives, catalog
+        )
+        signature = training.signature
+        # Reconstruct feature columns for scoring.
+        original = {d.pattern: i for i, d in enumerate(catalog)}
+        columns = [original[d.pattern] for d in signature.features]
+        z = signature.model.intercept + positives[:, columns] @ (
+            signature.model.coefficients
+        )
+        assert (1 / (1 + np.exp(-z))).mean() > 0.8
+
+    def test_metadata_recorded(self, training_data):
+        catalog, positives, negatives, bicluster = training_data
+        training = SignatureGeneralizer().train(
+            bicluster, positives, negatives, catalog
+        )
+        assert training.signature.bicluster_index == 3
+        assert training.signature.training_samples == 120
+        assert training.signature.bicluster_feature_count == 4
+
+    def test_constant_feature_pruned(self, training_data):
+        catalog, positives, negatives, bicluster = training_data
+        training = SignatureGeneralizer().train(
+            bicluster, positives, negatives, catalog
+        )
+        patterns = [d.pattern for d in training.signature.features]
+        assert catalog[3].pattern not in patterns
+        assert training.pruned_features >= 1
+
+    def test_prune_disabled_keeps_all(self, training_data):
+        catalog, positives, negatives, bicluster = training_data
+        config = GeneralizerConfig(prune_ratio=0.0)
+        training = SignatureGeneralizer(config).train(
+            bicluster, positives, negatives, catalog
+        )
+        assert training.signature.n_features == 4
+
+    def test_negative_subsampling_cap(self, training_data):
+        catalog, positives, negatives, bicluster = training_data
+        config = GeneralizerConfig(max_negative_samples=50)
+        rng = np.random.default_rng(0)
+        training = SignatureGeneralizer(config).train(
+            bicluster, positives, negatives, catalog, rng=rng
+        )
+        assert training.report.newton_iterations >= 1
+
+    def test_threshold_propagates(self, training_data):
+        catalog, positives, negatives, bicluster = training_data
+        config = GeneralizerConfig(threshold=0.8)
+        training = SignatureGeneralizer(config).train(
+            bicluster, positives, negatives, catalog
+        )
+        assert training.signature.threshold == 0.8

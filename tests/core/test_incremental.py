@@ -1,0 +1,115 @@
+"""Tests for incremental signature updates (Experiment 2 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.core import incremental_update
+
+
+class TestIncrementalUpdate:
+    def test_empty_update_is_noop(self, small_pipeline, small_result):
+        update = incremental_update(small_pipeline, small_result, [])
+        assert update.signature_set is small_result.signature_set
+        assert update.added_rows == 0
+
+    def test_new_samples_assigned_to_biclusters(
+        self, small_pipeline, small_result
+    ):
+        fresh = [
+            "id=9' union select 1,2,3,4-- -",
+            "cat=4' and sleep(7)-- -",
+            "u=1' or '1'='1",
+        ]
+        update = incremental_update(small_pipeline, small_result, fresh)
+        assert update.added_rows == 3
+        assert sum(update.assigned.values()) == 3
+
+    def test_signature_count_preserved(self, small_pipeline, small_result):
+        fresh = ["id=9' union select 1,2-- -"] * 5
+        update = incremental_update(small_pipeline, small_result, fresh)
+        assert len(update.signature_set) == len(small_result.signature_set)
+
+    def test_theta_actually_retrained(self, small_pipeline, small_result):
+        fresh = [
+            f"id={i}' union select {i},2,3-- -" for i in range(40)
+        ]
+        update = incremental_update(small_pipeline, small_result, fresh)
+        changed = any(
+            new.model.theta.shape != old.model.theta.shape
+            or not np.allclose(new.model.theta, old.model.theta)
+            for new, old in zip(
+                update.signature_set, small_result.signature_set
+            )
+        )
+        assert changed
+
+    def test_cluster_structure_fixed(self, small_pipeline, small_result):
+        """The paper retrains Θ only; bicluster feature sets must not
+        change."""
+        fresh = ["id=5' or 1=1-- -"] * 10
+        update = incremental_update(small_pipeline, small_result, fresh)
+        for new, old in zip(
+            update.signature_set, small_result.signature_set
+        ):
+            assert new.bicluster_index == old.bicluster_index
+            assert new.bicluster_feature_count == old.bicluster_feature_count
+
+    def test_updated_set_still_detects(self, small_pipeline, small_result):
+        fresh = [
+            "id=9' union select 1,2,3,4-- -",
+            "cat=4' and sleep(7)-- -",
+        ]
+        update = incremental_update(small_pipeline, small_result, fresh)
+        assert update.signature_set.score(
+            "x=1' union select 7,8,9-- -"
+        ) > 0.6
+
+
+class TestWarmStrategy:
+    FRESH = [
+        "id=9' union select 1,2,3,4-- -",
+        "cat=4' and sleep(7)-- -",
+        "u=1' or '1'='1",
+    ] * 5
+
+    def test_unknown_strategy_rejected(self, small_pipeline, small_result):
+        with pytest.raises(ValueError):
+            incremental_update(
+                small_pipeline, small_result, self.FRESH, strategy="magic"
+            )
+
+    def test_warm_keeps_feature_subsets(self, small_pipeline,
+                                        small_result):
+        update = incremental_update(
+            small_pipeline, small_result, self.FRESH, strategy="warm"
+        )
+        for new, old in zip(
+            update.signature_set, small_result.signature_set
+        ):
+            assert new.features.patterns == old.features.patterns
+
+    def test_warm_cheaper_than_retrain(self, small_pipeline, small_result):
+        warm = incremental_update(
+            small_pipeline, small_result, self.FRESH, strategy="warm"
+        )
+        retrain = incremental_update(
+            small_pipeline, small_result, self.FRESH, strategy="retrain"
+        )
+        assert warm.newton_iterations < retrain.newton_iterations
+
+    def test_warm_still_detects(self, small_pipeline, small_result):
+        update = incremental_update(
+            small_pipeline, small_result, self.FRESH, strategy="warm"
+        )
+        assert update.signature_set.score(
+            "x=1' union select 7,8,9-- -"
+        ) > 0.6
+
+    def test_warm_keeps_thresholds(self, small_pipeline, small_result):
+        update = incremental_update(
+            small_pipeline, small_result, self.FRESH, strategy="warm"
+        )
+        for new, old in zip(
+            update.signature_set, small_result.signature_set
+        ):
+            assert new.threshold == old.threshold

@@ -1,0 +1,73 @@
+"""Tests for signature-set JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    signature_set_from_json,
+    signature_set_to_json,
+)
+
+
+class TestRoundtrip:
+    def test_trained_set_roundtrips(self, small_signatures):
+        text = signature_set_to_json(small_signatures)
+        restored = signature_set_from_json(text)
+        assert len(restored) == len(small_signatures)
+        for original, copy in zip(small_signatures, restored):
+            assert copy.bicluster_index == original.bicluster_index
+            assert copy.threshold == original.threshold
+            assert np.allclose(copy.model.theta, original.model.theta)
+            assert copy.features.patterns == original.features.patterns
+
+    def test_restored_set_scores_identically(self, small_signatures):
+        restored = signature_set_from_json(
+            signature_set_to_json(small_signatures)
+        )
+        payloads = [
+            "id=1' union select 1,2,3-- -",
+            "q=campus%20parking",
+            "cat=9' and sleep(5)#",
+        ]
+        for payload in payloads:
+            assert restored.score(payload) == pytest.approx(
+                small_signatures.score(payload)
+            )
+
+    def test_json_is_valid_and_versioned(self, small_signatures):
+        data = json.loads(signature_set_to_json(small_signatures))
+        assert data["schema"] == 1
+        assert len(data["signatures"]) == len(small_signatures)
+
+
+class TestValidation:
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            signature_set_from_json("{not json")
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError):
+            signature_set_from_json('{"schema": 99, "signatures": []}')
+
+    def test_theta_length_checked(self):
+        payload = {
+            "schema": 1,
+            "signatures": [{
+                "bicluster": 1,
+                "threshold": 0.5,
+                "theta": [0.1, 0.2, 0.3],  # 2 coefs for 1 feature
+                "features": [{
+                    "pattern": "x", "label": "l", "source": "s"
+                }],
+            }],
+        }
+        with pytest.raises(ValueError):
+            signature_set_from_json(json.dumps(payload))
+
+    def test_empty_set(self):
+        restored = signature_set_from_json(
+            '{"schema": 1, "signatures": []}'
+        )
+        assert len(restored) == 0

@@ -1,0 +1,157 @@
+"""Tests for GeneralizedSignature and SignatureSet."""
+
+import numpy as np
+import pytest
+
+from repro.core import GeneralizedSignature, SignatureSet
+from repro.features import build_catalog
+from repro.learn import LogisticModel
+from repro.normalize import Normalizer
+
+
+def _toy_signature(threshold=0.5, bicluster_index=1):
+    """Two features: union-select and quote-or; strong positive weights."""
+    catalog = build_catalog()
+    labels = ["kw:union", "kw:sleep"]
+    indices = [catalog.by_label(label).index for label in labels]
+    features = catalog.subset(indices)
+    model = LogisticModel(np.array([-4.0, 3.0, 3.0]))
+    return GeneralizedSignature(
+        bicluster_index=bicluster_index,
+        features=features,
+        model=model,
+        threshold=threshold,
+        bicluster_feature_count=10,
+        training_samples=100,
+    )
+
+
+class TestSignature:
+    def test_feature_vector_counts(self):
+        signature = _toy_signature()
+        vector = signature.feature_vector("1' union select sleep(5)")
+        assert vector.tolist() == [1.0, 1.0]
+
+    def test_probability_rises_with_evidence(self):
+        signature = _toy_signature()
+        none = signature.probability("id=1")
+        one = signature.probability("1' union select 2")
+        both = signature.probability("1' union select sleep(5)")
+        assert none < one < both
+
+    def test_probability_is_sigmoid_of_theta(self):
+        signature = _toy_signature()
+        # counts (1, 1): z = -4 + 3 + 3 = 2.
+        expected = 1 / (1 + np.exp(-2.0))
+        assert signature.probability(
+            "1' union select sleep(1)"
+        ) == pytest.approx(expected)
+
+    def test_matches_uses_threshold(self):
+        low = _toy_signature(threshold=0.5)
+        high = _toy_signature(threshold=0.99)
+        payload = "1' union select sleep(1)"  # p ≈ 0.88
+        assert low.matches(payload)
+        assert not high.matches(payload)
+
+    def test_misaligned_model_rejected(self):
+        catalog = build_catalog().subset([0, 1])
+        with pytest.raises(ValueError):
+            GeneralizedSignature(
+                bicluster_index=1,
+                features=catalog,
+                model=LogisticModel(np.array([0.0, 1.0])),  # 1 coef, 2 feats
+            )
+
+    def test_describe_prints_theta(self):
+        signature = _toy_signature()
+        text = signature.describe()
+        assert "Sig_b1" in text
+        assert "-4.000000" in text
+        assert "kw:union" in text
+
+    def test_n_features(self):
+        assert _toy_signature().n_features == 2
+
+
+class TestSignatureSet:
+    def _set(self):
+        return SignatureSet(
+            [_toy_signature(bicluster_index=1),
+             _toy_signature(threshold=0.9, bicluster_index=2)],
+        )
+
+    def test_len_and_iter(self):
+        assert len(self._set()) == 2
+        assert [s.bicluster_index for s in self._set()] == [1, 2]
+
+    def test_score_is_max_probability(self):
+        signatures = self._set()
+        payload = "1' union select sleep(1)"
+        probabilities = signatures.probabilities(payload)
+        assert signatures.score(payload) == pytest.approx(
+            probabilities.max()
+        )
+
+    def test_alerts_lists_fired_indices(self):
+        signatures = self._set()
+        fired = signatures.alerts("1' union select sleep(1)")
+        assert fired == [1]  # second signature's 0.9 threshold not met
+
+    def test_normalization_inside_set(self):
+        signatures = self._set()
+        raw = signatures.score("1' union select sleep(1)")
+        evaded = signatures.score("1%2527/**/UNION/**/SELECT/**/SLEEP(1)")
+        assert evaded == pytest.approx(raw)
+
+    def test_subset_by_bicluster(self):
+        subset = self._set().subset([2])
+        assert len(subset) == 1
+        assert subset[0].bicluster_index == 2
+
+    def test_with_threshold_overrides_all(self):
+        replaced = self._set().with_threshold(0.1)
+        assert all(s.threshold == 0.1 for s in replaced)
+
+    def test_with_threshold_does_not_mutate(self):
+        original = self._set()
+        original.with_threshold(0.1)
+        assert original[1].threshold == 0.9
+
+    def test_empty_set_scores_zero(self):
+        assert SignatureSet([]).score("anything") == 0.0
+
+
+class TestTrainedSignatures:
+    """Against the session-scoped trained pipeline."""
+
+    def test_attacks_score_high(self, small_signatures):
+        attacks = [
+            "id=1' union select 1,2,concat(database(),char(58)),4-- -",
+            "cat=5' and sleep(9)-- -",
+            "page=1' or '1'='1",
+        ]
+        for payload in attacks:
+            assert small_signatures.score(payload) > 0.6, payload
+
+    def test_benign_scores_low(self, small_signatures):
+        benign = [
+            "course=cs101&term=fall2012&section=2",
+            "q=campus%20shuttle%20schedule&page=1",
+            "invoice=123456&amount=50.00&currency=usd",
+            "",
+        ]
+        for payload in benign:
+            assert small_signatures.score(payload) < 0.5, payload
+
+    def test_zero_day_generalization(self, small_signatures):
+        """Payloads with structures *not* in the grammar (novel table
+        names, novel numbers, different casing) must still be caught —
+        the generalization claim of the paper."""
+        novel = [
+            "zz=777' UNION SELECT password,3,4 FROM secret_vault-- -",
+            "k=9' AND SLEEP(123)-- -",
+            "v=-42' uNiOn SeLeCt 99,98,97,96,95,94 fRoM flags#",
+        ]
+        for payload in novel:
+            assert small_signatures.score(payload) > 0.6, payload

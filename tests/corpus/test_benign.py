@@ -1,0 +1,80 @@
+"""Tests for the benign traffic generator."""
+
+import pytest
+
+from repro.corpus import BenignTrafficGenerator
+from repro.http import LABEL_BENIGN
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return BenignTrafficGenerator(seed=42).trace(5000)
+
+
+class TestShape:
+    def test_count(self, trace):
+        assert len(trace) == 5000
+
+    def test_all_labeled_benign(self, trace):
+        assert all(r.label == LABEL_BENIGN for r in trace)
+
+    def test_deterministic(self):
+        first = BenignTrafficGenerator(seed=1).trace(100).payloads()
+        second = BenignTrafficGenerator(seed=1).trace(100).payloads()
+        assert first == second
+
+    def test_mix_includes_parameterless_requests(self, trace):
+        empties = sum(1 for r in trace if not r.payload())
+        assert 0.3 < empties / len(trace) < 0.8
+
+    def test_multiple_hosts(self, trace):
+        hosts = {r.host for r in trace}
+        assert len(hosts) >= 4
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            BenignTrafficGenerator().trace(-1)
+
+
+class TestAdversarialContent:
+    """The trace must contain the benign-but-SQL-looking strings that
+    drive baseline false positives (Section I's UNION/SELECT discussion)."""
+
+    def test_sql_vocabulary_present(self, trace):
+        joined = " ".join(trace.payloads()).lower()
+        assert "union" in joined
+        assert "select" in joined
+
+    def test_apostrophe_names_present(self, trace):
+        joined = " ".join(trace.payloads())
+        assert "%27" in joined or "'" in joined
+
+    def test_hot_phrases_are_rare(self, trace):
+        hot = sum(
+            1 for p in trace.payloads() if "1%3D1" in p or "1=1" in p
+        )
+        # ~0.2% of searches * 20% search share: well under 1% of traffic.
+        assert hot < len(trace) * 0.01
+
+    def test_mundane_dominates(self, trace):
+        searches = [p for p in trace.payloads() if p.startswith("q=")]
+        sqlish = [
+            p for p in searches
+            if any(w in p for w in ("union", "select", "%27"))
+        ]
+        assert len(sqlish) < len(searches) * 0.2
+
+
+class TestRequestValidity:
+    def test_queries_parse(self, trace):
+        from repro.http.url import parse_query
+
+        for request in trace.requests[:500]:
+            parse_query(request.query)
+
+    def test_no_attack_content(self, trace):
+        # Nothing in the benign trace should be an actual injection.
+        for payload in trace.payloads():
+            lowered = payload.lower()
+            assert "union%20select" not in lowered
+            assert "or%201%3D1--" not in lowered

@@ -1,0 +1,69 @@
+"""Tests for the attack family definitions."""
+
+import pytest
+
+from repro.corpus import (
+    BLACK_HOLE_FAMILIES,
+    FAMILIES,
+    FAMILY_NAMES,
+    family_by_name,
+)
+
+
+class TestFamilySet:
+    def test_eleven_families(self):
+        # One per bicluster in the paper's Figure 2.
+        assert len(FAMILIES) == 11
+
+    def test_names_unique(self):
+        assert len(FAMILY_NAMES) == len(set(FAMILY_NAMES))
+
+    def test_two_black_hole_families(self):
+        assert len(BLACK_HOLE_FAMILIES) == 2
+        assert BLACK_HOLE_FAMILIES <= set(FAMILY_NAMES)
+
+    def test_positive_weights(self):
+        assert all(f.weight > 0 for f in FAMILIES)
+
+    def test_every_family_has_templates(self):
+        assert all(len(f.templates) >= 5 for f in FAMILIES)
+
+    def test_descriptions_present(self):
+        assert all(f.description for f in FAMILIES)
+
+    def test_size_spread_matches_table6(self):
+        # Table VI: largest cluster ~8x the smallest.
+        weights = sorted(f.weight for f in FAMILIES)
+        assert 2.0 <= weights[-1] / weights[0] <= 10.0
+
+
+class TestLookup:
+    def test_known_name(self):
+        family = family_by_name("union-extract")
+        assert family.name == "union-extract"
+
+    def test_unknown_name_raises_with_listing(self):
+        with pytest.raises(KeyError) as info:
+            family_by_name("nope")
+        assert "union-extract" in str(info.value)
+
+
+class TestTemplateHygiene:
+    def test_placeholders_are_known(self):
+        known = {
+            "base", "q", "qq", "n", "m", "bign", "bigN", "byte", "sleep",
+            "cols", "cols_concat", "table", "col", "dbfunc", "subq", "cmt",
+            "ch", "charlist", "hexstr", "hextable", "hexpath", "path",
+            "junk",
+        }
+        import re
+
+        for family in FAMILIES:
+            for template in family.templates:
+                for slot in re.findall(r"\{(\w+)\}", template):
+                    assert slot in known, (family.name, slot)
+
+    def test_black_hole_templates_are_short(self):
+        for name in BLACK_HOLE_FAMILIES:
+            family = family_by_name(name)
+            assert all(len(t) < 40 for t in family.templates)

@@ -1,0 +1,115 @@
+"""Tests for the SQLi corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import FAMILIES, FAMILY_NAMES, CorpusGenerator
+from repro.corpus.grammar import TemplateRenderer
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        first = [s.payload for s in CorpusGenerator(seed=3).generate(50)]
+        second = [s.payload for s in CorpusGenerator(seed=3).generate(50)]
+        assert first == second
+
+    def test_different_seed_different_corpus(self):
+        first = [s.payload for s in CorpusGenerator(seed=3).generate(50)]
+        second = [s.payload for s in CorpusGenerator(seed=4).generate(50)]
+        assert first != second
+
+    def test_sample_ids_sequential(self):
+        samples = CorpusGenerator(seed=1).generate(3)
+        assert [s.sample_id for s in samples] == [
+            "atk-000000", "atk-000001", "atk-000002"
+        ]
+
+
+class TestFamilyCoverage:
+    def test_all_families_appear_in_large_corpus(self):
+        samples = CorpusGenerator(seed=7).generate(2000)
+        seen = {s.family for s in samples}
+        assert seen == set(FAMILY_NAMES)
+
+    def test_family_proportions_follow_weights(self):
+        samples = CorpusGenerator(seed=7).generate(4000)
+        counts = {name: 0 for name in FAMILY_NAMES}
+        for sample in samples:
+            counts[sample.family] += 1
+        total_weight = sum(f.weight for f in FAMILIES)
+        for family in FAMILIES:
+            expected = family.weight / total_weight
+            observed = counts[family.name] / len(samples)
+            assert abs(observed - expected) < 0.03, family.name
+
+    def test_labels_are_valid_family_names(self):
+        for sample in CorpusGenerator(seed=2).generate(100):
+            assert sample.family in FAMILY_NAMES
+
+
+class TestPayloadShape:
+    def test_payloads_are_query_strings(self):
+        for sample in CorpusGenerator(seed=2).generate(100):
+            assert "=" in sample.payload
+
+    def test_no_unfilled_placeholders(self):
+        for sample in CorpusGenerator(seed=2, mutation_rate=0.0).generate(300):
+            assert "{base}" not in sample.payload
+            assert "{cols}" not in sample.payload
+            assert "{cmt}" not in sample.payload
+
+    def test_union_family_contains_union(self):
+        samples = [
+            s for s in CorpusGenerator(seed=2, mutation_rate=0.0).generate(400)
+            if s.family == "union-extract"
+        ]
+        assert samples
+        for sample in samples:
+            assert "union" in sample.payload.lower()
+
+    def test_time_family_contains_timing_function(self):
+        samples = [
+            s for s in CorpusGenerator(seed=2, mutation_rate=0.0).generate(400)
+            if s.family == "time-blind"
+        ]
+        assert samples
+        for sample in samples:
+            lowered = sample.payload.lower()
+            assert "sleep" in lowered or "benchmark" in lowered
+
+
+class TestValidation:
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            CorpusGenerator(seed=1).generate(-1)
+
+    def test_empty_families_rejected(self):
+        with pytest.raises(ValueError):
+            CorpusGenerator(seed=1, families=())
+
+    def test_zero_count_ok(self):
+        assert CorpusGenerator(seed=1).generate(0) == []
+
+
+class TestTemplateRenderer:
+    def test_cols_renders_lists(self):
+        renderer = TemplateRenderer(np.random.default_rng(0))
+        rendered = renderer.render("{cols}")
+        assert "," in rendered or rendered in (
+            "1", "null", "'a'", "0x61"
+        )
+
+    def test_charlist_is_ascii_codes(self):
+        renderer = TemplateRenderer(np.random.default_rng(0))
+        rendered = renderer.render("{charlist}")
+        codes = [int(c) for c in rendered.split(",")]
+        assert all(32 <= c < 127 for c in codes)
+
+    def test_hex_slots_are_hex(self):
+        renderer = TemplateRenderer(np.random.default_rng(0))
+        rendered = renderer.render("{hextable}")
+        int(rendered, 16)
+
+    def test_subquery_is_sql(self):
+        renderer = TemplateRenderer(np.random.default_rng(3))
+        assert "select" in renderer.render("{subq}")

@@ -1,0 +1,75 @@
+"""Tests for evasion mutators, including the normalize-undoes-mutate law."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.mutators import (
+    MUTATORS,
+    comment_spaces,
+    double_encode_quotes,
+    mixed_case,
+    plus_spaces,
+    tab_spaces,
+    unicode_fullwidth,
+    url_encode_specials,
+)
+from repro.normalize import normalize
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(13)
+
+
+PAYLOAD = "1' union select 1,2,concat(database(),char(58)),4-- -"
+
+
+class TestIndividualMutators:
+    def test_mixed_case_preserves_letters(self, rng):
+        mutated = mixed_case(PAYLOAD, rng)
+        assert mutated.lower() == PAYLOAD.lower()
+
+    def test_url_encode_encodes_most_specials(self, rng):
+        mutated = url_encode_specials(PAYLOAD, rng)
+        # p=0.8 per special; with ~10 specials at least one must encode.
+        assert "%2" in mutated.lower() or "%3" in mutated.lower()
+
+    def test_double_encode_quotes(self, rng):
+        assert double_encode_quotes("a'b", rng) == "a%2527b"
+
+    def test_plus_spaces(self, rng):
+        assert plus_spaces("a b c", rng) == "a+b+c"
+
+    def test_comment_spaces_replaces_only_spaces(self, rng):
+        mutated = comment_spaces("union select", rng)
+        assert mutated.replace("/**/", " ").replace("/*x*/", " ") \
+            .replace("%09", " ").replace("%0a", " ") == "union select"
+
+    def test_tab_spaces_only_whitespace_changes(self, rng):
+        mutated = tab_spaces("a b", rng)
+        assert mutated.replace("\t", " ").replace("\n", " ") \
+            .replace("  ", " ") == "a b"
+
+    def test_unicode_fullwidth_folds_back(self, rng):
+        mutated = unicode_fullwidth("select", rng)
+        from repro.normalize.unicode_map import fold
+        assert fold(mutated) == "select"
+
+
+class TestNormalizerUndoesMutations:
+    """The core law: every mutator's output normalizes to the same string
+    as the unmutated payload."""
+
+    @pytest.mark.parametrize("mutator", MUTATORS, ids=lambda m: m.__name__)
+    def test_single_mutation(self, mutator, rng):
+        mutated = mutator(PAYLOAD, rng)
+        assert normalize(mutated) == normalize(PAYLOAD)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_stacked_mutations(self, seed):
+        rng = np.random.default_rng(seed)
+        mutated = PAYLOAD
+        for _ in range(2):
+            mutator = MUTATORS[int(rng.integers(len(MUTATORS)))]
+            mutated = mutator(mutated, rng)
+        assert normalize(mutated) == normalize(PAYLOAD)

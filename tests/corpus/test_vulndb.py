@@ -1,0 +1,80 @@
+"""Tests for the vulnerability DB and the Table I coverage check."""
+
+import pytest
+
+from repro.corpus import (
+    CorpusGenerator,
+    TABLE1_RECORDS,
+    coverage,
+    july_2012_cohort,
+)
+from repro.corpus.vulndb import CONTEXT_FAMILIES
+from repro.corpus.grammar import AttackSample
+
+
+class TestTable1Records:
+    def test_exactly_four_printed_rows(self):
+        assert len(TABLE1_RECORDS) == 4
+
+    def test_paper_cve_ids(self):
+        ids = [r.cve_id for r in TABLE1_RECORDS]
+        assert ids == [
+            "CVE-2012-3554", "CVE-2012-2306", "CVE-2012-3395",
+            "CVE-2012-3881",
+        ]
+
+    def test_products_match_paper(self):
+        products = " | ".join(r.product for r in TABLE1_RECORDS)
+        assert "Joomla" in products
+        assert "Drupal" in products
+        assert "Moodle" in products
+        assert "RTG" in products
+
+
+class TestCohort:
+    def test_cohort_size_about_thirty(self):
+        # Section II-A: "approximately 30 in number".
+        assert 28 <= len(july_2012_cohort()) <= 32
+
+    def test_cohort_includes_table1(self):
+        ids = {r.cve_id for r in july_2012_cohort()}
+        for record in TABLE1_RECORDS:
+            assert record.cve_id in ids
+
+    def test_cve_ids_unique(self):
+        ids = [r.cve_id for r in july_2012_cohort()]
+        assert len(ids) == len(set(ids))
+
+    def test_contexts_are_known(self):
+        for record in july_2012_cohort():
+            assert record.context in CONTEXT_FAMILIES
+
+    def test_risk_levels(self):
+        for record in july_2012_cohort():
+            assert record.risk in ("high", "medium")
+
+
+class TestCoverage:
+    def test_full_corpus_covers_everything(self):
+        samples = CorpusGenerator(seed=11).generate(1000)
+        covered = coverage(july_2012_cohort(), samples)
+        assert all(covered.values())
+
+    def test_empty_corpus_covers_nothing(self):
+        covered = coverage(july_2012_cohort(), [])
+        assert not any(covered.values())
+
+    def test_partial_corpus(self):
+        samples = [
+            AttackSample(sample_id="x", payload="id=1 order by 3",
+                         family="enumeration")
+        ]
+        covered = coverage(july_2012_cohort(), samples)
+        order_by_records = [
+            r for r in july_2012_cohort() if r.context == "order-by"
+        ]
+        numeric_records = [
+            r for r in july_2012_cohort() if r.context == "string"
+        ]
+        assert all(covered[r.cve_id] for r in order_by_records)
+        assert not any(covered[r.cve_id] for r in numeric_records)

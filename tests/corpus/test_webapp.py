@@ -1,0 +1,118 @@
+"""Tests for the simulated vulnerable web application."""
+
+import pytest
+
+from repro.corpus import VulnerableWebApp
+from repro.corpus.webapp import (
+    BEHAVIOR_BOOLEAN,
+    BEHAVIOR_ERROR,
+    BEHAVIOR_TIME,
+    BEHAVIORS,
+)
+
+
+@pytest.fixture(scope="module")
+def app():
+    return VulnerableWebApp(seed=7)
+
+
+class TestLayout:
+    def test_paper_vulnerability_count(self, app):
+        assert len(app) == 136
+
+    def test_custom_count(self):
+        assert len(VulnerableWebApp(n_vulnerabilities=10)) == 10
+
+    def test_deterministic_layout(self):
+        first = VulnerableWebApp(seed=3)
+        second = VulnerableWebApp(seed=3)
+        assert [p.path for p in first.points] == [
+            p.path for p in second.points
+        ]
+
+    def test_all_behaviors_present(self, app):
+        behaviors = {p.behavior for p in app.points}
+        assert behaviors == set(BEHAVIORS)
+
+    def test_paths_unique(self, app):
+        paths = [p.path for p in app.points]
+        assert len(paths) == len(set(paths))
+
+    def test_column_counts_in_range(self, app):
+        for point in app.points:
+            assert 2 <= app.union_column_count(point.path) <= 8
+
+
+class TestResponses:
+    def test_unknown_path_404(self, app):
+        assert app.handle("/nope", "id", "1").status == 404
+
+    def test_wrong_parameter_static(self, app):
+        point = app.points[0]
+        response = app.handle(point.path, "not-the-param", "1'")
+        assert response.status == 200
+        assert "error" not in response.body.lower()
+
+    def test_clean_value_normal_page(self, app):
+        point = app.points[0]
+        response = app.handle(point.path, point.parameter, "1")
+        assert response.status == 200
+        assert "row" in response.body
+
+    def _point_with(self, app, behavior):
+        for point in app.points:
+            if point.behavior == behavior:
+                return point
+        raise AssertionError(f"no {behavior} point")
+
+    def test_error_page_reflects_mysql_error(self, app):
+        point = self._point_with(app, BEHAVIOR_ERROR)
+        response = app.handle(point.path, point.parameter, "1'")
+        assert "error in your SQL syntax" in response.body
+
+    def test_non_error_page_500s_on_break(self, app):
+        point = self._point_with(app, BEHAVIOR_BOOLEAN)
+        response = app.handle(point.path, point.parameter, "1'")
+        assert response.status == 500
+
+    def test_time_behavior_delays(self, app):
+        point = self._point_with(app, BEHAVIOR_TIME)
+        fast = app.handle(point.path, point.parameter, "1")
+        slow = app.handle(point.path, point.parameter, "1 and sleep(5)")
+        assert slow.delay >= fast.delay + 4
+
+    def test_sleep_capped(self, app):
+        point = self._point_with(app, BEHAVIOR_TIME)
+        response = app.handle(
+            point.path, point.parameter, "1 and sleep(99999)"
+        )
+        assert response.delay <= 31
+
+    def test_boolean_differential(self, app):
+        point = self._point_with(app, BEHAVIOR_BOOLEAN)
+        true_page = app.handle(
+            point.path, point.parameter, "1 and 5=5"
+        )
+        false_page = app.handle(
+            point.path, point.parameter, "1 and 5=6"
+        )
+        assert true_page.body != false_page.body
+
+    def test_order_by_over_column_count_breaks(self, app):
+        point = self._point_with(app, BEHAVIOR_ERROR)
+        columns = app.union_column_count(point.path)
+        good = app.handle(
+            point.path, point.parameter, f"1 order by {columns}"
+        )
+        bad = app.handle(
+            point.path, point.parameter, f"1 order by {columns + 1}"
+        )
+        assert "error" in bad.body.lower()
+        assert "error" not in good.body.lower()
+
+    def test_union_with_correct_columns_renders_extra(self, app):
+        point = app.points[0]
+        columns = app.union_column_count(point.path)
+        value = "1 union select " + ",".join(["1"] * columns)
+        response = app.handle(point.path, point.parameter, value)
+        assert "extra" in response.body

@@ -1,0 +1,42 @@
+"""Tests for normalized payload deduplication."""
+
+from repro.crawler import PayloadDeduplicator
+
+
+class TestDedup:
+    def test_first_admission(self):
+        dedup = PayloadDeduplicator()
+        assert dedup.admit("id=1' union select 1")
+        assert dedup.accepted == 1
+
+    def test_exact_duplicate_rejected(self):
+        dedup = PayloadDeduplicator()
+        dedup.admit("id=1'")
+        assert not dedup.admit("id=1'")
+        assert dedup.rejected == 1
+
+    def test_reencoded_duplicate_rejected(self):
+        # %27 and ' normalize identically — cross-portal re-encodes collapse.
+        dedup = PayloadDeduplicator()
+        dedup.admit("id=1' union select 1,2")
+        assert not dedup.admit("id=1%27+union+select+1,2")
+        assert not dedup.admit("id=1%27/**/UNION/**/SELECT/**/1,2")
+
+    def test_case_variant_rejected(self):
+        dedup = PayloadDeduplicator()
+        dedup.admit("id=1' or 1=1")
+        assert not dedup.admit("id=1' OR 1=1")
+
+    def test_distinct_payloads_kept(self):
+        dedup = PayloadDeduplicator()
+        assert dedup.admit("id=1' or 1=1")
+        assert dedup.admit("id=2' or 1=1")
+        assert len(dedup) == 2
+
+    def test_counts_consistent(self):
+        dedup = PayloadDeduplicator()
+        for payload in ("a=1", "a=1", "b=2", "a=1", "c=3"):
+            dedup.admit(payload)
+        assert dedup.accepted == 3
+        assert dedup.rejected == 2
+        assert len(dedup) == 3

@@ -1,0 +1,116 @@
+"""Failure-injection tests: the crawler against a hostile/broken web."""
+
+import numpy as np
+import pytest
+
+from repro.crawler import CrawlSession, Page, SimulatedWeb
+from repro.crawler.portals import PORTAL_NAMES
+
+
+class FlakyWeb(SimulatedWeb):
+    """Wraps the simulated web with injected failures.
+
+    Every Nth response becomes a 500; some advisory bodies are replaced
+    with garbage (truncated HTML, binary-ish noise, malformed JSON).
+    """
+
+    def __init__(self, *, error_every=7, garbage_every=11, **kwargs):
+        super().__init__(**kwargs)
+        self._counter = 0
+        self._error_every = error_every
+        self._garbage_every = garbage_every
+
+    def get(self, host, path_and_query):
+        page = super().get(host, path_and_query)
+        if path_and_query == "/robots.txt":
+            return page
+        self._counter += 1
+        if self._counter % self._error_every == 0:
+            return Page(500, "text/html", "internal error")
+        if self._counter % self._garbage_every == 0:
+            if "json" in page.content_type:
+                return Page(200, "application/json", '{"results": [')
+            return Page(
+                200, "text/html",
+                "<html><code>no question mark here \x00\xff</code>",
+            )
+        return page
+
+
+class TestCrawlerResilience:
+    def test_crawl_survives_errors_and_garbage(self):
+        web = FlakyWeb(corpus_size=300, seed=8)
+        report = CrawlSession(web).run()
+        # It must finish, and still harvest a substantial corpus.
+        assert len(report.samples) > 100
+
+    def test_no_duplicate_samples_despite_retries(self):
+        web = FlakyWeb(corpus_size=200, seed=9)
+        report = CrawlSession(web).run()
+        payloads = [s.payload for s in report.samples]
+        from repro.normalize import normalize
+
+        normalized = [normalize(p) for p in payloads]
+        assert len(normalized) == len(set(normalized))
+
+    def test_dead_portal_does_not_block_others(self):
+        class DeadPortalWeb(SimulatedWeb):
+            def get(self, host, path_and_query):
+                if host == PORTAL_NAMES[0]:
+                    return Page(0, "", "")  # connection refused
+                return super().get(host, path_and_query)
+
+        web = DeadPortalWeb(corpus_size=200, seed=10)
+        report = CrawlSession(web).run()
+        assert PORTAL_NAMES[0] not in report.per_portal
+        assert len(report.per_portal) == len(PORTAL_NAMES) - 1
+        assert len(report.samples) > 50
+
+    def test_malformed_json_api_degrades_gracefully(self):
+        class BrokenApiWeb(SimulatedWeb):
+            def get(self, host, path_and_query):
+                if path_and_query.startswith("/api/search"):
+                    return Page(200, "application/json", "{]")
+                return super().get(host, path_and_query)
+
+        web = BrokenApiWeb(corpus_size=200, seed=11)
+        report = CrawlSession(web).run()
+        # HTML advisories still deliver the corpus.
+        assert len(report.samples) > 100
+
+
+class TestDetectorRobustness:
+    """Detectors must survive arbitrary payloads without exceptions."""
+
+    HOSTILE = [
+        "",
+        "=",
+        "&&&&&",
+        "a" * 50_000,
+        "%" * 999,
+        "id=" + "%25" * 500 + "27",
+        "id=\x00\x01\x02",
+        "q=" + "union select " * 300,
+        "\udcff\udcfe",  # lone surrogates
+        "𝕌𝕟𝕚𝕔𝕠𝕕𝕖=𝕒𝕥𝕥𝕒𝕔𝕜",
+    ]
+
+    @pytest.mark.parametrize("payload", HOSTILE, ids=range(len(HOSTILE)))
+    def test_psigene_total(self, small_signatures, payload):
+        score = small_signatures.score(payload)
+        assert 0.0 <= score <= 1.0
+
+    @pytest.mark.parametrize("payload", HOSTILE, ids=range(len(HOSTILE)))
+    def test_rulesets_total(self, payload):
+        from repro.ids.rulesets import (
+            build_bro_ruleset,
+            build_modsec_ruleset,
+            build_snort_ruleset,
+        )
+
+        for ruleset in (
+            build_bro_ruleset(), build_snort_ruleset(),
+            build_modsec_ruleset(),
+        ):
+            detection = ruleset.inspect(payload)
+            assert isinstance(detection.alert, bool)

@@ -1,0 +1,77 @@
+"""Tests for the polite fetcher."""
+
+import pytest
+
+from repro.crawler import Fetcher, SimulatedClock, SimulatedWeb
+
+
+@pytest.fixture
+def web():
+    return SimulatedWeb(corpus_size=30, seed=4)
+
+
+class TestClock:
+    def test_monotonic(self):
+        clock = SimulatedClock()
+        start = clock.now()
+        clock.sleep(2.5)
+        assert clock.now() == start + 2.5
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().sleep(-1)
+
+
+class TestFetching:
+    def test_fetch_ok(self, web):
+        fetcher = Fetcher(web)
+        result = fetcher.fetch("http://exploitdb.test/index.html")
+        assert result is not None and result.ok
+
+    def test_404_counted_as_error(self, web):
+        fetcher = Fetcher(web)
+        result = fetcher.fetch("http://exploitdb.test/missing.html")
+        assert result is not None and not result.ok
+        assert fetcher.stats.errors == 1
+
+    def test_robots_blocked_returns_none(self, web):
+        fetcher = Fetcher(web)
+        result = fetcher.fetch(
+            "http://exploitdb.test/private/internal.html"
+        )
+        assert result is None
+        assert fetcher.stats.blocked_by_robots == 1
+
+    def test_per_host_stats(self, web):
+        fetcher = Fetcher(web)
+        fetcher.fetch("http://exploitdb.test/index.html")
+        fetcher.fetch("http://packetstorm.test/index.html")
+        fetcher.fetch("http://exploitdb.test/about.html")
+        assert fetcher.stats.per_host["exploitdb.test"] == 2
+        assert fetcher.stats.per_host["packetstorm.test"] == 1
+
+
+class TestPoliteness:
+    def test_crawl_delay_enforced(self, web):
+        clock = SimulatedClock()
+        fetcher = Fetcher(web, clock=clock)
+        fetcher.fetch("http://exploitdb.test/index.html")
+        first_time = clock.now()
+        fetcher.fetch("http://exploitdb.test/about.html")
+        # Portal robots declare Crawl-delay: 1.
+        assert clock.now() - first_time >= 1.0
+
+    def test_delay_tracked_in_stats(self, web):
+        clock = SimulatedClock()
+        fetcher = Fetcher(web, clock=clock)
+        fetcher.fetch("http://exploitdb.test/index.html")
+        fetcher.fetch("http://exploitdb.test/about.html")
+        assert fetcher.stats.total_delay > 0
+
+    def test_different_hosts_not_delayed(self, web):
+        clock = SimulatedClock()
+        fetcher = Fetcher(web, clock=clock)
+        fetcher.fetch("http://exploitdb.test/index.html")
+        before = clock.now()
+        fetcher.fetch("http://packetstorm.test/index.html")
+        assert clock.now() - before < 1.0

@@ -1,0 +1,67 @@
+"""Tests for the crawl frontier."""
+
+import pytest
+
+from repro.crawler import Frontier
+
+
+class TestQueueing:
+    def test_fifo_order(self):
+        frontier = Frontier()
+        frontier.add("http://a.test/1")
+        frontier.add("http://a.test/2")
+        assert frontier.next()[0] == "http://a.test/1"
+        assert frontier.next()[0] == "http://a.test/2"
+
+    def test_duplicate_rejected(self):
+        frontier = Frontier()
+        assert frontier.add("http://a.test/x")
+        assert not frontier.add("http://a.test/x")
+        assert len(frontier) == 1
+
+    def test_depth_tracked(self):
+        frontier = Frontier()
+        frontier.add("http://a.test/x", depth=3)
+        assert frontier.next() == ("http://a.test/x", 3)
+
+    def test_empty_returns_none(self):
+        assert Frontier().next() is None
+
+
+class TestBudgets:
+    def test_max_pages(self):
+        frontier = Frontier(max_pages=2)
+        for i in range(5):
+            frontier.add(f"http://a.test/{i}")
+        assert frontier.next() is not None
+        assert frontier.next() is not None
+        assert frontier.next() is None
+        assert frontier.dispensed == 2
+
+    def test_max_depth_drops(self):
+        frontier = Frontier(max_depth=1)
+        assert not frontier.add("http://a.test/deep", depth=2)
+        assert frontier.dropped_depth == 1
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Frontier(max_pages=0)
+
+    def test_exhausted_flag(self):
+        frontier = Frontier(max_pages=1)
+        frontier.add("http://a.test/x")
+        assert not frontier.exhausted
+        frontier.next()
+        assert frontier.exhausted
+
+
+class TestHostScoping:
+    def test_offsite_dropped(self):
+        frontier = Frontier(allowed_hosts={"a.test"})
+        assert frontier.add("http://a.test/ok")
+        assert not frontier.add("http://evil.test/bad")
+        assert frontier.dropped_offsite == 1
+
+    def test_no_scoping_by_default(self):
+        frontier = Frontier()
+        assert frontier.add("http://anywhere.test/x")

@@ -1,0 +1,87 @@
+"""Tests for page parsing and payload extraction."""
+
+from repro.crawler import (
+    extract_links,
+    extract_payloads_from_html,
+    extract_payloads_from_json,
+)
+
+
+class TestLinkExtraction:
+    def test_absolute_links(self):
+        body = '<a href="http://other.test/x">x</a>'
+        assert extract_links(body, "base.test") == ["http://other.test/x"]
+
+    def test_relative_links_resolved(self):
+        body = '<a href="/advisory/1.html">a</a>'
+        assert extract_links(body, "base.test") == [
+            "http://base.test/advisory/1.html"
+        ]
+
+    def test_bare_relative_links(self):
+        body = '<a href="page.html">a</a>'
+        assert extract_links(body, "b.test") == ["http://b.test/page.html"]
+
+    def test_anchors_and_mailto_dropped(self):
+        body = '<a href="#top">t</a><a href="mailto:x@y">m</a>'
+        assert extract_links(body, "b.test") == []
+
+    def test_multiple_links_in_order(self):
+        body = '<a href="/1">1</a><a href="/2">2</a>'
+        links = extract_links(body, "b.test")
+        assert links == ["http://b.test/1", "http://b.test/2"]
+
+
+class TestHtmlPayloadExtraction:
+    def test_code_block_url(self):
+        body = "<code>http://v.example/p.php?id=1' or 1=1-- -</code>"
+        assert extract_payloads_from_html(body) == ["id=1' or 1=1-- -"]
+
+    def test_pre_block_raw_request(self):
+        body = "<pre>GET /x.php?cat=2%27--+- HTTP/1.1</pre>"
+        assert extract_payloads_from_html(body) == ["cat=2%27--+-"]
+
+    def test_html_entities_unescaped(self):
+        body = "<code>http://v/p?a=1&amp;b=2' and 3&lt;4</code>"
+        assert extract_payloads_from_html(body) == ["a=1&b=2' and 3<4"]
+
+    def test_no_question_mark_no_payload(self):
+        body = "<code>SELECT * FROM users</code>"
+        assert extract_payloads_from_html(body) == []
+
+    def test_text_outside_blocks_ignored(self):
+        body = "<p>visit http://x/p?id=1</p><code>nothing here</code>"
+        assert extract_payloads_from_html(body) == []
+
+    def test_multiline_block(self):
+        body = (
+            "<pre>http://v/a.php?x=1' union select 1\n"
+            "http://v/b.php?y=2' union select 2</pre>"
+        )
+        payloads = extract_payloads_from_html(body)
+        assert payloads == [
+            "x=1' union select 1", "y=2' union select 2"
+        ]
+
+
+class TestJsonPayloadExtraction:
+    def test_valid_response(self):
+        body = (
+            '{"page": 1, "pages": 3, "results": ['
+            '{"id": "a", "payload": "id=1%27"},'
+            '{"id": "b", "payload": "cat=2%27"}]}'
+        )
+        payloads, page, pages = extract_payloads_from_json(body)
+        assert payloads == ["id=1%27", "cat=2%27"]
+        assert (page, pages) == (1, 3)
+
+    def test_malformed_json_is_safe(self):
+        payloads, page, pages = extract_payloads_from_json("{oops")
+        assert payloads == []
+        assert pages == 1
+
+    def test_missing_fields_tolerated(self):
+        payloads, page, pages = extract_payloads_from_json(
+            '{"results": [{"id": "no-payload-key"}]}'
+        )
+        assert payloads == []

@@ -1,0 +1,102 @@
+"""Tests for the simulated portals."""
+
+import json
+
+import pytest
+
+from repro.corpus.grammar import AttackSample
+from repro.crawler import PORTAL_NAMES, Portal, SimulatedWeb
+
+
+def _samples(count):
+    return [
+        AttackSample(
+            sample_id=f"s{i}",
+            payload=f"id={i}' union select {i},2-- -",
+            family="union-extract",
+        )
+        for i in range(count)
+    ]
+
+
+class TestPortal:
+    def test_serves_index(self):
+        portal = Portal("p.test", _samples(5))
+        page = portal.get("/index.html")
+        assert page.status == 200
+        assert "advisory" in page.body
+
+    def test_serves_advisories(self):
+        portal = Portal("p.test", _samples(3))
+        page = portal.get("/advisory/00000.html")
+        assert page.status == 200
+        assert "Proof of concept" in page.body
+
+    def test_404_for_unknown(self):
+        portal = Portal("p.test", _samples(1))
+        assert portal.get("/nope.html").status == 404
+
+    def test_robots_served(self):
+        portal = Portal("p.test", _samples(1))
+        page = portal.get("/robots.txt")
+        assert "Disallow: /private/" in page.body
+
+    def test_index_pagination(self):
+        portal = Portal("p.test", _samples(60), per_page=25)
+        assert portal.get("/index.html").status == 200
+        assert portal.get("/index_1.html").status == 200
+        assert portal.get("/index_2.html").status == 200
+        assert "index_1.html" in portal.get("/index.html").body
+
+    def test_api_portal_serves_json(self):
+        portal = Portal("api.test", _samples(150), api=True)
+        page = portal.get("/api/search?page=0")
+        assert page.status == 200
+        data = json.loads(page.body)
+        assert data["pages"] == 2
+        assert len(data["results"]) == 100
+
+    def test_non_api_portal_has_no_api(self):
+        portal = Portal("p.test", _samples(5), api=False)
+        assert portal.get("/api/search?page=0").status == 404
+
+    def test_payload_embedded_escaped(self):
+        sample = AttackSample(
+            sample_id="s0", payload="id=1&x=<script>", family="fuzz-junk"
+        )
+        portal = Portal("p.test", [sample])
+        body = portal.get("/advisory/00000.html").body
+        assert "&amp;" in body or "&lt;" in body
+
+
+class TestSimulatedWeb:
+    @pytest.fixture(scope="class")
+    def web(self):
+        return SimulatedWeb(corpus_size=120, seed=3)
+
+    def test_four_portals(self, web):
+        assert set(web.portals) == set(PORTAL_NAMES)
+
+    def test_osvdb_has_api(self, web):
+        assert web.portals["osvdb.test"].api
+        assert not web.portals["exploitdb.test"].api
+
+    def test_seeds_one_per_portal(self, web):
+        assert len(web.seeds()) == len(PORTAL_NAMES)
+
+    def test_unknown_host_connection_error(self, web):
+        assert web.get("unknown.test", "/").status == 0
+
+    def test_overlap_publishes_duplicates(self, web):
+        published = sum(
+            portal.sample_count for portal in web.portals.values()
+        )
+        assert published > web.distinct_samples
+
+    def test_deterministic(self):
+        first = SimulatedWeb(corpus_size=50, seed=9)
+        second = SimulatedWeb(corpus_size=50, seed=9)
+        assert (
+            first.get("exploitdb.test", "/index.html").body
+            == second.get("exploitdb.test", "/index.html").body
+        )

@@ -1,0 +1,72 @@
+"""Tests for robots.txt parsing and policy."""
+
+from repro.crawler import RobotsPolicy, parse_robots
+
+
+class TestParsing:
+    BODY = (
+        "# portal robots\n"
+        "User-agent: *\n"
+        "Disallow: /private/\n"
+        "Allow: /private/public-subdir/\n"
+        "Crawl-delay: 2\n"
+        "\n"
+        "User-agent: evilbot\n"
+        "Disallow: /\n"
+    )
+
+    def test_wildcard_group(self):
+        policy = parse_robots(self.BODY, user_agent="psigene-crawler")
+        assert "/private/" in policy.disallow
+        assert policy.crawl_delay == 2.0
+
+    def test_specific_group_wins(self):
+        policy = parse_robots(self.BODY, user_agent="evilbot")
+        assert policy.disallow == ["/"]
+        assert policy.crawl_delay == 0.0
+
+    def test_comments_ignored(self):
+        policy = parse_robots("# Disallow: /fake\nUser-agent: *\n")
+        assert policy.disallow == []
+
+    def test_empty_body(self):
+        policy = parse_robots("")
+        assert policy.allowed("/anything")
+
+    def test_bad_crawl_delay_ignored(self):
+        policy = parse_robots(
+            "User-agent: *\nCrawl-delay: soon\nDisallow: /x\n"
+        )
+        assert policy.crawl_delay == 0.0
+
+    def test_multiple_agents_share_group(self):
+        body = (
+            "User-agent: a\nUser-agent: b\nDisallow: /shared\n"
+        )
+        assert "/shared" in parse_robots(body, user_agent="a").disallow
+        assert "/shared" in parse_robots(body, user_agent="b").disallow
+
+
+class TestPolicy:
+    def test_no_rules_allows_everything(self):
+        assert RobotsPolicy().allowed("/anything")
+
+    def test_disallow_prefix(self):
+        policy = RobotsPolicy(disallow=["/private/"])
+        assert not policy.allowed("/private/x.html")
+        assert policy.allowed("/public/x.html")
+
+    def test_allow_overrides_with_longer_match(self):
+        policy = RobotsPolicy(
+            disallow=["/private/"], allow=["/private/ok/"]
+        )
+        assert policy.allowed("/private/ok/page.html")
+        assert not policy.allowed("/private/secret.html")
+
+    def test_disallow_root(self):
+        policy = RobotsPolicy(disallow=["/"])
+        assert not policy.allowed("/index.html")
+
+    def test_equal_length_allow_wins(self):
+        policy = RobotsPolicy(disallow=["/a/"], allow=["/a/"])
+        assert policy.allowed("/a/x")

@@ -1,0 +1,62 @@
+"""Tests for the end-to-end crawl session."""
+
+import pytest
+
+from repro.crawler import CrawlSession, SimulatedWeb
+
+
+@pytest.fixture(scope="module")
+def report():
+    web = SimulatedWeb(corpus_size=200, seed=12)
+    return web, CrawlSession(web).run()
+
+
+class TestCrawlCompleteness:
+    def test_most_samples_recovered(self, report):
+        web, result = report
+        # The crawl must recover nearly every distinct published sample
+        # (a few multiline payloads split across lines become noise).
+        assert len(result.samples) >= web.distinct_samples * 0.9
+
+    def test_all_portals_contribute(self, report):
+        _, result = report
+        assert set(result.per_portal) == set(
+            SimulatedWeb(corpus_size=4, seed=0).portals
+        )
+
+    def test_robots_respected(self, report):
+        _, result = report
+        assert result.pages_blocked >= 1
+
+    def test_payloads_seen_exceeds_unique(self, report):
+        web, result = report
+        # Cross-portal overlap means raw extractions > unique samples.
+        assert result.payloads_seen > len(result.samples)
+
+    def test_samples_have_portal_attribution(self, report):
+        _, result = report
+        assert all(s.portal for s in result.samples)
+
+    def test_sample_ids_unique(self, report):
+        _, result = report
+        ids = [s.sample_id for s in result.samples]
+        assert len(ids) == len(set(ids))
+
+    def test_family_unknown_to_crawler(self, report):
+        _, result = report
+        assert all(s.family == "" for s in result.samples)
+
+
+class TestBudget:
+    def test_max_pages_respected(self):
+        web = SimulatedWeb(corpus_size=200, seed=12)
+        session = CrawlSession(web, max_pages=10)
+        result = session.run()
+        assert result.pages_fetched <= 10
+
+    def test_deterministic_crawl(self):
+        def crawl():
+            web = SimulatedWeb(corpus_size=80, seed=5)
+            return [s.payload for s in CrawlSession(web).run().samples]
+
+        assert crawl() == crawl()

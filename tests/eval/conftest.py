@@ -1,0 +1,17 @@
+"""Session-scoped evaluation context at reduced experiment scale."""
+
+import pytest
+
+from repro.eval import EvaluationContext
+
+
+@pytest.fixture(scope="session")
+def context():
+    return EvaluationContext.build(
+        seed=2012,
+        n_attack_samples=1200,
+        n_benign_train=4000,
+        n_benign_test=6000,
+        max_cluster_rows=900,
+        n_vulnerabilities=25,
+    )

@@ -1,0 +1,56 @@
+"""Tests for EvaluationContext helpers."""
+
+import numpy as np
+
+from repro.http import HttpRequest, Trace
+
+
+class TestPsigeneSets:
+    def test_nine_and_seven_subsets(self, context):
+        nine, seven = context.psigene_sets()
+        assert len(seven) <= 7
+        assert len(nine) <= 9
+        assert len(seven) <= len(nine)
+        assert len(nine) <= len(context.result.signature_set)
+
+    def test_seven_is_prefix_of_nine(self, context):
+        nine, seven = context.psigene_sets()
+        nine_ids = [s.bicluster_index for s in nine]
+        seven_ids = [s.bicluster_index for s in seven]
+        assert seven_ids == nine_ids[: len(seven_ids)]
+
+
+class TestScoreCache:
+    def test_cache_returns_same_object(self, context):
+        trace = Trace(name="cache-probe", requests=[
+            HttpRequest(query="id=1' union select 1"),
+            HttpRequest(query="q=hello"),
+        ])
+        full = context.result.signature_set
+        first = context.signature_scores(full, trace)
+        second = context.signature_scores(full, trace)
+        assert first is second
+
+    def test_scores_match_direct_computation(self, context):
+        trace = Trace(name="direct-probe", requests=[
+            HttpRequest(query="id=2' or 1=1-- -"),
+        ])
+        full = context.result.signature_set
+        cached = context.signature_scores(full, trace)
+        direct = full.probabilities("id=2' or 1=1-- -")
+        assert np.allclose(cached[0], direct)
+
+    def test_shape(self, context):
+        trace = Trace(name="shape-probe", requests=[
+            HttpRequest(query=f"id={i}") for i in range(4)
+        ])
+        full = context.result.signature_set
+        scores = context.signature_scores(full, trace)
+        assert scores.shape == (4, len(full))
+
+    def test_empty_trace(self, context):
+        full = context.result.signature_set
+        scores = context.signature_scores(
+            full, Trace(name="empty-probe")
+        )
+        assert scores.shape[0] == 0

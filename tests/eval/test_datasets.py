@@ -1,0 +1,48 @@
+"""Tests for test-dataset construction."""
+
+import pytest
+
+from repro.eval import build_test_datasets
+from repro.http import LABEL_ATTACK, LABEL_BENIGN
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return build_test_datasets(seed=5, n_benign=3000, n_vulnerabilities=20)
+
+
+class TestDatasets:
+    def test_three_traces(self, datasets):
+        assert datasets.sqlmap.name.startswith("sqlmap")
+        assert datasets.arachni.name == "arachni-set"
+        assert datasets.benign.name == "benign-week"
+
+    def test_arachni_set_merges_vega(self, datasets):
+        payloads = datasets.arachni.payloads()
+        assert any("+or+" in p for p in payloads)      # arachni encoding
+        assert any(p.endswith("-0") for p in payloads)  # vega probes
+
+    def test_labels(self, datasets):
+        assert all(
+            r.label == LABEL_ATTACK for r in datasets.sqlmap.requests
+        )
+        assert all(
+            r.label == LABEL_BENIGN for r in datasets.benign.requests
+        )
+
+    def test_benign_size_configurable(self, datasets):
+        assert len(datasets.benign) == 3000
+
+    def test_scaling_with_vulnerabilities(self):
+        small = build_test_datasets(
+            seed=5, n_benign=10, n_vulnerabilities=5
+        )
+        assert len(small.sqlmap) < 600
+
+    def test_deterministic(self):
+        first = build_test_datasets(seed=9, n_benign=50,
+                                    n_vulnerabilities=3)
+        second = build_test_datasets(seed=9, n_benign=50,
+                                     n_vulnerabilities=3)
+        assert first.sqlmap.payloads() == second.sqlmap.payloads()
+        assert first.benign.payloads() == second.benign.payloads()

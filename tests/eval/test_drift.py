@@ -1,0 +1,65 @@
+"""Tests for the concept-drift study."""
+
+import pytest
+
+from repro.corpus.families import FAMILIES
+from repro.eval import drift_study, drifted_families
+
+
+class TestDriftedFamilies:
+    def test_same_families_different_weights(self):
+        tilted = drifted_families(shift=4.0, seed=1)
+        assert [f.name for f in tilted] == [f.name for f in FAMILIES]
+        assert [f.templates for f in tilted] == [
+            f.templates for f in FAMILIES
+        ]
+        assert any(
+            t.weight != o.weight for t, o in zip(tilted, FAMILIES)
+        )
+
+    def test_shift_one_is_identity_weights_scale(self):
+        tilted = drifted_families(shift=1.0, seed=2)
+        for t, o in zip(tilted, FAMILIES):
+            assert t.weight == pytest.approx(o.weight)
+
+    def test_weights_stay_positive(self):
+        for seed in range(5):
+            tilted = drifted_families(shift=8.0, seed=seed)
+            assert all(f.weight > 0 for f in tilted)
+
+    def test_invalid_shift_rejected(self):
+        with pytest.raises(ValueError):
+            drifted_families(shift=0.5)
+
+    def test_deterministic(self):
+        first = [f.weight for f in drifted_families(shift=3.0, seed=7)]
+        second = [f.weight for f in drifted_families(shift=3.0, seed=7)]
+        assert first == second
+
+
+class TestDriftStudy:
+    @pytest.fixture(scope="class")
+    def rounds(self, small_pipeline, small_result):
+        return drift_study(
+            small_pipeline, small_result,
+            epochs=2, shift=4.0, samples_per_epoch=200, seed=55,
+        )
+
+    def test_one_round_per_epoch(self, rounds):
+        assert [r.epoch for r in rounds] == [0, 1]
+
+    def test_updates_never_hurt_much(self, rounds):
+        for round_ in rounds:
+            assert round_.tpr_after_update >= (
+                round_.tpr_before_update - 0.05
+            )
+
+    def test_detection_stays_meaningful_under_drift(self, rounds):
+        # Generalized signatures are the whole point: even drifted
+        # traffic is mostly caught.
+        assert all(r.tpr_before_update > 0.5 for r in rounds)
+
+    def test_rates_are_rates(self, rounds):
+        for round_ in rounds:
+            assert 0.0 <= round_.tpr_before_update <= 1.0
+            assert 0.0 <= round_.tpr_after_update <= 1.0

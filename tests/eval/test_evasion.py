@@ -1,0 +1,86 @@
+"""Tests for the evasion detection matrix."""
+
+import pytest
+
+from repro.eval.evasion import (
+    BASE_ATTACKS,
+    TECHNIQUES,
+    evasion_matrix,
+    evasion_payloads,
+)
+from repro.ids import PSigeneDetector
+from repro.ids.rulesets import (
+    build_bro_ruleset,
+    build_modsec_ruleset,
+    build_snort_ruleset,
+)
+from repro.normalize import normalize
+
+
+class TestBattery:
+    def test_one_list_per_technique(self):
+        battery = evasion_payloads()
+        assert set(battery) == {name for name, _ in TECHNIQUES}
+        for payloads in battery.values():
+            assert len(payloads) == len(BASE_ATTACKS)
+
+    def test_identity_row_is_unmodified(self):
+        battery = evasion_payloads()
+        assert battery["identity"] == [f"id={v}" for v in BASE_ATTACKS]
+
+    def test_evasions_normalize_back_to_identity(self):
+        """Every technique must be undone by the five transformations —
+        otherwise it isn't an encoding evasion, it's a different attack."""
+        battery = evasion_payloads()
+        identity = [normalize(p) for p in battery["identity"]]
+        for name, payloads in battery.items():
+            if name in ("hex-wrapping",):
+                continue  # semantic rewrite, not a pure encoding
+            normalized = [normalize(p) for p in payloads]
+            assert normalized == identity, name
+
+
+class TestMatrix:
+    @pytest.fixture(scope="class")
+    def cells(self, small_signatures):
+        detectors = [
+            PSigeneDetector(small_signatures, name="psigene"),
+            build_modsec_ruleset(),
+            build_snort_ruleset(),
+            build_bro_ruleset(),
+        ]
+        return evasion_matrix(detectors)
+
+    def _cell(self, cells, technique, detector):
+        return next(
+            c for c in cells
+            if c.technique == technique and c.detector == detector
+        )
+
+    def test_full_cartesian_product(self, cells):
+        assert len(cells) == len(TECHNIQUES) * 4
+
+    def test_everyone_catches_identity(self, cells):
+        for detector in ("psigene", "modsecurity", "snort", "bro"):
+            cell = self._cell(cells, "identity", detector)
+            assert cell.recall >= 0.8, detector
+
+    def test_normalizing_detectors_survive_encodings(self, cells):
+        for technique in ("double-encoding", "inline-comments",
+                          "fullwidth-unicode"):
+            for detector in ("psigene", "modsecurity"):
+                cell = self._cell(cells, technique, detector)
+                assert cell.recall >= 0.6, (technique, detector)
+
+    def test_single_decode_detectors_fall_to_encodings(self, cells):
+        for technique in ("double-encoding", "fullwidth-unicode",
+                          "unicode-%u"):
+            for detector in ("snort", "bro"):
+                cell = self._cell(cells, technique, detector)
+                identity = self._cell(cells, "identity", detector)
+                assert cell.recall <= identity.recall, (
+                    technique, detector
+                )
+
+    def test_recall_bounds(self, cells):
+        assert all(0.0 <= c.recall <= 1.0 for c in cells)

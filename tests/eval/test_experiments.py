@@ -1,0 +1,214 @@
+"""Tests for the experiment drivers — every table and figure regenerates
+with the right structure and the paper's qualitative shape."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    experiment2_incremental,
+    experiment3_perdisci,
+    experiment4_performance,
+    figure2_heatmap,
+    figure3_roc,
+    figure4_cumulative_tpr,
+    table1_vulnerability_coverage,
+    table2_feature_sources,
+    table3_signature_features,
+    table4_ruleset_comparison,
+    table5_accuracy,
+    table6_cluster_details,
+)
+
+
+class TestTable1:
+    def test_four_printed_rows_and_coverage(self, context):
+        result = table1_vulnerability_coverage(context)
+        assert len(result["table1_rows"]) == 4
+        assert result["cohort_size"] >= 28
+        # Section II-A: every reviewed vulnerability had matching samples.
+        assert result["covered"] == result["cohort_size"]
+
+
+class TestTable2:
+    def test_three_sources_with_examples(self):
+        rows = table2_feature_sources()
+        assert len(rows) == 3
+        assert sum(r["features"] for r in rows) == 477
+        assert all(r["examples"] for r in rows)
+
+
+class TestTable3:
+    def test_signature_feature_listing(self, context):
+        index = context.result.signature_set[0].bicluster_index
+        result = table3_signature_features(context, bicluster_index=index)
+        assert result["features"]
+        assert len(result["theta"]) == len(result["features"]) + 1
+        assert f"Sig_b{index}" in result["describe"]
+
+    def test_unknown_bicluster_raises(self, context):
+        with pytest.raises(KeyError):
+            table3_signature_features(context, bicluster_index=999)
+
+
+class TestTable4:
+    def test_rows_and_paper_statistics(self):
+        rows = {r["rules"]: r for r in table4_ruleset_comparison()}
+        assert rows["bro"]["sqli_rules"] == 6
+        assert rows["bro"]["enabled_pct"] == 100.0
+        assert rows["snort"]["sqli_rules"] == 79
+        assert rows["snort"]["enabled_pct"] == pytest.approx(61, abs=1)
+        assert rows["emerging-threats"]["sqli_rules"] == 4231
+        assert rows["emerging-threats"]["enabled_pct"] == 0.0
+        assert rows["modsecurity"]["sqli_rules"] == 34
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def rows(self, context):
+        return {r["rules"]: r for r in table5_accuracy(context)}
+
+    def test_five_detectors(self, rows):
+        assert len(rows) == 5 or len(rows) == 4  # 9- and 7-set may tie
+
+    def test_modsec_beats_deterministic_rulesets(self, rows):
+        # At reduced scale pSigene and ModSec can swap; the robust part of
+        # Table V's ordering is ModSec > Snort > Bro (the full-scale bench
+        # asserts the complete ordering).
+        modsec = rows["modsecurity"]
+        assert modsec["tpr_sqlmap"] > rows["snort-et"]["tpr_sqlmap"]
+        assert modsec["tpr_sqlmap"] > rows["bro"]["tpr_sqlmap"]
+
+    def test_psigene_beats_snort_and_bro_on_tpr(self, rows):
+        psigene = max(
+            (row for name, row in rows.items() if "psigene" in name),
+            key=lambda r: r["tpr_sqlmap"],
+        )
+        assert psigene["tpr_sqlmap"] > rows["snort-et"]["tpr_sqlmap"]
+        assert psigene["tpr_sqlmap"] > rows["bro"]["tpr_sqlmap"]
+
+    def test_bro_zero_fpr(self, rows):
+        assert rows["bro"]["fpr"] == 0.0
+
+    def test_snort_worst_fpr(self, rows):
+        snort_fpr = rows["snort-et"]["fpr"]
+        for name, row in rows.items():
+            assert snort_fpr >= row["fpr"], name
+
+    def test_psigene_fpr_below_snort(self, rows):
+        psigene = min(
+            (row for name, row in rows.items() if "psigene" in name),
+            key=lambda r: r["fpr"],
+        )
+        assert psigene["fpr"] < rows["snort-et"]["fpr"]
+
+
+class TestFigure3:
+    def test_one_curve_per_signature(self, context):
+        curves = figure3_roc(context)
+        assert len(curves) == len(context.result.signature_set)
+
+    def test_curves_dominate_chance(self, context):
+        curves = figure3_roc(context)
+        aucs = [curve.auc() for curve in curves.values()]
+        assert np.mean(aucs) > 0.6
+
+    def test_variability_across_signatures(self, context):
+        """Paper: 'there is wide variability in the quality of the
+        signatures.'"""
+        curves = figure3_roc(context)
+        aucs = [curve.auc(max_fpr=0.05) for curve in curves.values()]
+        assert max(aucs) - min(aucs) > 0.005
+
+
+class TestFigure4:
+    def test_rows_ordered_best_first(self, context):
+        rows = figure4_cumulative_tpr(context)
+        individual = [r["individual_tpr"] for r in rows]
+        assert individual == sorted(individual, reverse=True)
+
+    def test_cumulative_monotone(self, context):
+        rows = figure4_cumulative_tpr(context)
+        cumulative = [r["cumulative_tpr"] for r in rows]
+        assert all(b >= a - 1e-12 for a, b in zip(cumulative, cumulative[1:]))
+
+    def test_marginals_sum_to_total(self, context):
+        rows = figure4_cumulative_tpr(context)
+        assert sum(r["marginal"] for r in rows) == pytest.approx(
+            rows[-1]["cumulative_tpr"]
+        )
+
+    def test_every_signature_contributes_nontrivially(self, context):
+        # Paper: "all of the signatures make non-trivial contribution".
+        rows = figure4_cumulative_tpr(context)
+        assert rows[0]["marginal"] > 0.05
+
+
+class TestTable6:
+    def test_rows_match_signatures(self, context):
+        rows = table6_cluster_details(context)
+        assert len(rows) == len(context.result.signature_set)
+
+    def test_pruning_column_relationship(self, context):
+        for row in table6_cluster_details(context):
+            assert row["features_signature"] <= row["features_biclustering"]
+
+
+class TestExperiment2:
+    def test_incremental_improves_tpr(self, context):
+        rows = experiment2_incremental(context, fractions=(0.2, 0.4))
+        assert len(rows) == 3
+        tprs = [r["tpr_sqlmap"] for r in rows]
+        # Paper: TPR rises with each increment (86.53 → 89.13 → 91.15).
+        assert tprs[1] >= tprs[0] - 0.02
+        assert tprs[2] >= tprs[0]
+
+    def test_fpr_does_not_collapse(self, context):
+        rows = experiment2_incremental(context, fractions=(0.2,))
+        assert all(r["fpr"] < 0.02 for r in rows)
+
+
+class TestExperiment3:
+    @pytest.fixture(scope="class")
+    def outcome(self, context):
+        return experiment3_perdisci(context, max_training=400)
+
+    def test_cluster_funnel(self, outcome):
+        # Paper: 145 fine-grained → 27 filtered → 10 signatures.
+        assert outcome["fine_grained_clusters"] > (
+            outcome["clusters_after_filter"]
+        )
+        assert outcome["clusters_after_filter"] >= (
+            outcome["final_signatures"]
+        )
+
+    def test_low_generalization_tpr(self, outcome):
+        # Paper: 5.79% on unseen scanner traffic.
+        assert outcome["tpr"] < 0.35
+
+    def test_near_zero_fpr(self, outcome):
+        assert outcome["fpr"] < 0.001
+
+    def test_memorization_gap(self, outcome):
+        # Paper: 76.5% on its own training samples.
+        assert outcome["train_on_train_tpr"] > outcome["tpr"] + 0.1
+
+
+class TestExperiment4:
+    def test_psigene_slowest(self, context):
+        rows = experiment4_performance(context, sample_requests=200)
+        by_name = {r["detector"]: r for r in rows}
+        assert by_name["psigene"]["avg_us"] > by_name["bro"]["avg_us"]
+        assert by_name["psigene"]["avg_us"] > (
+            by_name["modsecurity"]["avg_us"]
+        )
+
+    def test_timings_positive_and_ordered(self, context):
+        for row in experiment4_performance(context, sample_requests=100):
+            assert 0 < row["min_us"] <= row["avg_us"] <= row["max_us"]
+
+
+class TestFigure2:
+    def test_heatmap_builds(self, context):
+        heatmap, text = figure2_heatmap(context)
+        assert heatmap.z.shape[0] > 0
+        assert text.count("\n") > 5

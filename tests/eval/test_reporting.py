@@ -1,0 +1,37 @@
+"""Tests for table formatting."""
+
+from repro.eval import format_table, percent
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1], ["longer-name", 22]],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table V")
+        assert text.splitlines()[0] == "Table V"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_header_rule_present(self):
+        text = format_table(["col"], [["v"]])
+        assert "---" in text.splitlines()[1]
+
+
+class TestPercent:
+    def test_paper_style(self):
+        assert percent(0.9052) == "90.52"
+
+    def test_digits(self):
+        assert percent(0.000370, 4) == "0.0370"
+
+    def test_zero(self):
+        assert percent(0.0) == "0.00"

@@ -1,0 +1,108 @@
+"""Tests for the SVG chart layer and the HTML report."""
+
+import re
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.eval.svg import LineChart, render_dendrogram_svg
+from repro.cluster import upgma
+
+
+class TestLineChart:
+    def _chart(self):
+        chart = LineChart(
+            title="ROC", x_label="FPR", y_label="TPR",
+            x_max=0.05, y_max=1.0,
+        )
+        chart.add("s1", [0.0, 0.01, 0.05], [0.0, 0.6, 0.9])
+        chart.add("s2", [0.0, 0.02, 0.05], [0.0, 0.4, 0.7])
+        return chart
+
+    def test_valid_xml(self):
+        ET.fromstring(self._chart().render())
+
+    def test_one_polyline_per_series(self):
+        svg = self._chart().render()
+        assert svg.count("<polyline") == 2
+
+    def test_legend_entries(self):
+        svg = self._chart().render()
+        assert ">s1<" in svg
+        assert ">s2<" in svg
+
+    def test_title_and_axes(self):
+        svg = self._chart().render()
+        assert ">ROC<" in svg
+        assert ">FPR<" in svg
+        assert ">TPR<" in svg
+
+    def test_points_within_canvas(self):
+        svg = self._chart().render()
+        chart = self._chart()
+        for match in re.finditer(r'points="([^"]+)"', svg):
+            for pair in match.group(1).split():
+                x, y = map(float, pair.split(","))
+                assert 0 <= x <= chart.width
+                assert 0 <= y <= chart.height
+
+    def test_escaping(self):
+        chart = LineChart(title="a<b&c", x_label="x", y_label="y")
+        chart.add("s", [0, 1], [0, 1])
+        ET.fromstring(chart.render())
+
+    def test_auto_limits(self):
+        chart = LineChart(title="t", x_label="x", y_label="y")
+        chart.add("s", [0, 10], [0, 5])
+        ET.fromstring(chart.render())
+
+    def test_empty_chart_renders(self):
+        ET.fromstring(
+            LineChart(title="t", x_label="x", y_label="y").render()
+        )
+
+
+class TestDendrogramSvg:
+    def test_valid_xml_and_path_count(self):
+        points = np.random.default_rng(0).normal(size=(12, 3))
+        linkage = upgma(points)
+        svg = render_dendrogram_svg(linkage, 12)
+        ET.fromstring(svg)
+        # One right-angle path per merge.
+        assert svg.count("<path") == 11
+
+    def test_two_leaves(self):
+        linkage = upgma(np.array([[0.0], [1.0]]))
+        ET.fromstring(render_dendrogram_svg(linkage, 2))
+
+
+class TestHtmlReport:
+    @pytest.fixture(scope="class")
+    def html(self, request):
+        context = request.getfixturevalue("context")
+        from repro.eval import render_report
+
+        return render_report(context)
+
+    def test_report_contains_all_sections(self, html):
+        for heading in (
+            "Training summary", "Table IV", "Table V", "Table VI",
+            "Figure 2", "Figure 3", "Figure 4",
+        ):
+            assert heading in html
+
+    def test_embedded_svg_charts(self, html):
+        assert html.count("<svg") >= 3
+
+    def test_detector_rows_present(self, html):
+        for name in ("modsecurity", "snort-et", "bro", "psigene"):
+            assert name in html
+
+    def test_write_report(self, request, tmp_path):
+        context = request.getfixturevalue("context")
+        from repro.eval import write_report
+
+        path = tmp_path / "report.html"
+        write_report(context, str(path))
+        assert path.read_text().startswith("<!DOCTYPE html>")

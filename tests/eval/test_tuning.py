@@ -1,0 +1,106 @@
+"""Tests for per-signature operating-point tuning."""
+
+import numpy as np
+import pytest
+
+from repro.eval import tune_thresholds
+from repro.http import HttpRequest, LABEL_ATTACK, LABEL_BENIGN, Trace
+
+
+def _trace(payloads, label):
+    return Trace(
+        name=label,
+        requests=[HttpRequest(query=p, label=label) for p in payloads],
+    )
+
+
+@pytest.fixture(scope="module")
+def tuning_traffic():
+    attacks = _trace([
+        "id=1' union select 1,2,3-- -",
+        "id=2' union select 4,5,6-- -",
+        "q=7' and sleep(9)-- -",
+        "u=8' or '1'='1",
+        "x=9' and extractvalue(1,concat(0x7e,version()))-- -",
+    ] * 10, LABEL_ATTACK)
+    benign = _trace([
+        "course=cs101&term=fall2012",
+        "q=campus+shuttle+schedule",
+        "invoice=1234&amount=10.00",
+        "name=alice+o%27connor",
+    ] * 25, LABEL_BENIGN)
+    return attacks, benign
+
+
+class TestTuneThresholds:
+    def test_budget_respected(self, small_signatures, tuning_traffic):
+        attacks, benign = tuning_traffic
+        tuned, tunings = tune_thresholds(
+            small_signatures, attacks, benign,
+            max_fpr_per_signature=0.0,
+        )
+        benign_payloads = benign.payloads()
+        for signature in tuned:
+            false_positives = sum(
+                1 for p in benign_payloads
+                if signature.probability(
+                    tuned.normalizer(p)
+                ) >= signature.threshold
+            )
+            assert false_positives == 0
+
+    def test_detection_preserved(self, small_signatures, tuning_traffic):
+        attacks, benign = tuning_traffic
+        tuned, _ = tune_thresholds(small_signatures, attacks, benign)
+        caught = sum(1 for p in attacks.payloads() if tuned.matches(p))
+        assert caught / len(attacks) > 0.6
+
+    def test_one_record_per_signature(self, small_signatures,
+                                      tuning_traffic):
+        attacks, benign = tuning_traffic
+        _, tunings = tune_thresholds(small_signatures, attacks, benign)
+        assert len(tunings) == len(small_signatures)
+        assert [t.bicluster_index for t in tunings] == [
+            s.bicluster_index for s in small_signatures
+        ]
+
+    def test_useless_signatures_disabled(self, small_signatures,
+                                         tuning_traffic):
+        attacks, benign = tuning_traffic
+        # Demand an impossible TPR: everything gets disabled.
+        tuned, tunings = tune_thresholds(
+            small_signatures, attacks, benign, min_tpr=1.1
+        )
+        assert len(tuned) == 0
+        assert all(not t.enabled for t in tunings)
+
+    def test_tighter_budget_never_lowers_thresholds(
+        self, small_signatures, tuning_traffic
+    ):
+        attacks, benign = tuning_traffic
+        _, loose = tune_thresholds(
+            small_signatures, attacks, benign,
+            max_fpr_per_signature=0.5,
+        )
+        _, tight = tune_thresholds(
+            small_signatures, attacks, benign,
+            max_fpr_per_signature=0.0,
+        )
+        for a, b in zip(loose, tight):
+            assert b.threshold >= a.threshold - 1e-12
+
+    def test_invalid_budget_rejected(self, small_signatures,
+                                     tuning_traffic):
+        attacks, benign = tuning_traffic
+        with pytest.raises(ValueError):
+            tune_thresholds(
+                small_signatures, attacks, benign,
+                max_fpr_per_signature=2.0,
+            )
+
+    def test_original_set_not_mutated(self, small_signatures,
+                                      tuning_traffic):
+        attacks, benign = tuning_traffic
+        before = [s.threshold for s in small_signatures]
+        tune_thresholds(small_signatures, attacks, benign)
+        assert [s.threshold for s in small_signatures] == before

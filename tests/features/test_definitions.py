@@ -1,0 +1,100 @@
+"""Tests for the feature catalog."""
+
+import pytest
+
+from repro.features import (
+    SOURCE_REFERENCE,
+    SOURCE_RESERVED,
+    SOURCE_SIGNATURE,
+    SOURCES,
+    build_catalog,
+)
+from repro.regexlib import validate
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog()
+
+
+class TestCatalogShape:
+    def test_initial_size_matches_paper(self, catalog):
+        # Section I: "we first started with 477 features".
+        assert len(catalog) == 477
+
+    def test_three_sources_present(self, catalog):
+        counts = catalog.source_counts()
+        assert set(counts) == set(SOURCES)
+        assert all(count > 0 for count in counts.values())
+
+    def test_reserved_words_is_largest_source(self, catalog):
+        counts = catalog.source_counts()
+        assert counts[SOURCE_RESERVED] > counts[SOURCE_SIGNATURE]
+        assert counts[SOURCE_RESERVED] > counts[SOURCE_REFERENCE]
+
+    def test_indices_are_dense(self, catalog):
+        assert [d.index for d in catalog] == list(range(len(catalog)))
+
+    def test_patterns_unique(self, catalog):
+        patterns = catalog.patterns
+        assert len(patterns) == len(set(patterns))
+
+    def test_all_patterns_valid(self, catalog):
+        for definition in catalog:
+            assert validate(definition.pattern), definition.pattern
+
+
+class TestPaperFeatures:
+    """The features the paper prints must exist in the catalog."""
+
+    @pytest.mark.parametrize("pattern", [
+        r"\bselect\b",
+        r"\bdelete\b",
+        r"\bcurrent_user\b",
+        r"\bvarchar\b",
+        r"=",
+        r"=[-0-9\%]*",
+        r"<=>|r?like|sounds\s+like|regex",
+        r"([^a-zA-Z&]+)?&|exists",
+        r"\)?;",
+        r"in\s*?\(+\s*?select",
+        r"information_schema",
+        r"ch(a)?r\s*?\(\s*?\d",
+    ])
+    def test_pattern_present(self, catalog, pattern):
+        assert pattern in set(catalog.patterns)
+
+    def test_non_mysql_keywords_in_initial_catalog(self, catalog):
+        # Pruning later removes them; the initial 477 includes them.
+        labels = set(catalog.labels)
+        assert "kw:xp_cmdshell" in labels
+        assert "kw:pg_sleep" in labels
+        assert "kw:utl_http" in labels
+
+
+class TestLookups:
+    def test_by_label(self, catalog):
+        definition = catalog.by_label("kw:select")
+        assert definition.pattern == r"\bselect\b"
+
+    def test_by_label_missing_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.by_label("kw:not-a-feature")
+
+    def test_by_source(self, catalog):
+        reserved = catalog.by_source(SOURCE_RESERVED)
+        assert all(d.source == SOURCE_RESERVED for d in reserved)
+
+
+class TestSubset:
+    def test_reindexes_from_zero(self, catalog):
+        subset = catalog.subset([5, 10, 20])
+        assert [d.index for d in subset] == [0, 1, 2]
+
+    def test_preserves_patterns(self, catalog):
+        subset = catalog.subset([5, 10])
+        assert subset[0].pattern == catalog[5].pattern
+        assert subset[1].pattern == catalog[10].pattern
+
+    def test_empty_subset(self, catalog):
+        assert len(catalog.subset([])) == 0

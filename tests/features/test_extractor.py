@@ -1,0 +1,88 @@
+"""Tests for feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.features import FeatureExtractor, build_catalog
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return FeatureExtractor()
+
+
+class TestExtract:
+    def test_vector_length_matches_catalog(self, extractor):
+        vector = extractor.extract("id=1")
+        assert vector.shape == (len(extractor.catalog),)
+
+    def test_counts_are_nonnegative_ints(self, extractor):
+        vector = extractor.extract("id=1' union select 1,2,3-- -")
+        assert vector.dtype == np.int32
+        assert (vector >= 0).all()
+
+    def test_union_select_attack_hits_features(self, extractor):
+        vector = extractor.extract("id=1' union select 1,2,3-- -")
+        catalog = extractor.catalog
+        by_label = {d.label: vector[d.index] for d in catalog}
+        assert by_label["kw:union"] >= 1
+        assert by_label["kw:select"] >= 1
+        by_pattern = {d.pattern: vector[d.index] for d in catalog}
+        assert by_pattern[r"union\s+(?:all\s+)?select"] >= 1
+
+    def test_counting_not_binary(self, extractor):
+        # Section II-B: features measure the *number of times* found.
+        single = extractor.extract("x=char(97)")
+        double = extractor.extract("x=char(97),char(98)")
+        label = "ref:char-list"
+        index = extractor.catalog.by_label(label).index
+        assert double[index] == 2 * single[index]
+
+    def test_normalization_applied_before_counting(self, extractor):
+        plain = extractor.extract("id=1' union select 1")
+        evaded = extractor.extract("id=1%2527/**/UNION/**/SELECT/**/1")
+        union_index = extractor.catalog.by_label("kw:union").index
+        assert plain[union_index] == evaded[union_index] >= 1
+
+    def test_benign_text_mostly_zero(self, extractor):
+        vector = extractor.extract("course=cs101&term=fall2012")
+        assert (vector > 0).sum() < 10
+
+    def test_empty_payload_all_zero(self, extractor):
+        assert extractor.extract("").sum() == 0
+
+
+class TestExtractMany:
+    def test_matrix_shape(self, extractor):
+        matrix = extractor.extract_many(["a=1", "b=2", "c=3"])
+        assert matrix.counts.shape == (3, len(extractor.catalog))
+
+    def test_default_sample_ids(self, extractor):
+        matrix = extractor.extract_many(["a=1", "b=2"])
+        assert matrix.sample_ids == ["s0", "s1"]
+
+    def test_custom_sample_ids(self, extractor):
+        matrix = extractor.extract_many(["a=1"], sample_ids=["atk-7"])
+        assert matrix.sample_ids == ["atk-7"]
+
+    def test_empty_input(self, extractor):
+        matrix = extractor.extract_many([])
+        assert matrix.n_samples == 0
+
+    def test_rows_match_individual_extraction(self, extractor):
+        payloads = ["id=1' or 1=1-- -", "q=hello"]
+        matrix = extractor.extract_many(payloads)
+        for row, payload in enumerate(payloads):
+            assert (matrix.counts[row] == extractor.extract(payload)).all()
+
+
+class TestWithCatalog:
+    def test_pruned_catalog_extraction(self, extractor):
+        subset = extractor.catalog.subset([0, 1, 2])
+        pruned = extractor.with_catalog(subset)
+        vector = pruned.extract("id=1' union select 1")
+        assert vector.shape == (3,)
+
+    def test_shares_normalizer(self, extractor):
+        subset = extractor.catalog.subset([0])
+        assert extractor.with_catalog(subset).normalizer is extractor.normalizer

@@ -1,0 +1,114 @@
+"""Tests for the FeatureMatrix container."""
+
+import numpy as np
+import pytest
+
+from repro.features import FeatureMatrix, build_catalog
+
+
+@pytest.fixture(scope="module")
+def small_catalog():
+    return build_catalog().subset([0, 1, 2, 3])
+
+
+def _matrix(counts, catalog):
+    counts = np.asarray(counts)
+    return FeatureMatrix(
+        counts=counts,
+        catalog=catalog,
+        sample_ids=[f"s{i}" for i in range(counts.shape[0])],
+    )
+
+
+class TestValidation:
+    def test_column_mismatch_raises(self, small_catalog):
+        with pytest.raises(ValueError):
+            _matrix(np.zeros((2, 7), dtype=int), small_catalog)
+
+    def test_id_mismatch_raises(self, small_catalog):
+        with pytest.raises(ValueError):
+            FeatureMatrix(
+                counts=np.zeros((2, 4), dtype=int),
+                catalog=small_catalog,
+                sample_ids=["only-one"],
+            )
+
+    def test_negative_counts_raise(self, small_catalog):
+        with pytest.raises(ValueError):
+            _matrix(np.array([[-1, 0, 0, 0]]), small_catalog)
+
+    def test_one_dim_raises(self, small_catalog):
+        with pytest.raises(ValueError):
+            FeatureMatrix(
+                counts=np.zeros(4, dtype=int),
+                catalog=small_catalog,
+                sample_ids=[],
+            )
+
+
+class TestStatistics:
+    def test_sparsity(self, small_catalog):
+        matrix = _matrix([[0, 0, 1, 2], [0, 0, 0, 0]], small_catalog)
+        assert matrix.sparsity() == pytest.approx(6 / 8)
+
+    def test_fraction_ones(self, small_catalog):
+        matrix = _matrix([[0, 1, 1, 2], [0, 0, 0, 0]], small_catalog)
+        assert matrix.fraction_ones() == pytest.approx(2 / 8)
+
+    def test_binary_feature_mask(self, small_catalog):
+        matrix = _matrix([[0, 1, 3, 1], [1, 0, 0, 1]], small_catalog)
+        assert matrix.binary_feature_mask().tolist() == [
+            True, True, False, True
+        ]
+
+    def test_column_support(self, small_catalog):
+        matrix = _matrix([[0, 1, 3, 0], [0, 2, 0, 0]], small_catalog)
+        assert matrix.column_support().tolist() == [0, 2, 1, 0]
+
+
+class TestProjections:
+    def test_select_columns(self, small_catalog):
+        matrix = _matrix([[1, 2, 3, 4]], small_catalog)
+        projected = matrix.select_columns([1, 3])
+        assert projected.counts.tolist() == [[2, 4]]
+        assert len(projected.catalog) == 2
+
+    def test_select_rows(self, small_catalog):
+        matrix = _matrix([[1, 0, 0, 0], [0, 2, 0, 0], [0, 0, 3, 0]],
+                         small_catalog)
+        projected = matrix.select_rows([0, 2])
+        assert projected.counts[:, 0].tolist() == [1, 0]
+        assert projected.sample_ids == ["s0", "s2"]
+
+    def test_as_binary(self, small_catalog):
+        matrix = _matrix([[0, 5, 1, 0]], small_catalog)
+        assert matrix.as_binary().counts.tolist() == [[0, 1, 1, 0]]
+
+
+class TestStandardized:
+    def test_zero_mean_unit_std(self, small_catalog):
+        matrix = _matrix(
+            [[0, 1, 2, 3], [2, 3, 4, 5], [4, 5, 6, 7]], small_catalog
+        )
+        z = matrix.standardized()
+        assert np.allclose(z.mean(axis=0), 0.0)
+        assert np.allclose(z.std(axis=0), 1.0)
+
+    def test_constant_column_maps_to_zero(self, small_catalog):
+        matrix = _matrix([[5, 1, 0, 0], [5, 2, 0, 0]], small_catalog)
+        z = matrix.standardized()
+        assert np.allclose(z[:, 0], 0.0)
+        assert np.allclose(z[:, 2], 0.0)
+
+    def test_paper_shape_sparse(self):
+        """The training matrix should look like Section II-B's: sparse with
+        a healthy band of ones."""
+        from repro.corpus import CorpusGenerator
+        from repro.features import FeatureExtractor, prune
+
+        generator = CorpusGenerator(seed=5)
+        payloads = [s.payload for s in generator.generate(120)]
+        full = FeatureExtractor().extract_many(payloads)
+        pruned, _ = prune(full)
+        assert 0.6 < pruned.sparsity() < 0.95
+        assert pruned.fraction_ones() > 0.02

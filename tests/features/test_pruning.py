@@ -1,0 +1,93 @@
+"""Tests for the 477 → active-set pruning."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusGenerator
+from repro.features import FeatureExtractor, FeatureMatrix, build_catalog, prune
+
+
+@pytest.fixture(scope="module")
+def training_matrix():
+    generator = CorpusGenerator(seed=9)
+    payloads = [s.payload for s in generator.generate(200)]
+    return FeatureExtractor().extract_many(payloads)
+
+
+class TestZeroSupportRule:
+    def test_kept_features_all_have_support(self, training_matrix):
+        pruned, report = prune(training_matrix)
+        assert (pruned.column_support() >= 1).all()
+
+    def test_removed_features_had_no_support(self, training_matrix):
+        _, report = prune(training_matrix)
+        support = training_matrix.column_support()
+        for index in report.zero_support:
+            assert support[index] == 0
+
+    def test_non_mysql_keywords_pruned(self, training_matrix):
+        """The paper: removed features 'corresponded to cases for attacks
+        to non-MySQL databases'."""
+        pruned, _ = prune(training_matrix)
+        labels = set(pruned.catalog.labels)
+        assert "kw:xp_cmdshell" not in labels
+        assert "kw:utl_http" not in labels
+        assert "kw:sqlite_master" not in labels
+
+    def test_core_features_survive(self, training_matrix):
+        pruned, _ = prune(training_matrix)
+        labels = set(pruned.catalog.labels)
+        assert "kw:union" in labels
+        assert "kw:select" in labels
+
+    def test_reduction_magnitude(self, training_matrix):
+        # Paper: 477 -> 159.  The exact number depends on the corpus; the
+        # order of magnitude must match (roughly one-third kept).
+        pruned, report = prune(training_matrix)
+        assert report.initial_features == 477
+        assert 60 <= report.final_features <= 250
+
+
+class TestDuplicateCollapse:
+    def test_duplicate_columns_removed(self):
+        catalog = build_catalog().subset([0, 1, 2])
+        counts = np.array([[1, 1, 2], [0, 0, 3]])
+        matrix = FeatureMatrix(
+            counts=counts, catalog=catalog, sample_ids=["a", "b"]
+        )
+        pruned, report = prune(matrix)
+        assert report.duplicates == (1,)
+        assert pruned.n_features == 2
+
+    def test_first_occurrence_kept(self):
+        catalog = build_catalog().subset([0, 1, 2])
+        counts = np.array([[1, 1, 2], [0, 0, 3]])
+        matrix = FeatureMatrix(
+            counts=counts, catalog=catalog, sample_ids=["a", "b"]
+        )
+        pruned, _ = prune(matrix)
+        assert pruned.catalog[0].pattern == catalog[0].pattern
+
+    def test_collapse_disabled(self):
+        catalog = build_catalog().subset([0, 1])
+        counts = np.array([[1, 1], [2, 2]])
+        matrix = FeatureMatrix(
+            counts=counts, catalog=catalog, sample_ids=["a", "b"]
+        )
+        _, report = prune(matrix, collapse_duplicates=False)
+        assert report.duplicates == ()
+
+
+class TestMinSupport:
+    def test_higher_threshold_prunes_more(self, training_matrix):
+        loose, _ = prune(training_matrix, min_support=1)
+        strict, _ = prune(training_matrix, min_support=10)
+        assert strict.n_features <= loose.n_features
+
+    def test_report_consistency(self, training_matrix):
+        _, report = prune(training_matrix)
+        accounted = (
+            len(report.kept) + len(report.zero_support)
+            + len(report.duplicates)
+        )
+        assert accounted == report.initial_features

@@ -1,0 +1,128 @@
+"""Tests for the three feature sources (Table II)."""
+
+import pytest
+
+from repro.features.reference_strings import REFERENCE_PATTERNS
+from repro.features.reserved_words import (
+    MYSQL_FUNCTION_TOKENS,
+    MYSQL_RESERVED_WORDS,
+    NOISE_WORDS,
+    NON_MYSQL_KEYWORDS,
+    reserved_word_patterns,
+)
+from repro.features.signature_fragments import (
+    DONOR_SIGNATURES,
+    PAPER_FRAGMENTS,
+    fragment_patterns,
+)
+from repro.regexlib import count_all, validate
+
+
+class TestReservedWords:
+    def test_paper_examples_present(self):
+        # Section II-B names SELECT, DELETE, CURRENT_USER, VARCHAR.
+        for word in ("select", "delete", "current_user", "varchar"):
+            assert word in MYSQL_RESERVED_WORDS
+
+    def test_all_lowercase(self):
+        for word in MYSQL_RESERVED_WORDS + MYSQL_FUNCTION_TOKENS:
+            assert word == word.lower()
+
+    def test_no_duplicates(self):
+        words = MYSQL_RESERVED_WORDS + MYSQL_FUNCTION_TOKENS
+        assert len(words) == len(set(words))
+
+    def test_noise_words_excluded_from_patterns(self):
+        labels = {label for _, label in reserved_word_patterns()}
+        for word in ("or", "and", "in", "is"):
+            assert word in NOISE_WORDS
+            assert f"kw:{word}" not in labels
+
+    def test_patterns_are_word_bounded(self):
+        for pattern, _ in reserved_word_patterns():
+            assert pattern.startswith(r"\b")
+
+    def test_union_does_not_match_inside_words(self):
+        patterns = dict(
+            (label, pattern) for pattern, label in reserved_word_patterns()
+        )
+        assert count_all(patterns["kw:union"], "reunionparty") == 0
+        assert count_all(patterns["kw:union"], "union select") == 1
+
+    def test_non_mysql_keywords_compile(self):
+        for pattern, _ in reserved_word_patterns():
+            assert validate(pattern), pattern
+
+    def test_non_mysql_covers_major_engines(self):
+        joined = " ".join(NON_MYSQL_KEYWORDS)
+        assert "xp_cmdshell" in joined      # MSSQL
+        assert "utl_http" in joined         # Oracle
+        assert "pg_sleep" in joined         # PostgreSQL
+        assert "sqlite_master" in joined    # SQLite
+
+
+class TestSignatureFragments:
+    def test_paper_fragments_all_surface(self):
+        patterns = {p for p, _, _ in fragment_patterns()}
+        for fragment in PAPER_FRAGMENTS:
+            assert fragment in patterns, fragment
+
+    def test_fragments_deduplicated(self):
+        patterns = [p for p, _, _ in fragment_patterns()]
+        assert len(patterns) == len(set(patterns))
+
+    def test_fragments_valid(self):
+        for pattern, _, _ in fragment_patterns():
+            assert validate(pattern), pattern
+
+    def test_origins_cover_three_rulesets(self):
+        origins = {origin for _, _, origin in fragment_patterns()}
+        assert {"modsec", "snort", "bro"} <= origins
+
+    def test_donors_are_deconstructible(self):
+        from repro.regexlib import deconstruct
+
+        for _, signature in DONOR_SIGNATURES:
+            assert len(deconstruct(signature)) >= 2
+
+    def test_table3_feature53_behaviour(self):
+        pattern = r"<=>|r?like|sounds\s+like|regex"
+        assert count_all(pattern, "a rlike b") == 1
+        assert count_all(pattern, "x sounds like y") >= 1
+        assert count_all(pattern, "plain text") == 0
+
+
+class TestReferencePatterns:
+    def test_all_valid(self):
+        for pattern, _ in REFERENCE_PATTERNS:
+            assert validate(pattern), pattern
+
+    def test_labels_unique(self):
+        labels = [label for _, label in REFERENCE_PATTERNS]
+        assert len(labels) == len(set(labels))
+
+    @pytest.mark.parametrize("label,positive", [
+        ("ref:or-1-eq-1", "x' or 1=1-- -"),
+        ("ref:order-by-comment", "1' order by 5-- -"),
+        ("ref:union-select", "1 union select 2"),
+        ("ref:sleep-n", "1 and sleep(5)"),
+        ("ref:into-outfile", "select 1 into outfile '/tmp/x'"),
+        ("ref:stacked-query", "1; drop table users"),
+        ("ref:hex-literal", "id=0x41424344"),
+    ])
+    def test_positive_matches(self, label, positive):
+        patterns = dict(
+            (lab, pat) for pat, lab in REFERENCE_PATTERNS
+        )
+        assert count_all(patterns[label], positive) >= 1
+
+    @pytest.mark.parametrize("label,negative", [
+        ("ref:or-1-eq-1", "for 10=10 points"),
+        ("ref:union-select", "union membership selection"),
+        ("ref:sleep-n", "sleep schedule"),
+    ])
+    def test_negative_matches(self, label, negative):
+        patterns = dict(
+            (lab, pat) for pat, lab in REFERENCE_PATTERNS
+        )
+        assert count_all(patterns[label], negative) == 0

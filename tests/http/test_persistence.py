@@ -1,0 +1,102 @@
+"""Tests for trace persistence."""
+
+import io
+
+import pytest
+
+from repro.http import (
+    HttpRequest,
+    LABEL_ATTACK,
+    LABEL_BENIGN,
+    Trace,
+    TraceFormatError,
+    dump_trace,
+    iter_trace,
+    load_trace,
+    save_trace,
+)
+
+
+@pytest.fixture
+def trace():
+    return Trace(name="sample", requests=[
+        HttpRequest(query="id=1' or 1=1", label=LABEL_ATTACK),
+        HttpRequest(
+            method="POST",
+            host="app.test",
+            path="/login",
+            headers={"content-type": "application/x-www-form-urlencoded"},
+            body="user=admin%27--",
+            label=LABEL_ATTACK,
+        ),
+        HttpRequest(query="q=hello", label=LABEL_BENIGN),
+        HttpRequest(),  # all defaults, no label
+    ])
+
+
+class TestRoundtrip:
+    def test_file_roundtrip(self, trace, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == "sample"
+        assert len(loaded) == len(trace)
+        for original, copy in zip(trace, loaded):
+            assert copy == original
+
+    def test_payloads_preserved(self, trace, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        save_trace(trace, path)
+        assert load_trace(path).payloads() == trace.payloads()
+
+    def test_streaming_iteration(self, trace):
+        buffer = io.StringIO()
+        dump_trace(trace, buffer)
+        buffer.seek(0)
+        streamed = list(iter_trace(buffer))
+        assert streamed == trace.requests
+
+    def test_unicode_payload(self, tmp_path):
+        trace = Trace(name="u", requests=[
+            HttpRequest(query="q=ｕｎｉｏｎ%20ｓｅｌｅｃｔ")
+        ])
+        path = str(tmp_path / "u.jsonl")
+        save_trace(trace, path)
+        assert load_trace(path)[0].query == trace[0].query
+
+    def test_empty_trace(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        save_trace(Trace(name="empty"), path)
+        assert len(load_trace(path)) == 0
+
+
+class TestCorruption:
+    def test_bad_header(self):
+        buffer = io.StringIO("not json\n")
+        with pytest.raises(TraceFormatError):
+            list(iter_trace(buffer))
+
+    def test_wrong_version(self):
+        buffer = io.StringIO('{"format": 99, "name": "x"}\n')
+        with pytest.raises(TraceFormatError):
+            list(iter_trace(buffer))
+
+    def test_corrupt_record_reports_line(self):
+        buffer = io.StringIO(
+            '{"format": 1, "name": "x"}\n{"query": "ok"}\n{broken\n'
+        )
+        with pytest.raises(TraceFormatError) as info:
+            list(iter_trace(buffer))
+        assert "line 3" in str(info.value)
+
+    def test_load_non_trace_file(self, tmp_path):
+        path = tmp_path / "junk.txt"
+        path.write_text("hello\nworld\n")
+        with pytest.raises((TraceFormatError, ValueError)):
+            load_trace(str(path))
+
+    def test_blank_lines_tolerated(self):
+        buffer = io.StringIO(
+            '{"format": 1, "name": "x"}\n\n{"query": "a=1"}\n\n'
+        )
+        assert len(list(iter_trace(buffer))) == 1

@@ -1,0 +1,106 @@
+"""Tests for traffic traces."""
+
+import pytest
+
+from repro.http import LABEL_ATTACK, LABEL_BENIGN, HttpRequest, Trace
+
+
+def _request(query, label):
+    return HttpRequest(query=query, label=label)
+
+
+@pytest.fixture
+def mixed_trace():
+    trace = Trace(name="mixed")
+    trace.append(_request("id=1'", LABEL_ATTACK))
+    trace.append(_request("q=hello", LABEL_BENIGN))
+    trace.append(_request("id=2'", LABEL_ATTACK))
+    return trace
+
+
+class TestTraceBasics:
+    def test_len(self, mixed_trace):
+        assert len(mixed_trace) == 3
+
+    def test_iteration_order(self, mixed_trace):
+        payloads = [r.payload() for r in mixed_trace]
+        assert payloads == ["id=1'", "q=hello", "id=2'"]
+
+    def test_indexing(self, mixed_trace):
+        assert mixed_trace[1].payload() == "q=hello"
+
+    def test_extend(self):
+        trace = Trace(name="t")
+        trace.extend([_request("a=1", LABEL_BENIGN)] * 4)
+        assert len(trace) == 4
+
+    def test_payloads(self, mixed_trace):
+        assert mixed_trace.payloads() == ["id=1'", "q=hello", "id=2'"]
+
+
+class TestLabelFiltering:
+    def test_attacks(self, mixed_trace):
+        assert len(mixed_trace.attacks()) == 2
+
+    def test_benign(self, mixed_trace):
+        assert len(mixed_trace.benign()) == 1
+
+    def test_filter_names(self, mixed_trace):
+        assert mixed_trace.attacks().name == "mixed:attacks"
+
+
+class TestMerge:
+    def test_merged_order(self, mixed_trace):
+        other = Trace(name="o", requests=[_request("z=9", LABEL_BENIGN)])
+        merged = mixed_trace.merged(other)
+        assert len(merged) == 4
+        assert merged[3].payload() == "z=9"
+
+    def test_merged_name(self, mixed_trace):
+        other = Trace(name="o")
+        assert mixed_trace.merged(other).name == "mixed+o"
+
+    def test_merged_custom_name(self, mixed_trace):
+        merged = mixed_trace.merged(Trace(name="o"), name="custom")
+        assert merged.name == "custom"
+
+    def test_merge_does_not_mutate(self, mixed_trace):
+        before = len(mixed_trace)
+        mixed_trace.merged(Trace(name="o", requests=[_request("x=1", None)]))
+        assert len(mixed_trace) == before
+
+
+class TestSubsample:
+    def test_size(self):
+        trace = Trace(
+            name="t",
+            requests=[_request(f"i={i}", LABEL_ATTACK) for i in range(100)],
+        )
+        assert len(trace.subsample(0.2, seed=1)) == 20
+
+    def test_deterministic(self):
+        trace = Trace(
+            name="t",
+            requests=[_request(f"i={i}", LABEL_ATTACK) for i in range(50)],
+        )
+        first = trace.subsample(0.5, seed=7).payloads()
+        second = trace.subsample(0.5, seed=7).payloads()
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        trace = Trace(
+            name="t",
+            requests=[_request(f"i={i}", LABEL_ATTACK) for i in range(200)],
+        )
+        assert (
+            trace.subsample(0.5, seed=1).payloads()
+            != trace.subsample(0.5, seed=2).payloads()
+        )
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            Trace(name="t").subsample(1.5)
+
+    def test_zero_fraction(self):
+        trace = Trace(name="t", requests=[_request("a=1", None)])
+        assert len(trace.subsample(0.0)) == 0

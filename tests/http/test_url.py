@@ -1,0 +1,137 @@
+"""Tests for the from-scratch URL codec."""
+
+import pytest
+
+from repro.http.url import encode_query, parse_query, quote, split_url, unquote
+
+
+class TestUnquote:
+    def test_plain_text_unchanged(self):
+        assert unquote("hello world") == "hello world"
+
+    def test_single_escape(self):
+        assert unquote("%27") == "'"
+
+    def test_uppercase_hex(self):
+        assert unquote("%2F") == "/"
+
+    def test_lowercase_hex(self):
+        assert unquote("%2f") == "/"
+
+    def test_mixed_content(self):
+        assert unquote("a%20b%20c") == "a b c"
+
+    def test_plus_untouched_by_default(self):
+        assert unquote("a+b") == "a+b"
+
+    def test_plus_as_space(self):
+        assert unquote("a+b", plus_as_space=True) == "a b"
+
+    def test_malformed_escape_passthrough(self):
+        assert unquote("100%") == "100%"
+
+    def test_malformed_partial_hex_passthrough(self):
+        assert unquote("%2") == "%2"
+
+    def test_non_hex_after_percent(self):
+        assert unquote("%zz") == "%zz"
+
+    def test_double_encoding_single_pass(self):
+        # One pass only: %2527 -> %27, not the quote.
+        assert unquote("%2527") == "%27"
+
+    def test_empty_string(self):
+        assert unquote("") == ""
+
+    def test_null_byte_escape(self):
+        assert unquote("%00") == "\x00"
+
+
+class TestQuote:
+    def test_unreserved_untouched(self):
+        assert quote("abc-XYZ_0.9~") == "abc-XYZ_0.9~"
+
+    def test_space_encoded(self):
+        assert quote("a b") == "a%20b"
+
+    def test_quote_char_encoded(self):
+        assert quote("'") == "%27"
+
+    def test_roundtrip(self):
+        original = "id=1' OR '1'='1 -- &x=2"
+        assert unquote(quote(original)) == original
+
+    def test_utf8_multibyte(self):
+        assert quote("é") == "%C3%A9"
+
+
+class TestSplitUrl:
+    def test_full_url(self):
+        assert split_url("http://example.com/a/b?q=1") == (
+            "example.com", "/a/b", "q=1"
+        )
+
+    def test_no_scheme(self):
+        assert split_url("example.com/x?y=2") == ("example.com", "/x", "y=2")
+
+    def test_no_query(self):
+        assert split_url("http://h/p") == ("h", "/p", "")
+
+    def test_no_path(self):
+        assert split_url("http://h") == ("h", "/", "")
+
+    def test_port_stripped(self):
+        host, _, _ = split_url("http://example.com:8080/x")
+        assert host == "example.com"
+
+    def test_fragment_dropped(self):
+        assert split_url("http://h/p?q=1#frag") == ("h", "/p", "q=1")
+
+    def test_question_mark_in_query_preserved(self):
+        _, _, query = split_url("http://h/p?a=b?c")
+        assert query == "b?c".join(["a=", ""]) or query == "a=b?c"
+
+
+class TestParseQuery:
+    def test_simple_pairs(self):
+        assert parse_query("a=1&b=2") == [("a", "1"), ("b", "2")]
+
+    def test_empty_query(self):
+        assert parse_query("") == []
+
+    def test_bare_token(self):
+        assert parse_query("justakey") == [("justakey", "")]
+
+    def test_value_with_equals(self):
+        assert parse_query("a=1=2") == [("a", "1=2")]
+
+    def test_empty_chunks_skipped(self):
+        assert parse_query("a=1&&b=2") == [("a", "1"), ("b", "2")]
+
+    def test_order_preserved(self):
+        pairs = parse_query("z=1&a=2&m=3")
+        assert [name for name, _ in pairs] == ["z", "a", "m"]
+
+    def test_attack_payload_not_decoded(self):
+        pairs = parse_query("id=1%27+or+1%3D1")
+        assert pairs == [("id", "1%27+or+1%3D1")]
+
+
+class TestEncodeQuery:
+    def test_roundtrip(self):
+        pairs = [("a", "1"), ("b", "x y")]
+        assert parse_query(encode_query(pairs)) == pairs
+
+    def test_empty(self):
+        assert encode_query([]) == ""
+
+
+@pytest.mark.parametrize("payload", [
+    "id=1' union select 1,2,3-- -",
+    "%25%32%37",
+    "a=%u0027",
+    "%%%%",
+])
+def test_unquote_never_raises(payload):
+    unquote(payload)
+    unquote(payload, plus_as_space=True)

@@ -1,0 +1,134 @@
+"""Tests for the miniature Bro signature language and policy layer."""
+
+import pytest
+
+from repro.ids.brolang import (
+    BroPolicyLayer,
+    BroSignature,
+    SigParseError,
+    parse_sig_file,
+    render_sig_file,
+    ruleset_from_sig_file,
+)
+from repro.ids.rules import Rule
+
+SIG_FILE = """
+# SQLi signatures
+signature sqli-union {
+    http-request /union\\s+select/
+    event "union select injection"
+}
+
+signature sqli-quote-or {
+    http-request /'\\s*or\\s/
+    event "quote-or tautology"
+}
+"""
+
+
+class TestParsing:
+    def test_two_blocks(self):
+        signatures = parse_sig_file(SIG_FILE)
+        assert len(signatures) == 2
+        assert signatures[0].sig_id == "sqli-union"
+        assert signatures[0].pattern == r"union\s+select"
+        assert signatures[0].event == "union select injection"
+
+    def test_escaped_slash_in_regex(self):
+        text = 'signature s {\n http-request /a\\/b/\n event "e"\n}\n'
+        parsed = parse_sig_file(text)
+        assert parsed[0].pattern == r"a\/b"
+
+    def test_comments_and_blanks_ignored(self):
+        assert parse_sig_file("# nothing\n\n") == []
+
+    def test_missing_event_defaults_to_id(self):
+        text = "signature s1 {\n http-request /x/\n}\n"
+        assert parse_sig_file(text)[0].event == "s1"
+
+    @pytest.mark.parametrize("bad", [
+        "signature s {\n http-request /x/\n",          # unterminated
+        "signature s\n",                               # missing brace
+        "http-request /x/\n",                          # outside block
+        "signature s {\n http-request x\n}\n",        # unopened regex
+        "signature s {\n http-request /x\n}\n",       # unterminated regex
+        "signature s {\n}\n",                          # no condition
+        "signature s {\n bogus statement\n}\n",        # unknown statement
+        "}\n",                                         # stray brace
+        'signature s {\n event unquoted\n}\n',         # bad event
+    ])
+    def test_malformed_raises_with_line(self, bad):
+        with pytest.raises(SigParseError):
+            parse_sig_file(bad)
+
+
+class TestRendering:
+    def test_roundtrip(self):
+        rules = [
+            Rule(1, "union select", r"union\s+select"),
+            Rule(2, "slashes", r"a/b"),
+        ]
+        text = render_sig_file(rules)
+        parsed = parse_sig_file(text)
+        assert [s.pattern for s in parsed] == [
+            r"union\s+select", r"a\/b"
+        ]
+
+    def test_disabled_rules_commented(self):
+        text = render_sig_file([Rule(9, "off", "x", enabled=False)])
+        assert all(
+            line.startswith("#") for line in text.splitlines() if line
+        )
+        assert parse_sig_file(text) == []
+
+    def test_real_bro_ruleset_roundtrips(self):
+        from repro.ids.rulesets.bro import BRO_RULES
+
+        text = render_sig_file(BRO_RULES)
+        reloaded = ruleset_from_sig_file(text, url_decode_only=True)
+        attack = "id=1%27 union select 1,2,3-- -"
+        from repro.ids.rulesets import build_bro_ruleset
+
+        original = build_bro_ruleset()
+        assert (
+            reloaded.inspect(attack).alert
+            == original.inspect(attack).alert is True
+        )
+
+
+class TestPolicyLayer:
+    def test_native_alerts(self):
+        layer = BroPolicyLayer(
+            native=ruleset_from_sig_file(SIG_FILE),
+        )
+        raised = layer.process("id=1 union select 2")
+        assert len(raised) == 1
+        assert raised[0].origin == "signature"
+        assert raised[0].score == 1.0
+
+    def test_psigene_beside_native(self, small_signatures):
+        layer = BroPolicyLayer(
+            native=ruleset_from_sig_file(SIG_FILE),
+            psigene=small_signatures,
+        )
+        raised = layer.process(
+            "id=1' union select 1,2,concat(database(),char(58)),4-- -"
+        )
+        origins = {alert.origin for alert in raised}
+        assert origins == {"signature", "psigene"}
+        psigene_alerts = [a for a in raised if a.origin == "psigene"]
+        assert all(0 < a.score <= 1 for a in psigene_alerts)
+        assert all(a.identifier.startswith("b") for a in psigene_alerts)
+
+    def test_benign_raises_nothing(self, small_signatures):
+        layer = BroPolicyLayer(
+            native=ruleset_from_sig_file(SIG_FILE),
+            psigene=small_signatures,
+        )
+        assert layer.process("course=cs101&term=fall2012") == []
+
+    def test_alert_log_accumulates(self):
+        layer = BroPolicyLayer(native=ruleset_from_sig_file(SIG_FILE))
+        layer.process("a=1 union select 2")
+        layer.process("b=2' or 1=1")
+        assert len(layer.alerts) == 2

@@ -1,0 +1,79 @@
+"""Tests for the IDS engine."""
+
+import pytest
+
+from repro.http import HttpRequest, LABEL_ATTACK, LABEL_BENIGN, Trace
+from repro.ids import (
+    DeterministicRuleSet,
+    PSigeneDetector,
+    Rule,
+    SignatureEngine,
+)
+
+
+@pytest.fixture
+def trace():
+    trace = Trace(name="t")
+    trace.append(HttpRequest(query="id=1' union select 1", label=LABEL_ATTACK))
+    trace.append(HttpRequest(query="q=hello", label=LABEL_BENIGN))
+    trace.append(HttpRequest(query="id=2' union select 2", label=LABEL_ATTACK))
+    return trace
+
+
+@pytest.fixture
+def detector():
+    return DeterministicRuleSet(
+        "toy", [Rule(1, "union", r"union\s+select")]
+    )
+
+
+class TestEngineRun:
+    def test_alert_flags_align_with_trace(self, trace, detector):
+        run = SignatureEngine(detector).run(trace)
+        assert run.alert_flags.tolist() == [True, False, True]
+
+    def test_alert_records(self, trace, detector):
+        run = SignatureEngine(detector).run(trace)
+        assert run.alert_count == 2
+        assert [a.request_index for a in run.alerts] == [0, 2]
+        assert all(a.detector == "toy" for a in run.alerts)
+        assert all(a.matched == [1] for a in run.alerts)
+
+    def test_no_timing_by_default(self, trace, detector):
+        run = SignatureEngine(detector).run(trace)
+        assert run.timings.size == 0
+
+    def test_timing_measured(self, trace, detector):
+        run = SignatureEngine(detector).run(trace, measure_time=True)
+        assert run.timings.shape == (3,)
+        assert (run.timings > 0).all()
+        low, mean, high = run.timing_summary_us()
+        assert low <= mean <= high
+
+    def test_empty_trace(self, detector):
+        run = SignatureEngine(detector).run(Trace(name="empty"))
+        assert run.alert_count == 0
+        assert run.timing_summary_us() == (0.0, 0.0, 0.0)
+
+    def test_inspect_request(self, detector):
+        engine = SignatureEngine(detector)
+        request = HttpRequest(query="a=1' union select 2")
+        assert engine.inspect_request(request).alert
+
+
+class TestPSigeneDetector:
+    def test_wraps_signature_set(self, small_signatures):
+        detector = PSigeneDetector(small_signatures)
+        detection = detector.inspect("id=1' union select 1,2,3-- -")
+        assert detection.alert
+        assert detection.score > 0.5
+        assert detection.matched_sids  # bicluster numbers
+
+    def test_benign_no_alert(self, small_signatures):
+        detector = PSigeneDetector(small_signatures)
+        assert not detector.inspect("course=cs101&term=fall2012").alert
+
+    def test_name_used_in_runs(self, small_signatures, trace):
+        detector = PSigeneDetector(small_signatures, name="psigene-9")
+        run = SignatureEngine(detector).run(trace)
+        assert run.detector == "psigene-9"

@@ -1,0 +1,78 @@
+"""Tests for cluster-mode parallel signature matching."""
+
+import numpy as np
+import pytest
+
+from repro.http import HttpRequest, LABEL_ATTACK, Trace
+from repro.ids import ClusterModeEngine, PSigeneDetector, SignatureEngine
+
+
+@pytest.fixture(scope="module")
+def attack_trace():
+    payloads = [
+        "id=1' union select 1,2,3-- -",
+        "q=2' and sleep(5)-- -",
+        "u=3' or '1'='1",
+        "x=4' and extractvalue(1,concat(0x7e,user()))-- -",
+    ] * 10
+    return Trace(
+        name="t",
+        requests=[HttpRequest(query=p, label=LABEL_ATTACK)
+                  for p in payloads],
+    )
+
+
+class TestClusterMode:
+    def test_verdicts_match_serial_engine(self, small_signatures,
+                                          attack_trace):
+        serial = SignatureEngine(
+            PSigeneDetector(small_signatures)
+        ).run(attack_trace)
+        parallel = ClusterModeEngine(
+            small_signatures, workers=3
+        ).run(attack_trace)
+        assert (
+            parallel.alert_flags.tolist() == serial.alert_flags.tolist()
+        )
+
+    def test_speedup_with_multiple_workers(self, small_signatures,
+                                           attack_trace):
+        run = ClusterModeEngine(small_signatures, workers=4).run(
+            attack_trace
+        )
+        # Critical path must beat serial when signatures spread over
+        # several workers (timing noise allows a small slack).
+        assert run.speedup > 1.2
+
+    def test_single_worker_no_speedup(self, small_signatures,
+                                      attack_trace):
+        run = ClusterModeEngine(small_signatures, workers=1).run(
+            attack_trace
+        )
+        assert run.speedup == pytest.approx(1.0, abs=0.01)
+
+    def test_workers_capped_at_signature_count(self, small_signatures,
+                                               attack_trace):
+        run = ClusterModeEngine(
+            small_signatures, workers=100
+        ).run(attack_trace)
+        assert run.workers == len(small_signatures)
+        assert all(size == 1 for size in run.shard_sizes)
+
+    def test_all_signatures_assigned_once(self, small_signatures,
+                                          attack_trace):
+        run = ClusterModeEngine(small_signatures, workers=3).run(
+            attack_trace
+        )
+        assert sum(run.shard_sizes) == len(small_signatures)
+
+    def test_invalid_workers_rejected(self, small_signatures):
+        with pytest.raises(ValueError):
+            ClusterModeEngine(small_signatures, workers=0)
+
+    def test_empty_trace(self, small_signatures):
+        run = ClusterModeEngine(small_signatures, workers=2).run(
+            Trace(name="empty")
+        )
+        assert run.alert_flags.size == 0
+        assert run.speedup == 1.0

@@ -1,0 +1,108 @@
+"""Tests for rule models and matching semantics."""
+
+import pytest
+
+from repro.ids import DeterministicRuleSet, Rule, ScoringRuleSet
+
+
+def _rules():
+    return [
+        Rule(1, "union", r"union\s+select"),
+        Rule(2, "quote-or", r"'\s*or\s", weight=3),
+        Rule(3, "disabled", r".", enabled=False),
+        Rule(4, "comment", r"--", weight=2, uses_regex=False),
+    ]
+
+
+class TestRuleSetStatistics:
+    def test_total(self):
+        ruleset = DeterministicRuleSet("t", _rules())
+        assert ruleset.total_rules == 4
+
+    def test_enabled_fraction(self):
+        ruleset = DeterministicRuleSet("t", _rules())
+        assert ruleset.enabled_fraction == pytest.approx(0.75)
+
+    def test_regex_fraction(self):
+        ruleset = DeterministicRuleSet("t", _rules())
+        assert ruleset.regex_fraction == pytest.approx(0.75)
+
+    def test_average_pattern_length(self):
+        ruleset = DeterministicRuleSet("t", [Rule(1, "a", "ab"),
+                                             Rule(2, "b", "abcd")])
+        assert ruleset.average_pattern_length() == 3.0
+
+    def test_empty_ruleset(self):
+        ruleset = DeterministicRuleSet("t", [])
+        assert ruleset.enabled_fraction == 0.0
+        assert ruleset.regex_fraction == 0.0
+
+
+class TestDeterministicSemantics:
+    def test_any_match_alerts(self):
+        ruleset = DeterministicRuleSet("t", _rules())
+        detection = ruleset.inspect("1 union select 2")
+        assert detection.alert
+        assert detection.matched_sids == [1]
+
+    def test_no_match_no_alert(self):
+        ruleset = DeterministicRuleSet("t", _rules())
+        assert not ruleset.inspect("hello world").alert
+
+    def test_disabled_rules_never_fire(self):
+        ruleset = DeterministicRuleSet("t", _rules())
+        # Rule 3 matches anything but is disabled.
+        detection = ruleset.inspect("zzz")
+        assert 3 not in detection.matched_sids
+        assert not detection.alert
+
+    def test_multiple_matches_listed(self):
+        ruleset = DeterministicRuleSet("t", _rules())
+        detection = ruleset.inspect("1' or 2 union select 3 -- x")
+        assert set(detection.matched_sids) == {1, 2, 4}
+        assert detection.score == 3.0
+
+
+class TestScoringSemantics:
+    def test_below_threshold_no_alert(self):
+        ruleset = ScoringRuleSet("t", _rules(), threshold=5)
+        detection = ruleset.inspect("a -- b")  # weight 2 only
+        assert not detection.alert
+        assert detection.score == 2.0
+
+    def test_accumulation_crosses_threshold(self):
+        ruleset = ScoringRuleSet("t", _rules(), threshold=5)
+        detection = ruleset.inspect("1' or 2 -- x")  # 3 + 2
+        assert detection.alert
+        assert detection.score == 5.0
+
+    def test_threshold_configurable(self):
+        loose = ScoringRuleSet("t", _rules(), threshold=2)
+        assert loose.inspect("a -- b").alert
+
+
+class TestInputPreparation:
+    def test_full_normalization(self):
+        ruleset = ScoringRuleSet(
+            "t", [Rule(1, "u", r"union\s+select", weight=5)],
+            threshold=5, normalize_input=True,
+        )
+        assert ruleset.inspect("1%2527/**/UNION/**/SELECT/**/2").alert
+
+    def test_single_decode_only(self):
+        ruleset = DeterministicRuleSet(
+            "t", [Rule(1, "u", r"union\s+select")],
+            url_decode_only=True,
+        )
+        assert ruleset.inspect("1%27 union%20select 2").alert
+        # Double encoding survives a single pass.
+        assert not ruleset.inspect("union%2520select").alert
+        # '+' is not decoded by the single pass.
+        assert not ruleset.inspect("union+select").alert
+
+    def test_raw_matching(self):
+        ruleset = DeterministicRuleSet(
+            "t", [Rule(1, "u", r"union select")],
+        )
+        assert not ruleset.inspect("union%20select").alert
+        assert ruleset.inspect("union select").alert

@@ -1,0 +1,146 @@
+"""Tests for the four re-implemented rulesets (Table IV properties)."""
+
+import pytest
+
+from repro.ids.rulesets import (
+    ET_RULE_COUNT,
+    build_bro_ruleset,
+    build_merged_snort_et_ruleset,
+    build_modsec_ruleset,
+    build_snort_ruleset,
+    generate_et_rules,
+)
+
+
+@pytest.fixture(scope="module")
+def bro():
+    return build_bro_ruleset()
+
+
+@pytest.fixture(scope="module")
+def snort():
+    return build_snort_ruleset()
+
+
+@pytest.fixture(scope="module")
+def modsec():
+    return build_modsec_ruleset()
+
+
+@pytest.fixture(scope="module")
+def merged():
+    return build_merged_snort_et_ruleset()
+
+
+class TestTable4Statistics:
+    def test_bro_six_rules_all_enabled_all_regex(self, bro):
+        assert bro.total_rules == 6
+        assert bro.enabled_fraction == 1.0
+        assert bro.regex_fraction == 1.0
+
+    def test_snort_79_rules_61pct_enabled(self, snort):
+        assert snort.total_rules == 79
+        assert snort.enabled_fraction == pytest.approx(0.61, abs=0.01)
+        assert snort.regex_fraction == pytest.approx(0.82, abs=0.03)
+
+    def test_et_4231_rules_none_enabled(self):
+        rules = generate_et_rules()
+        assert len(rules) == ET_RULE_COUNT == 4231
+        assert not any(r.enabled for r in rules)
+        regex_fraction = sum(r.uses_regex for r in rules) / len(rules)
+        assert regex_fraction == pytest.approx(0.99, abs=0.005)
+
+    def test_modsec_34_rules_all_enabled(self, modsec):
+        assert modsec.total_rules == 34
+        assert modsec.enabled_fraction == 1.0
+        assert modsec.regex_fraction == 1.0
+
+    def test_pattern_length_ordering(self, bro, snort, modsec):
+        # Paper: Bro's patterns are by far the longest, Snort's shortest.
+        assert (
+            bro.average_pattern_length()
+            > modsec.average_pattern_length()
+            > snort.average_pattern_length()
+        )
+
+    def test_et_sids_unique(self):
+        sids = [r.sid for r in generate_et_rules()]
+        assert len(sids) == len(set(sids))
+
+    def test_snort_near_duplicate_pair_present(self, snort):
+        # The paper's 19439/19440 observation.
+        by_sid = {r.sid: r.pattern for r in snort.rules}
+        a, b = by_sid[19439], by_sid[19440]
+        assert a != b
+        assert a[:-2] == b[:-2]
+
+
+ATTACKS_ALL_CATCH = [
+    "id=1' union select 1,2,3-- -",
+    "id=1' or 1=1-- -",
+    "cat=5'; drop table users-- -",
+    "q=1' and sleep(9)-- -",
+]
+
+BENIGN_NONE_CATCH = [
+    "course=cs101&term=fall2012",
+    "q=campus%20shuttle%20schedule&page=2",
+    "invoice=123456&amount=50.00",
+    "isbn=9781234567890&format=pdf",
+]
+
+
+class TestDetectionBehaviour:
+    @pytest.mark.parametrize("payload", ATTACKS_ALL_CATCH)
+    def test_canonical_attacks_caught_by_all(
+        self, bro, merged, modsec, payload
+    ):
+        for ruleset in (bro, merged, modsec):
+            assert ruleset.inspect(payload).alert, (ruleset.name, payload)
+
+    @pytest.mark.parametrize("payload", BENIGN_NONE_CATCH)
+    def test_plain_benign_caught_by_none(
+        self, bro, merged, modsec, payload
+    ):
+        for ruleset in (bro, merged, modsec):
+            assert not ruleset.inspect(payload).alert, (
+                ruleset.name, payload
+            )
+
+    def test_bro_never_fires_on_sql_vocabulary_search(self, bro):
+        # Bro's conservatism: quote-less SQL words are not enough.
+        benign = [
+            "q=select+topics+in+machine+learning",
+            "q=student+union+hours",
+            "q=1%3D1+boolean+logic+homework",
+            "q=tickets+order+by+10+june",
+        ]
+        for payload in benign:
+            assert not bro.inspect(payload).alert, payload
+
+    def test_snort_fires_on_naive_matches(self, merged):
+        # The paper's FPR story: Snort's simple patterns hit benign text.
+        assert merged.inspect("q=1%3D1+boolean+logic+homework").alert
+
+    def test_modsec_weak_indicators_insufficient(self, modsec):
+        # One weight-2 indicator cannot cross the threshold of 5.
+        assert not modsec.inspect("name=alice+o%27connor&id=12345").alert
+
+    def test_modsec_combination_alerts(self, modsec):
+        assert modsec.inspect(
+            "q=select+suggested+readings+from+the+syllabus"
+        ).alert
+
+    def test_encoding_evasion_beats_single_decode(self, bro, merged, modsec):
+        evaded = "id=1%2527/**/union/**/select/**/1,2--/**/-"
+        assert not bro.inspect(evaded).alert
+        assert not merged.inspect(evaded).alert
+        assert modsec.inspect(evaded).alert
+
+    def test_plus_spaces_visible_after_widened_ws(self, bro, merged):
+        payload = "id=1%27+union+select+1,2--+-"
+        assert bro.inspect(payload).alert
+        assert merged.inspect(payload).alert
+
+    def test_merged_set_includes_et_population(self, merged):
+        assert merged.total_rules == 79 + 4231

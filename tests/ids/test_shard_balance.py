@@ -1,0 +1,36 @@
+"""Unit tests for the LPT shard balancer behind cluster-mode matching."""
+
+from repro.ids.parallel import _balanced_shards
+
+
+class TestBalancedShards:
+    def test_all_items_assigned_exactly_once(self):
+        shards = _balanced_shards([3.0, 1.0, 2.0, 5.0, 4.0], 2)
+        flattened = sorted(i for shard in shards for i in shard)
+        assert flattened == [0, 1, 2, 3, 4]
+
+    def test_loads_balanced(self):
+        costs = [5.0, 4.0, 3.0, 3.0, 2.0, 1.0]
+        shards = _balanced_shards(costs, 2)
+        loads = [sum(costs[i] for i in shard) for shard in shards]
+        # LPT guarantee for 2 machines: within 7/6 of optimum (9 here).
+        assert max(loads) <= 9 * 7 / 6 + 1e-9
+
+    def test_heaviest_item_isolated_when_possible(self):
+        costs = [100.0, 1.0, 1.0, 1.0]
+        shards = _balanced_shards(costs, 2)
+        heavy_shard = next(s for s in shards if 0 in s)
+        assert heavy_shard == [0]
+
+    def test_more_workers_than_items(self):
+        shards = _balanced_shards([1.0, 2.0], 5)
+        non_empty = [s for s in shards if s]
+        assert len(non_empty) == 2
+
+    def test_single_worker_gets_everything(self):
+        shards = _balanced_shards([1.0, 2.0, 3.0], 1)
+        assert shards == [[0, 1, 2]]
+
+    def test_equal_costs_spread_evenly(self):
+        shards = _balanced_shards([1.0] * 8, 4)
+        assert sorted(len(s) for s in shards) == [2, 2, 2, 2]

@@ -1,0 +1,101 @@
+"""Tests for Snort .rules rendering and parsing."""
+
+import pytest
+
+from repro.ids.rules import Rule
+from repro.ids.snortlang import (
+    RulesParseError,
+    parse_rules_file,
+    render_rules_file,
+    ruleset_from_rules_file,
+)
+
+
+class TestRendering:
+    def test_regex_rule_renders_pcre(self):
+        text = render_rules_file([Rule(1, "u", r"union\s+select")])
+        assert 'pcre:"/union\\s+select/i"' in text
+        assert "sid:1;" in text
+
+    def test_literal_content_fast_path(self):
+        text = render_rules_file(
+            [Rule(2, "info", r"information_schema")]
+        )
+        assert 'content:"information_schema"' in text
+
+    def test_content_rule_no_pcre(self):
+        text = render_rules_file(
+            [Rule(3, "c", "xp_cmdshell", uses_regex=False)]
+        )
+        assert "pcre" not in text
+        assert 'content:"xp_cmdshell"' in text
+
+    def test_disabled_rule_commented(self):
+        text = render_rules_file([Rule(4, "off", "x", enabled=False)])
+        assert text.startswith("# alert")
+
+
+class TestParsing:
+    def test_roundtrip_preserves_semantics(self):
+        original = [
+            Rule(19401, "sql union select", r"union\s+select"),
+            Rule(19402, "content rule", "xp_cmdshell", uses_regex=False),
+            Rule(19403, "disabled", r"\bselect\b", enabled=False),
+        ]
+        reloaded = parse_rules_file(render_rules_file(original))
+        assert [r.sid for r in reloaded] == [19401, 19402, 19403]
+        assert reloaded[0].pattern == r"union\s+select"
+        assert reloaded[0].uses_regex
+        assert not reloaded[1].uses_regex
+        assert not reloaded[2].enabled
+
+    def test_slash_escaping_roundtrip(self):
+        original = [Rule(5, "s", r"a/b\s*c")]
+        reloaded = parse_rules_file(render_rules_file(original))
+        assert reloaded[0].pattern == r"a/b\s*c"
+
+    def test_full_snort_ruleset_roundtrips(self):
+        from repro.ids.rulesets.snort import SNORT_RULES
+
+        reloaded = ruleset_from_rules_file(
+            render_rules_file(SNORT_RULES), url_decode_only=True
+        )
+        assert reloaded.total_rules == len(SNORT_RULES)
+        assert reloaded.enabled_fraction == pytest.approx(
+            sum(r.enabled for r in SNORT_RULES) / len(SNORT_RULES)
+        )
+        attack = "id=1%27 union select 1,2--%20-"
+        from repro.ids.rulesets import build_snort_ruleset
+
+        assert (
+            reloaded.inspect(attack).alert
+            == build_snort_ruleset().inspect(attack).alert
+        )
+
+    def test_plain_comment_skipped(self):
+        rules = parse_rules_file("# just a note, no alert here? no.\n")
+        assert rules == []
+
+    def test_garbage_line_raises(self):
+        with pytest.raises(RulesParseError):
+            parse_rules_file("drop everything\n")
+
+    def test_rule_without_sid_raises(self):
+        with pytest.raises(RulesParseError):
+            parse_rules_file(
+                'alert tcp a any -> b any (msg:"m"; pcre:"/x/";)'
+            )
+
+    def test_rule_without_detection_raises(self):
+        with pytest.raises(RulesParseError):
+            parse_rules_file(
+                'alert tcp a any -> b any (msg:"m"; sid:7;)'
+            )
+
+    def test_msg_with_semicolon_like_content(self):
+        text = (
+            'alert tcp a any -> b any '
+            '(msg:"semi; colon"; pcre:"/x/i"; sid:8;)'
+        )
+        rules = parse_rules_file(text)
+        assert rules[0].name == "semi; colon"

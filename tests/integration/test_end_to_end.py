@@ -1,0 +1,103 @@
+"""End-to-end integration tests: the full system working together."""
+
+import numpy as np
+import pytest
+
+from repro.core import PipelineConfig, PSigenePipeline
+from repro.core import signature_set_from_json, signature_set_to_json
+from repro.corpus import VulnerableWebApp
+from repro.http import Trace
+from repro.ids import PSigeneDetector, SignatureEngine
+from repro.ids.rulesets import build_bro_ruleset
+from repro.learn import confusion_from_alerts
+from repro.scanners import SqlmapSimulator
+
+
+class TestCrawlToSignatures:
+    def test_full_pipeline_produces_working_detector(self, small_result):
+        """Crawl → features → biclusters → signatures → deployable IDS."""
+        detector = PSigeneDetector(small_result.signature_set)
+        engine = SignatureEngine(detector)
+
+        app = VulnerableWebApp(seed=99, n_vulnerabilities=8)
+        attack_trace = SqlmapSimulator(app, seed=50).scan()
+        run = engine.run(attack_trace)
+        tpr = run.alert_flags.mean()
+        assert tpr > 0.6
+
+    def test_serialized_signatures_deploy_identically(self, small_result):
+        """Train → serialize → ship → load → same verdicts."""
+        shipped = signature_set_from_json(
+            signature_set_to_json(small_result.signature_set)
+        )
+        app = VulnerableWebApp(seed=98, n_vulnerabilities=4)
+        trace = SqlmapSimulator(app, seed=51).scan()
+        original_run = SignatureEngine(
+            PSigeneDetector(small_result.signature_set)
+        ).run(trace)
+        shipped_run = SignatureEngine(PSigeneDetector(shipped)).run(trace)
+        assert (
+            original_run.alert_flags.tolist()
+            == shipped_run.alert_flags.tolist()
+        )
+
+
+class TestTrainTestSeparation:
+    def test_signatures_generalize_across_generators(self, small_result):
+        """Training data comes from the crawled corpus; the test attacks
+        come from a scanner with entirely different templates — the
+        generalization the paper claims."""
+        training_payloads = {s.payload for s in small_result.samples}
+        app = VulnerableWebApp(seed=97, n_vulnerabilities=6)
+        trace = SqlmapSimulator(app, seed=52).scan()
+        test_payloads = set(trace.payloads())
+        assert not training_payloads & test_payloads
+
+        detector = PSigeneDetector(small_result.signature_set)
+        alerts = [
+            detector.inspect(p).alert for p in list(test_payloads)[:400]
+        ]
+        assert np.mean(alerts) > 0.5
+
+
+class TestSideBySideDetectors:
+    def test_confusion_accounting(self, small_result):
+        from repro.corpus import BenignTrafficGenerator
+
+        app = VulnerableWebApp(seed=96, n_vulnerabilities=5)
+        attacks = SqlmapSimulator(app, seed=53).scan()
+        benign = BenignTrafficGenerator(seed=54).trace(1500)
+
+        for detector in (
+            PSigeneDetector(small_result.signature_set),
+            build_bro_ruleset(),
+        ):
+            engine = SignatureEngine(detector)
+            attack_run = engine.run(attacks)
+            benign_run = engine.run(benign)
+            confusion = confusion_from_alerts(
+                attack_run.alert_flags, benign_run.alert_flags
+            )
+            assert confusion.tp + confusion.fn == len(attacks)
+            assert confusion.fp + confusion.tn == len(benign)
+            assert confusion.tpr > confusion.fpr
+
+
+class TestIncrementalLoop:
+    def test_operate_learn_operate(self, small_pipeline, small_result):
+        """The paper's operational loop: deploy, collect fresh attacks,
+        retrain Θ, redeploy."""
+        from repro.core import incremental_update
+
+        app = VulnerableWebApp(seed=95, n_vulnerabilities=5)
+        fresh_trace = SqlmapSimulator(app, seed=55).scan()
+        fresh = fresh_trace.payloads()[:150]
+
+        update = incremental_update(small_pipeline, small_result, fresh)
+        before = SignatureEngine(
+            PSigeneDetector(small_result.signature_set)
+        ).run(Trace(name="t", requests=fresh_trace.requests[150:400]))
+        after = SignatureEngine(
+            PSigeneDetector(update.signature_set)
+        ).run(Trace(name="t", requests=fresh_trace.requests[150:400]))
+        assert after.alert_flags.mean() >= before.alert_flags.mean() - 0.05

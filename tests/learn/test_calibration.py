@@ -1,0 +1,115 @@
+"""Tests for probability calibration analysis."""
+
+import numpy as np
+import pytest
+
+from repro.learn.calibration import (
+    calibration_report,
+    score_signature_set,
+)
+
+
+class TestPerfectCalibration:
+    def test_oracle_probabilities(self):
+        """Labels drawn exactly at the stated probabilities → low ECE."""
+        rng = np.random.default_rng(3)
+        probabilities = rng.uniform(0, 1, 20_000)
+        labels = (rng.random(20_000) < probabilities).astype(float)
+        report = calibration_report(probabilities, labels)
+        assert report.ece < 0.03
+        assert report.n_samples == 20_000
+
+    def test_hard_labels_zero_error(self):
+        probabilities = np.array([0.0, 0.0, 1.0, 1.0])
+        labels = np.array([0.0, 0.0, 1.0, 1.0])
+        report = calibration_report(probabilities, labels)
+        assert report.ece == pytest.approx(0.0)
+        assert report.brier == pytest.approx(0.0)
+
+
+class TestMiscalibration:
+    def test_overconfident_model_high_ece(self):
+        # Predicts 0.95 but only half are attacks.
+        probabilities = np.full(1000, 0.95)
+        labels = np.array([1.0, 0.0] * 500)
+        report = calibration_report(probabilities, labels)
+        assert report.ece == pytest.approx(0.45, abs=0.01)
+
+    def test_brier_penalizes_confident_errors(self):
+        good = calibration_report(
+            np.array([0.9, 0.1]), np.array([1.0, 0.0])
+        )
+        bad = calibration_report(
+            np.array([0.1, 0.9]), np.array([1.0, 0.0])
+        )
+        assert bad.brier > good.brier
+
+
+class TestBins:
+    def test_bins_cover_all_samples(self):
+        rng = np.random.default_rng(5)
+        probabilities = rng.uniform(0, 1, 500)
+        labels = rng.integers(0, 2, 500).astype(float)
+        report = calibration_report(probabilities, labels, n_bins=10)
+        assert sum(b.count for b in report.bins) == 500
+
+    def test_extreme_probabilities_binned(self):
+        report = calibration_report(
+            np.array([0.0, 1.0]), np.array([0.0, 1.0])
+        )
+        assert sum(b.count for b in report.bins) == 2
+
+    def test_empty_bins_omitted(self):
+        report = calibration_report(
+            np.array([0.05, 0.95]), np.array([0.0, 1.0]), n_bins=10
+        )
+        assert len(report.bins) == 2
+
+    def test_bin_gap(self):
+        report = calibration_report(
+            np.full(10, 0.75), np.ones(10)
+        )
+        assert report.bins[0].gap == pytest.approx(0.25)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            calibration_report(np.zeros(3), np.zeros(4))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            calibration_report(np.zeros(0), np.zeros(0))
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            calibration_report(np.array([1.5]), np.array([1.0]))
+
+    def test_bad_bins(self):
+        with pytest.raises(ValueError):
+            calibration_report(
+                np.array([0.5]), np.array([1.0]), n_bins=1
+            )
+
+
+class TestSignatureSetCalibration:
+    def test_trained_signatures_reasonably_calibrated(
+        self, small_signatures
+    ):
+        from repro.corpus import BenignTrafficGenerator, CorpusGenerator
+
+        attacks = [
+            s.payload for s in CorpusGenerator(seed=41).generate(150)
+        ]
+        benign = [
+            p for p in BenignTrafficGenerator(seed=42).trace(300).payloads()
+            if p
+        ]
+        scores, labels = score_signature_set(
+            small_signatures, attacks, benign
+        )
+        report = calibration_report(scores, labels, n_bins=5)
+        # The max-over-signatures score is not a true posterior, but it
+        # must separate the classes decisively and not be wildly off.
+        assert report.brier < 0.25
+        assert report.ece < 0.45

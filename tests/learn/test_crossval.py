@@ -1,0 +1,81 @@
+"""Tests for k-fold cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.learn.crossval import cross_validate
+
+
+@pytest.fixture(scope="module")
+def separable():
+    rng = np.random.default_rng(4)
+    x = np.vstack([
+        rng.poisson(0.5, (150, 6)), rng.poisson(3.0, (150, 6))
+    ]).astype(float)
+    y = np.concatenate([np.zeros(150), np.ones(150)])
+    return x, y
+
+
+class TestCrossValidate:
+    def test_fold_count(self, separable):
+        x, y = separable
+        report = cross_validate(x, y, k=5)
+        assert len(report.folds) == 5
+
+    def test_separable_data_high_tpr(self, separable):
+        x, y = separable
+        report = cross_validate(x, y, k=5)
+        assert report.mean_tpr > 0.85
+        assert report.mean_fpr < 0.15
+
+    def test_folds_partition_data(self, separable):
+        x, y = separable
+        report = cross_validate(x, y, k=4)
+        held_out_total = sum(
+            f.confusion.tp + f.confusion.fn + f.confusion.fp
+            + f.confusion.tn
+            for f in report.folds
+        )
+        assert held_out_total == len(y)
+
+    def test_stratification_keeps_both_classes(self, separable):
+        x, y = separable
+        report = cross_validate(x, y, k=5)
+        for fold in report.folds:
+            assert fold.confusion.tp + fold.confusion.fn > 0
+            assert fold.confusion.fp + fold.confusion.tn > 0
+
+    def test_auc_proxy_positive_on_separable(self, separable):
+        x, y = separable
+        report = cross_validate(x, y, k=3)
+        assert all(f.auc_proxy > 0.4 for f in report.folds)
+
+    def test_random_labels_near_chance(self):
+        rng = np.random.default_rng(6)
+        x = rng.poisson(2.0, (200, 5)).astype(float)
+        y = (rng.random(200) < 0.5).astype(float)
+        report = cross_validate(x, y, k=4)
+        # On noise, TPR and FPR move together (no real separation).
+        assert abs(report.mean_tpr - (1 - report.mean_fpr)) < 0.35
+
+    def test_deterministic(self, separable):
+        x, y = separable
+        first = cross_validate(x, y, k=3, seed=9)
+        second = cross_validate(x, y, k=3, seed=9)
+        assert first.mean_tpr == second.mean_tpr
+
+    def test_k_too_small_rejected(self, separable):
+        x, y = separable
+        with pytest.raises(ValueError):
+            cross_validate(x, y, k=1)
+
+    def test_too_few_samples_rejected(self):
+        x = np.ones((4, 2))
+        y = np.array([0.0, 0, 1, 1])
+        with pytest.raises(ValueError):
+            cross_validate(x, y, k=3)
+
+    def test_std_reported(self, separable):
+        x, y = separable
+        report = cross_validate(x, y, k=5)
+        assert report.std_tpr >= 0.0

@@ -1,0 +1,81 @@
+"""Tests for detection metrics and ROC computation."""
+
+import numpy as np
+import pytest
+
+from repro.learn import Confusion, confusion_from_alerts, roc_curve
+
+
+class TestConfusion:
+    def test_tpr(self):
+        assert Confusion(tp=9, fn=1, fp=0, tn=10).tpr == pytest.approx(0.9)
+
+    def test_fpr(self):
+        assert Confusion(tp=0, fn=0, fp=3, tn=997).fpr == pytest.approx(
+            0.003
+        )
+
+    def test_empty_attack_set(self):
+        assert Confusion(tp=0, fn=0, fp=1, tn=1).tpr == 0.0
+
+    def test_empty_benign_set(self):
+        assert Confusion(tp=1, fn=1, fp=0, tn=0).fpr == 0.0
+
+    def test_precision_and_f1(self):
+        confusion = Confusion(tp=8, fn=2, fp=2, tn=88)
+        assert confusion.precision == pytest.approx(0.8)
+        assert confusion.f1 == pytest.approx(2 * 8 / (16 + 2 + 2))
+
+    def test_from_alerts(self):
+        confusion = confusion_from_alerts(
+            [True, True, False], [False, False, True, False]
+        )
+        assert (confusion.tp, confusion.fn) == (2, 1)
+        assert (confusion.fp, confusion.tn) == (1, 3)
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        curve = roc_curve(
+            np.array([0.9, 0.95, 0.99]), np.array([0.01, 0.05, 0.1])
+        )
+        assert curve.auc() == pytest.approx(1.0, abs=1e-6)
+
+    def test_random_scores_auc_half(self):
+        rng = np.random.default_rng(0)
+        curve = roc_curve(rng.uniform(size=3000), rng.uniform(size=3000))
+        assert curve.auc() == pytest.approx(0.5, abs=0.03)
+
+    def test_monotone_tpr_with_fpr(self):
+        rng = np.random.default_rng(1)
+        curve = roc_curve(
+            rng.uniform(0.3, 1.0, 200), rng.uniform(0.0, 0.7, 200)
+        )
+        order = np.argsort(curve.fpr)
+        assert (np.diff(curve.tpr[order]) >= -1e-12).all()
+
+    def test_thresholds_descending(self):
+        curve = roc_curve(np.array([0.5]), np.array([0.5]))
+        assert (np.diff(curve.thresholds) <= 0).all()
+
+    def test_partial_auc_bounded(self):
+        rng = np.random.default_rng(2)
+        curve = roc_curve(
+            rng.uniform(0.5, 1.0, 100), rng.uniform(0.0, 0.5, 100)
+        )
+        partial = curve.auc(max_fpr=0.05)
+        assert 0.0 <= partial <= 0.05 + 1e-9
+
+    def test_figure3_style_operating_point(self):
+        """At the operating threshold the curve must pass through the
+        measured (FPR, TPR) of the detector."""
+        attack = np.array([0.2, 0.7, 0.8, 0.99])
+        benign = np.array([0.1, 0.2, 0.4, 0.6])
+        curve = roc_curve(attack, benign)
+        at_half = np.argmin(np.abs(curve.thresholds - 0.5))
+        assert curve.tpr[at_half] == pytest.approx(0.75)
+        assert curve.fpr[at_half] == pytest.approx(0.25)
+
+    def test_empty_benign(self):
+        curve = roc_curve(np.array([0.5, 0.9]), np.array([]))
+        assert (curve.fpr == 0).all()

@@ -1,0 +1,87 @@
+"""Tests for the preconditioned conjugate gradients solver."""
+
+import numpy as np
+import pytest
+
+from repro.learn import pcg
+
+
+def _spd(n, seed=0, conditioning=1.0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    return a @ a.T + conditioning * n * np.eye(n)
+
+
+class TestCorrectness:
+    def test_solves_spd_system(self):
+        a = _spd(30, seed=1)
+        b = np.random.default_rng(2).normal(size=30)
+        result = pcg(lambda v: a @ v, b)
+        assert result.converged
+        assert np.linalg.norm(a @ result.x - b) < 1e-6
+
+    def test_identity_system(self):
+        b = np.arange(5, dtype=float)
+        result = pcg(lambda v: v, b)
+        assert np.allclose(result.x, b)
+        assert result.iterations <= 2
+
+    def test_diagonal_system_with_jacobi(self):
+        diag = np.array([1.0, 10.0, 100.0, 1000.0])
+        b = np.ones(4)
+        result = pcg(lambda v: diag * v, b, preconditioner=diag)
+        assert result.converged
+        assert np.allclose(result.x, b / diag)
+
+    def test_warm_start(self):
+        a = _spd(20, seed=3)
+        b = np.random.default_rng(4).normal(size=20)
+        exact = np.linalg.solve(a, b)
+        result = pcg(lambda v: a @ v, b, x0=exact)
+        assert result.iterations == 0
+        assert result.converged
+
+
+class TestPreconditioning:
+    def test_jacobi_helps_ill_conditioned(self):
+        rng = np.random.default_rng(5)
+        diag = 10.0 ** rng.uniform(0, 5, size=60)
+        a = np.diag(diag) + 0.01 * _spd(60, seed=6, conditioning=0.0)
+        a = (a + a.T) / 2 + 1e-3 * np.eye(60)
+        b = rng.normal(size=60)
+        plain = pcg(lambda v: a @ v, b, max_iterations=50)
+        jacobi = pcg(
+            lambda v: a @ v, b, preconditioner=np.diag(a).copy(),
+            max_iterations=50,
+        )
+        assert jacobi.residual_norm < plain.residual_norm
+
+    def test_nonpositive_preconditioner_rejected(self):
+        with pytest.raises(ValueError):
+            pcg(lambda v: v, np.ones(3), preconditioner=np.array([1., 0, 1]))
+
+
+class TestTermination:
+    def test_iteration_cap(self):
+        a = _spd(40, seed=7, conditioning=0.001)
+        b = np.random.default_rng(8).normal(size=40)
+        result = pcg(lambda v: a @ v, b, max_iterations=2, tol=1e-14)
+        assert result.iterations == 2
+        assert not result.converged
+
+    def test_zero_rhs(self):
+        result = pcg(lambda v: v, np.zeros(4))
+        assert result.converged
+        assert np.allclose(result.x, 0.0)
+
+    def test_indefinite_bails_gracefully(self):
+        a = np.diag([1.0, -1.0])
+        result = pcg(lambda v: a @ v, np.array([1.0, 1.0]))
+        assert not result.converged
+
+    def test_convergence_within_dimension_iterations(self):
+        # CG converges in at most n steps in exact arithmetic.
+        a = _spd(25, seed=9)
+        b = np.random.default_rng(10).normal(size=25)
+        result = pcg(lambda v: a @ v, b)
+        assert result.iterations <= 25 + 5

@@ -1,0 +1,75 @@
+"""Tests for Perdisci fine-grained clustering."""
+
+import numpy as np
+import pytest
+
+from repro.perdisci import (
+    NAME_WEIGHT,
+    VALUE_WEIGHT,
+    build_embedding,
+    embed,
+    fine_grained_clustering,
+)
+
+
+PAYLOADS = (
+    ["id=%d%%27+union+select+1,2" % i for i in range(10)]
+    + ["cat=%d+and+sleep(5)" % i for i in range(10)]
+    + ["q=%d%%27+or+1%%3D1--" % i for i in range(10)]
+)
+
+
+class TestEmbedding:
+    def test_vocabulary_built(self):
+        embedding = build_embedding(PAYLOADS)
+        assert embedding.dimension > 10
+        assert "id" in embedding.name_index
+        assert "cat" in embedding.name_index
+
+    def test_bigram_cap(self):
+        embedding = build_embedding(PAYLOADS, max_bigrams=5)
+        assert len(embedding.bigram_index) == 5
+
+    def test_vectors_shape(self):
+        embedding = build_embedding(PAYLOADS)
+        vectors = embed(PAYLOADS, embedding)
+        assert vectors.shape == (len(PAYLOADS), embedding.dimension)
+
+    def test_weights_applied(self):
+        embedding = build_embedding(PAYLOADS)
+        vectors = embed(PAYLOADS, embedding)
+        n_bigrams = len(embedding.bigram_index)
+        value_norm = np.linalg.norm(vectors[0, :n_bigrams])
+        name_norm = np.linalg.norm(vectors[0, n_bigrams:])
+        assert value_norm == pytest.approx(np.sqrt(VALUE_WEIGHT))
+        assert name_norm == pytest.approx(np.sqrt(NAME_WEIGHT))
+
+    def test_unknown_tokens_ignored(self):
+        embedding = build_embedding(PAYLOADS[:5])
+        vectors = embed(["zz=completely+new+stuff"], embedding)
+        assert np.isfinite(vectors).all()
+
+
+class TestFineGrainedClustering:
+    def test_groups_by_technique(self):
+        embedding = build_embedding(PAYLOADS)
+        vectors = embed(PAYLOADS, embedding)
+        result = fine_grained_clustering(vectors, k_max=10)
+        truth = np.repeat([0, 1, 2], 10)
+        # Each found cluster must be technique-pure.
+        for label in np.unique(result.labels):
+            members = truth[result.labels == label]
+            assert len(np.unique(members)) == 1
+
+    def test_db_curve_recorded(self):
+        embedding = build_embedding(PAYLOADS)
+        vectors = embed(PAYLOADS, embedding)
+        result = fine_grained_clustering(vectors, k_max=10)
+        assert result.k in result.db_by_k
+        assert result.db_index == min(result.db_by_k.values())
+
+    def test_labels_cover_all_rows(self):
+        embedding = build_embedding(PAYLOADS)
+        vectors = embed(PAYLOADS, embedding)
+        result = fine_grained_clustering(vectors, k_max=8)
+        assert result.labels.shape == (len(PAYLOADS),)

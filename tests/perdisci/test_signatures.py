@@ -1,0 +1,74 @@
+"""Tests for the end-to-end Perdisci system (Experiment 3 behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusGenerator
+from repro.perdisci import PerdisciSystem
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return [s.payload for s in CorpusGenerator(seed=31).generate(800)]
+
+
+@pytest.fixture(scope="module")
+def fitted(corpus):
+    system = PerdisciSystem(max_training=300, seed=2)
+    report = system.fit(corpus)
+    return system, report
+
+
+class TestPipelineStages:
+    def test_filter_reduces_clusters(self, fitted):
+        _, report = fitted
+        assert report.clusters_after_filter < report.fine_grained.k
+
+    def test_merging_reduces_further(self, fitted):
+        _, report = fitted
+        assert len(report.signatures) <= report.clusters_after_filter
+
+    def test_signatures_not_degenerate(self, fitted):
+        system, report = fitted
+        for signature in report.signatures:
+            assert signature.content_length >= system.min_content_length
+            substantive = [
+                t for t in signature.tokens
+                if len(t) >= 2 and t not in system._param_names
+            ]
+            assert substantive, signature.pattern
+
+    def test_too_few_payloads_rejected(self):
+        with pytest.raises(ValueError):
+            PerdisciSystem().fit(["a=1", "b=2"])
+
+
+class TestDetectionCharacter:
+    def test_train_on_train_much_higher_than_fresh(self, fitted, corpus):
+        """The paper's key finding: the approach memorizes its training
+        samples (76.5% on seen data) but generalizes poorly (5.79%)."""
+        system, _ = fitted
+        rng = np.random.default_rng(2)
+        picked = rng.choice(len(corpus), 300, replace=False)
+        training = [corpus[i] for i in sorted(picked)]
+        train_tpr = np.mean([system.matches(p) for p in training])
+
+        fresh = [
+            f"id={i}%27%20AND%20{1000+i}%3D{1000+i}--%20-"
+            for i in range(200)
+        ]
+        fresh_tpr = np.mean([system.matches(p) for p in fresh])
+        assert train_tpr > fresh_tpr + 0.1
+
+    def test_zero_false_positives_on_benign(self, fitted):
+        from repro.corpus import BenignTrafficGenerator
+
+        system, _ = fitted
+        benign = BenignTrafficGenerator(seed=5).trace(2000)
+        false_positives = sum(
+            1 for p in benign.payloads() if system.matches(p)
+        )
+        assert false_positives <= 1  # paper: exactly 0
+
+    def test_unfitted_system_matches_nothing(self):
+        assert not PerdisciSystem().matches("id=1' union select 1")

@@ -1,0 +1,80 @@
+"""Tests for token-subsequence signature machinery."""
+
+import pytest
+
+from repro.perdisci import TokenSignature, common_token_subsequence, tokenize
+
+
+class TestTokenize:
+    def test_words_and_punctuation(self):
+        assert tokenize("id=1' or 1=1") == [
+            "id", "=", "1", "'", "or", "1", "=", "1"
+        ]
+
+    def test_lowercases(self):
+        assert tokenize("UNION SELECT") == ["union", "select"]
+
+    def test_underscore_words_whole(self):
+        assert tokenize("information_schema") == ["information_schema"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestCommonSubsequence:
+    def test_identical_payloads(self):
+        tokens = common_token_subsequence(["a=1' or 1", "a=1' or 1"])
+        assert tokens == tokenize("a=1' or 1")
+
+    def test_common_core_extracted(self):
+        payloads = [
+            "id=7' union select 1,2-- -",
+            "id=9' union select 8,3-- -",
+        ]
+        tokens = common_token_subsequence(payloads)
+        assert "union" in tokens
+        assert "select" in tokens
+        assert tokens.index("union") < tokens.index("select")
+
+    def test_order_preserved(self):
+        tokens = common_token_subsequence(["a b c", "a x b y c"])
+        assert tokens == ["a", "b", "c"]
+
+    def test_disjoint_payloads_empty(self):
+        assert common_token_subsequence(["aaa bbb", "ccc ddd"]) == []
+
+    def test_empty_input(self):
+        assert common_token_subsequence([]) == []
+
+    def test_single_payload_is_itself(self):
+        assert common_token_subsequence(["x=1"]) == ["x", "=", "1"]
+
+
+class TestTokenSignature:
+    def test_pattern_rendering(self):
+        signature = TokenSignature(["union", "select", "("])
+        assert signature.pattern == r"union.*select.*\("
+
+    def test_matches_in_order(self):
+        signature = TokenSignature(["union", "select"])
+        assert signature.matches("1' UNION ALL SELECT 2")
+        assert not signature.matches("select then union")  # wrong order?
+
+    def test_empty_signature_never_matches(self):
+        assert not TokenSignature([]).matches("anything")
+
+    def test_content_length(self):
+        assert TokenSignature(["abc", "=", "xy"]).content_length == 6
+
+    def test_similarity_identical(self):
+        a = TokenSignature(["a", "b"])
+        assert a.similarity(TokenSignature(["a", "b"])) == 1.0
+
+    def test_similarity_disjoint(self):
+        a = TokenSignature(["a"])
+        assert a.similarity(TokenSignature(["b"])) == 0.0
+
+    def test_similarity_partial(self):
+        a = TokenSignature(["a", "b", "c"])
+        b = TokenSignature(["b", "c", "d"])
+        assert a.similarity(b) == pytest.approx(0.5)

@@ -1,0 +1,203 @@
+"""Additional hypothesis property tests: serialization, pruning, linkage
+weights, robots, and the Perdisci LCS."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cluster import unique_rows_with_weights, upgma
+from repro.core import (
+    GeneralizedSignature,
+    SignatureSet,
+    signature_set_from_json,
+    signature_set_to_json,
+)
+from repro.crawler import parse_robots
+from repro.features import FeatureMatrix, build_catalog, prune
+from repro.learn import LogisticModel
+from repro.perdisci import common_token_subsequence, tokenize
+
+_CATALOG = build_catalog()
+
+
+# ---------------------------------------------------------------------------
+# Serialization fuzz
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.floats(-50, 50, allow_nan=False), min_size=2, max_size=6
+    ),
+    st.floats(0.01, 0.99),
+    st.integers(1, 11),
+)
+@settings(max_examples=30, deadline=None)
+def test_signature_serialization_roundtrip(theta, threshold, index):
+    features = _CATALOG.subset(list(range(len(theta) - 1)))
+    signature = GeneralizedSignature(
+        bicluster_index=index,
+        features=features,
+        model=LogisticModel(np.array(theta)),
+        threshold=threshold,
+    )
+    restored = signature_set_from_json(
+        signature_set_to_json(SignatureSet([signature]))
+    )
+    assert np.allclose(restored[0].model.theta, theta)
+    assert restored[0].threshold == threshold
+    payload = "id=1' union select sleep(1),2"
+    assert restored[0].probability(payload) == (
+        signature.probability(payload)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pruning properties
+# ---------------------------------------------------------------------------
+
+@st.composite
+def count_matrices(draw):
+    rows = draw(st.integers(2, 12))
+    columns = draw(st.integers(2, 10))
+    values = draw(hnp.arrays(
+        np.int32, (rows, columns),
+        elements=st.integers(0, 4),
+    ))
+    return values
+
+
+@given(count_matrices())
+@settings(max_examples=40, deadline=None)
+def test_prune_idempotent(counts):
+    catalog = _CATALOG.subset(list(range(counts.shape[1])))
+    matrix = FeatureMatrix(
+        counts=counts, catalog=catalog,
+        sample_ids=[f"s{i}" for i in range(counts.shape[0])],
+    )
+    once, _ = prune(matrix)
+    twice, report = prune(once)
+    assert twice.n_features == once.n_features
+    assert report.zero_support == ()
+    assert report.duplicates == ()
+
+
+@given(count_matrices())
+@settings(max_examples=40, deadline=None)
+def test_prune_preserves_distinct_information(counts):
+    catalog = _CATALOG.subset(list(range(counts.shape[1])))
+    matrix = FeatureMatrix(
+        counts=counts, catalog=catalog,
+        sample_ids=[f"s{i}" for i in range(counts.shape[0])],
+    )
+    pruned, _ = prune(matrix)
+    # Distinct rows stay distinct: duplicate-column collapse never merges
+    # two samples that differed.
+    originals = {row.tobytes() for row in np.unique(counts, axis=0)}
+    pruned_rows = {row.tobytes() for row in np.unique(
+        pruned.counts, axis=0
+    )}
+    assert len(pruned_rows) == len(originals)
+
+
+# ---------------------------------------------------------------------------
+# Weighted UPGMA invariance
+# ---------------------------------------------------------------------------
+
+@given(st.integers(0, 10_000), st.integers(2, 8))
+@settings(max_examples=25, deadline=None)
+def test_weighted_upgma_equals_expanded(seed, duplicates):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(6, 3))
+    expanded = np.vstack([base] + [base[:2]] * duplicates)
+    prototypes, weights, _ = unique_rows_with_weights(expanded)
+    weighted = upgma(prototypes, weights=weights)
+    plain = upgma(expanded)
+    plain_heights = np.sort(plain[:, 2])
+    plain_heights = plain_heights[plain_heights > 1e-12]
+    assert np.allclose(np.sort(weighted[:, 2]), plain_heights)
+
+
+# ---------------------------------------------------------------------------
+# robots.txt totality
+# ---------------------------------------------------------------------------
+
+@given(st.text(max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_parse_robots_total(text):
+    policy = parse_robots(text)
+    assert isinstance(policy.allowed("/index.html"), bool)
+
+
+# ---------------------------------------------------------------------------
+# LCS properties
+# ---------------------------------------------------------------------------
+
+payload_text = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=122),
+    min_size=0, max_size=40,
+)
+
+
+@given(st.lists(payload_text, min_size=1, max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_lcs_is_subsequence_of_every_member(payloads):
+    common = common_token_subsequence(payloads)
+    for payload in payloads:
+        tokens = tokenize(payload)
+        position = 0
+        for token in common:
+            while position < len(tokens) and tokens[position] != token:
+                position += 1
+            assert position < len(tokens), (common, tokens)
+            position += 1
+
+
+@given(payload_text)
+@settings(max_examples=50, deadline=None)
+def test_lcs_of_identical_is_identity(payload):
+    assert common_token_subsequence([payload, payload]) == tokenize(payload)
+
+
+# ---------------------------------------------------------------------------
+# NFA differential against re
+# ---------------------------------------------------------------------------
+
+_NFA_PATTERNS = [
+    r"union\s+select",
+    r"\bselect\b",
+    r"ch(a)?r\s*\(\s*\d",
+    r"[^a-z0-9]+=",
+    r"(abc|abd|ae)x",
+    r"--[\s']",
+]
+
+
+@given(
+    st.sampled_from(_NFA_PATTERNS),
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        max_size=60,
+    ),
+)
+@settings(max_examples=120, deadline=None)
+def test_nfa_agrees_with_re_on_random_text(pattern, text):
+    import re
+
+    from repro.regexlib import NfaMatcher
+
+    matcher = _nfa_cache(pattern)
+    assert matcher.search(text) == bool(
+        re.search(pattern, text, re.IGNORECASE)
+    )
+
+
+_NFA_CACHE = {}
+
+
+def _nfa_cache(pattern):
+    from repro.regexlib import NfaMatcher
+
+    if pattern not in _NFA_CACHE:
+        _NFA_CACHE[pattern] = NfaMatcher(pattern)
+    return _NFA_CACHE[pattern]

@@ -1,0 +1,183 @@
+"""Tests for the Thompson-NFA engine, differential against ``re``."""
+
+import re
+
+import pytest
+
+from repro.regexlib.nfa import NfaMatcher, UnsupportedPatternError
+from repro.regexlib.parser import RegexSyntaxError
+
+
+def _ref(pattern, text):
+    return bool(re.search(pattern, text, re.IGNORECASE))
+
+
+SUBSET_PATTERNS = [
+    r"union\s+select",
+    r"union\s+(?:all\s+)?select",
+    r"ch(a)?r\s*\(\s*\d",
+    r"[^a-zA-Z&]+=",
+    r"sleep\s*\(\s*\d+",
+    r"order\s+by\s+[0-9]{1,3}",
+    r"--[\s']",
+    r"0x[0-9a-f]{4,8}",
+    r"(abc|abd|ae)x",
+    r"a+b*c?d",
+    r"[\s+]*select",
+    r"\d\s*=\s*\d",
+]
+
+TEXTS = [
+    "id=1' union select 1,2,3-- -",
+    "id=1' UNION ALL SELECT NULL,NULL",
+    "concat(database(),char(58),user())",
+    "q=campus shuttle schedule",
+    "x' and sleep(5)-- -",
+    "1' ORDER BY 10-- -",
+    "benign text with = signs and 0xdeadbeef",
+    "aaabbbcccd",
+    "abdx abcx aex",
+    "",
+    "5=5 and 6 = 6",
+]
+
+
+class TestDifferentialAgainstRe:
+    @pytest.mark.parametrize("pattern", SUBSET_PATTERNS)
+    def test_search_agrees_with_re(self, pattern):
+        matcher = NfaMatcher(pattern)
+        for text in TEXTS:
+            assert matcher.search(text) == _ref(pattern, text), (
+                pattern, text
+            )
+
+    def test_count_on_literal_tokens(self):
+        matcher = NfaMatcher(r"char")
+        assert matcher.count("char(97),char(98),char(99)") == 3
+
+    def test_count_zero(self):
+        assert NfaMatcher(r"union").count("no keywords here") == 0
+
+    def test_count_consistent_with_search(self):
+        for pattern in SUBSET_PATTERNS:
+            matcher = NfaMatcher(pattern)
+            for text in TEXTS:
+                assert (matcher.count(text) > 0) == matcher.search(text)
+
+
+class TestSemantics:
+    def test_case_insensitive_literals(self):
+        assert NfaMatcher("UnIoN").search("union select")
+
+    def test_negated_class(self):
+        matcher = NfaMatcher(r"[^0-9]=")
+        assert matcher.search("a=1")
+        assert not matcher.search("1=1")
+
+    def test_counted_repetition_bounds(self):
+        matcher = NfaMatcher(r"ab{2,3}c")
+        assert not matcher.search("abc")
+        assert matcher.search("abbc")
+        assert matcher.search("abbbc")
+        assert not matcher.search("abbbbc")
+
+    def test_dot_excludes_newline(self):
+        matcher = NfaMatcher(r"a.b")
+        assert matcher.search("axb")
+        assert not matcher.search("a\nb")
+
+    def test_word_boundaries(self):
+        matcher = NfaMatcher(r"\bselect\b")
+        assert matcher.search("please select one")
+        assert not matcher.search("selection")
+        assert matcher.search("select")
+
+    def test_non_boundary(self):
+        matcher = NfaMatcher(r"x\By")
+        assert matcher.search("wxyz")
+
+    def test_escape_sets(self):
+        matcher = NfaMatcher(r"\d\s\w")
+        assert matcher.search("x 5 a y")
+        assert not matcher.search("xx")
+
+    def test_lazy_quantifier_same_occurrence_semantics(self):
+        greedy = NfaMatcher(r"in\s*\(+\s*select")
+        lazy = NfaMatcher(r"in\s*?\(+\s*?select")
+        text = "1 in ( select 2"
+        assert greedy.search(text) == lazy.search(text) is True
+
+    def test_hex_escape(self):
+        assert NfaMatcher(r"\x41").search("A")
+
+
+class TestLinearTime:
+    def test_redos_payload_runs_fast(self):
+        """The classic exponential backtracker finishes instantly here."""
+        import time
+
+        matcher = NfaMatcher(r"(a+)+b")
+        payload = "a" * 200 + "c"
+        start = time.perf_counter()
+        assert not matcher.search(payload)
+        assert time.perf_counter() - start < 0.5
+
+    def test_state_count_reported(self):
+        matcher = NfaMatcher(r"union\s+select")
+        assert matcher.state_count > 10
+
+
+class TestRejections:
+    @pytest.mark.parametrize("pattern", [
+        r"a*",            # matches empty string
+        r"(?:x)?",        # matches empty string
+    ])
+    def test_nullable_rejected(self, pattern):
+        with pytest.raises(UnsupportedPatternError):
+            NfaMatcher(pattern)
+
+    @pytest.mark.parametrize("pattern", [
+        r"^anchored",
+        r"(?=lookahead)x",
+        r"(back)\1",
+        r"a{500}",
+    ])
+    def test_unsupported_syntax_reported(self, pattern):
+        with pytest.raises(UnsupportedPatternError):
+            NfaMatcher(pattern)
+
+    @pytest.mark.parametrize("pattern", [
+        r"(unbalanced",
+        r"*dangling",
+        r"[unterminated",
+    ])
+    def test_malformed_rejected(self, pattern):
+        with pytest.raises((RegexSyntaxError, UnsupportedPatternError)):
+            NfaMatcher(pattern)
+
+
+class TestAgainstCatalog:
+    def test_feature_catalog_coverage(self):
+        """A substantial share of the real feature catalog compiles and
+        agrees with ``re`` on attack samples."""
+        from repro.corpus import CorpusGenerator
+        from repro.features import build_catalog
+        from repro.normalize import normalize
+
+        catalog = build_catalog()
+        payloads = [
+            normalize(s.payload)
+            for s in CorpusGenerator(seed=77).generate(30)
+        ]
+        compiled = 0
+        for definition in catalog:
+            try:
+                matcher = NfaMatcher(definition.pattern)
+            except (UnsupportedPatternError, RegexSyntaxError):
+                continue
+            compiled += 1
+            for payload in payloads:
+                assert matcher.search(payload) == bool(
+                    re.search(definition.pattern, payload, re.IGNORECASE)
+                ), definition.pattern
+        assert compiled > len(catalog) * 0.8

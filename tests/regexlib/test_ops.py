@@ -1,0 +1,85 @@
+"""Tests for count_all and the compile cache."""
+
+import pytest
+
+from repro.regexlib import (
+    PatternError,
+    compile_pattern,
+    count_all,
+    matches,
+    validate,
+)
+
+
+class TestCountAll:
+    def test_zero_matches(self):
+        assert count_all("union", "hello world") == 0
+
+    def test_single_match(self):
+        assert count_all("union", "union select") == 1
+
+    def test_multiple_matches(self):
+        assert count_all("char", "char(97),char(98),char(99)") == 3
+
+    def test_case_insensitive_default(self):
+        assert count_all("union", "UNION UNION") == 2
+
+    def test_case_sensitive_option(self):
+        assert count_all("union", "UNION union", ignore_case=False) == 1
+
+    def test_nonoverlapping(self):
+        assert count_all("aa", "aaaa") == 2
+
+    def test_paper_example_feature(self):
+        # Table III feature 37: =[-0-9\%]*
+        assert count_all(r"=[-0-9\%]*", "a=1&b=2&c=x") == 3
+
+    def test_paper_example_char_pattern(self):
+        pattern = r"ch(a)?r\s*?\(\s*?\d"
+        payload = "concat(database(),char(58),user(),char(58))"
+        assert count_all(pattern, payload) == 2
+
+    def test_empty_matching_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            count_all(r"a*", "aaa")
+
+    def test_invalid_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            count_all(r"(unclosed", "x")
+
+    def test_empty_text(self):
+        assert count_all("x", "") == 0
+
+
+class TestMatches:
+    def test_positive(self):
+        assert matches(r"union\s+select", "1' union select 2")
+
+    def test_negative(self):
+        assert not matches(r"union\s+select", "union of students")
+
+
+class TestValidate:
+    def test_good_pattern(self):
+        assert validate(r"\bselect\b")
+
+    def test_bad_syntax(self):
+        assert not validate(r"(oops")
+
+    def test_empty_matcher_invalid(self):
+        assert not validate(r"x*")
+
+    def test_optional_prefix_ok_if_anchored_by_required(self):
+        assert validate(r"\)?;")
+
+
+class TestCompileCache:
+    def test_same_object_returned(self):
+        first = compile_pattern("cache-test-pattern")
+        second = compile_pattern("cache-test-pattern")
+        assert first is second
+
+    def test_flags_distinguish_entries(self):
+        ci = compile_pattern("flagtest", ignore_case=True)
+        cs = compile_pattern("flagtest", ignore_case=False)
+        assert ci is not cs

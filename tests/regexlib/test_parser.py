@@ -1,0 +1,169 @@
+"""Tests for regex tokenization and signature deconstruction."""
+
+import pytest
+
+from repro.regexlib import (
+    RegexSyntaxError,
+    deconstruct,
+    literal_text,
+    split_alternation,
+    tokenize,
+    top_level_groups,
+)
+
+
+class TestTokenize:
+    def test_literals(self):
+        kinds = [t.kind for t in tokenize("abc")]
+        assert kinds == ["literal"] * 3
+
+    def test_escape(self):
+        tokens = tokenize(r"\s\d")
+        assert [t.text for t in tokens] == [r"\s", r"\d"]
+        assert all(t.kind == "escape" for t in tokens)
+
+    def test_character_class(self):
+        tokens = tokenize(r"[a-z0-9]")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "class"
+
+    def test_negated_class_with_bracket(self):
+        tokens = tokenize(r"[^]a]")
+        assert tokens[0].kind == "class"
+        assert tokens[0].text == r"[^]a]"
+
+    def test_class_with_escaped_bracket(self):
+        tokens = tokenize(r"[a\]b]")
+        assert tokens[0].text == r"[a\]b]"
+
+    def test_group_open_plain(self):
+        tokens = tokenize("(a)")
+        assert tokens[0].kind == "group_open"
+        assert tokens[0].text == "("
+
+    def test_group_open_noncapturing(self):
+        tokens = tokenize("(?:a)")
+        assert tokens[0].text == "(?:"
+
+    def test_alternation(self):
+        kinds = [t.kind for t in tokenize("a|b")]
+        assert kinds == ["literal", "alternation", "literal"]
+
+    def test_quantifiers(self):
+        tokens = tokenize("a*b+c?d{2,3}")
+        quantifiers = [t.text for t in tokens if t.kind == "quantifier"]
+        assert quantifiers == ["*", "+", "?", "{2,3}"]
+
+    def test_lazy_quantifier(self):
+        tokens = tokenize(r"a*?")
+        assert tokens[1].text == "*?"
+
+    def test_unclosed_brace_is_literal(self):
+        tokens = tokenize("a{2")
+        assert tokens[1].kind == "literal"
+        assert tokens[1].text == "{"
+
+    def test_anchors(self):
+        kinds = [t.kind for t in tokenize("^a$")]
+        assert kinds == ["anchor", "literal", "anchor"]
+
+    def test_dangling_backslash_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize("abc\\")
+
+    def test_unterminated_class_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize("[abc")
+
+    def test_positions(self):
+        tokens = tokenize(r"a\sb")
+        assert [t.position for t in tokens] == [0, 1, 3]
+
+
+class TestSplitAlternation:
+    def test_no_alternation(self):
+        assert split_alternation("abc") == ["abc"]
+
+    def test_top_level_split(self):
+        assert split_alternation("a|b|c") == ["a", "b", "c"]
+
+    def test_nested_alternation_kept(self):
+        assert split_alternation("a|b(c|d)") == ["a", "b(c|d)"]
+
+    def test_alternation_in_class_kept(self):
+        assert split_alternation("[|]x") == ["[|]x"]
+
+    def test_escaped_pipe_kept(self):
+        assert split_alternation(r"a\|b") == [r"a\|b"]
+
+    def test_unbalanced_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            split_alternation("a(b|c")
+
+    def test_unbalanced_close_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            split_alternation("a)b")
+
+
+class TestTopLevelGroups:
+    def test_single_group(self):
+        assert top_level_groups("(?:abc)") == ["abc"]
+
+    def test_multiple_groups(self):
+        assert top_level_groups("(?:a)|(?:b|c)d") == ["a", "b|c"]
+
+    def test_nested_groups_not_doubled(self):
+        assert top_level_groups("(a(b)c)") == ["a(b)c"]
+
+    def test_no_groups(self):
+        assert top_level_groups("abc") == []
+
+
+class TestDeconstruct:
+    def test_modsec_style_signature(self):
+        # The paper's example: seven case-insensitive groups joined by |.
+        signature = (
+            r"(?:is\s+null)|(?:like\s+null)|(?:in\s*?\(+\s*?select)|"
+            r"(?:\)?;)"
+        )
+        components = deconstruct(signature)
+        assert r"is\s+null" in components
+        assert r"like\s+null" in components
+        assert r"in\s*?\(+\s*?select" in components
+        assert r"\)?;" in components
+
+    def test_plain_pattern_single_component(self):
+        assert deconstruct(r"union\s+select") == [r"union\s+select"]
+
+    def test_branch_with_trailing_text_not_recursed(self):
+        components = deconstruct(r"(?:a)x|b")
+        assert components == ["(?:a)x", "b"]
+
+    def test_nested_group_recursion(self):
+        assert deconstruct("(?:(?:a|b))") == ["a", "b"]
+
+    def test_empty_branches_dropped(self):
+        assert deconstruct("a||b") == ["a", "b"]
+
+    def test_all_components_are_valid_regexes(self):
+        import re
+        signature = (
+            r"(?:'\s*?(?:and|or)\s*?[\(\'0-9a-z])|(?:\d\s*?=\s*?\d)|"
+            r"(?:ch(a)?r\s*?\(\s*?\d)"
+        )
+        for component in deconstruct(signature):
+            re.compile(component)
+
+
+class TestLiteralText:
+    def test_plain(self):
+        assert literal_text("union") == "union"
+
+    def test_whitespace_escape(self):
+        assert literal_text(r"union\s+select") == "union select"
+
+    def test_class_dropped(self):
+        assert literal_text(r"a[0-9]b") == "ab"
+
+    def test_escaped_punctuation_kept(self):
+        assert literal_text(r"\)\;") == ");"

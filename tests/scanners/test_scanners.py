@@ -1,0 +1,163 @@
+"""Tests for the three scanner simulators."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import VulnerableWebApp
+from repro.http import LABEL_ATTACK
+from repro.scanners import ArachniSimulator, SqlmapSimulator, VegaSimulator
+
+
+@pytest.fixture(scope="module")
+def app():
+    return VulnerableWebApp(seed=7)
+
+
+@pytest.fixture(scope="module")
+def sqlmap_trace(app):
+    return SqlmapSimulator(app, seed=1).scan()
+
+
+@pytest.fixture(scope="module")
+def arachni_trace(app):
+    return ArachniSimulator(app, seed=2).scan()
+
+
+@pytest.fixture(scope="module")
+def vega_trace(app):
+    return VegaSimulator(app, seed=3).scan()
+
+
+class TestTraceSizes:
+    def test_sqlmap_over_7200(self, sqlmap_trace):
+        # Section III-B: "over 7200 attack samples".
+        assert len(sqlmap_trace) > 7200
+
+    def test_arachni_set_near_8578(self, arachni_trace, vega_trace):
+        combined = len(arachni_trace) + len(vega_trace)
+        assert 8000 <= combined <= 9200
+
+    def test_all_labeled_attack(self, sqlmap_trace):
+        assert all(r.label == LABEL_ATTACK for r in sqlmap_trace.requests)
+
+
+class TestSqlmapTexture:
+    def test_boolean_pairs_randomized(self, sqlmap_trace):
+        import re
+        pairs = set()
+        for payload in sqlmap_trace.payloads():
+            match = re.search(r"AND%20(\d{4})%3D\1", payload)
+            if match:
+                pairs.add(match.group(1))
+        assert len(pairs) > 20
+
+    def test_union_null_sweeps(self, sqlmap_trace):
+        assert any(
+            "UNION%20ALL%20SELECT%20NULL" in p
+            for p in sqlmap_trace.payloads()
+        )
+
+    def test_hex_markers_present(self, sqlmap_trace):
+        assert any("0x71" in p for p in sqlmap_trace.payloads())
+
+    def test_order_by_bisection_adapts(self, app):
+        """The ORDER BY probes must converge toward the app's true column
+        count for at least some points."""
+        scanner = SqlmapSimulator(app, seed=9, tamper_fraction=0.0)
+        trace = scanner.scan()
+        import re
+        for point in app.points[:5]:
+            probes = [
+                int(m.group(1))
+                for r in trace.requests
+                if r.path == point.path
+                for m in [re.search(r"ORDER%20BY%20(\d+)", r.payload())]
+                if m
+            ]
+            assert probes, point.path
+
+    def test_tamper_fraction_zero_means_no_comments(self, app):
+        scanner = SqlmapSimulator(app, seed=4, tamper_fraction=0.0)
+        trace = scanner.scan()
+        assert not any("/**/" in p for p in trace.payloads())
+
+    def test_tamper_fraction_validated(self, app):
+        with pytest.raises(ValueError):
+            SqlmapSimulator(app, tamper_fraction=1.5)
+
+    def test_tampered_payloads_present_by_default(self, sqlmap_trace):
+        payloads = sqlmap_trace.payloads()
+        assert any("%2F%2A%2A%2F" in p for p in payloads)  # space2comment
+
+
+class TestArachniTexture:
+    def test_plus_encoded_spaces(self, arachni_trace):
+        assert any("+or+" in p for p in arachni_trace.payloads())
+
+    def test_static_battery_repeats_across_points(self, arachni_trace):
+        # Arachni sends the same seeds everywhere (modulo the base value).
+        breakers = [
+            p for p in arachni_trace.payloads() if p.endswith("%27%60--")
+        ]
+        assert len(breakers) >= 100
+
+    def test_two_injection_variants(self, app):
+        trace = ArachniSimulator(app, seed=5).scan()
+        point = app.points[0]
+        values = [
+            r.payload().split("=", 1)[1]
+            for r in trace.requests if r.path == point.path
+        ]
+        bare = [v for v in values if v.startswith("%27%60--")]
+        appended = [v for v in values if v.endswith("%27%60--") and v not in bare]
+        assert bare and appended
+
+
+class TestVegaTexture:
+    def test_minimal_encoding(self, vega_trace):
+        # Vega leaves quotes raw on the wire.
+        assert any("'" in p for p in vega_trace.payloads())
+
+    def test_arithmetic_probes(self, vega_trace):
+        assert any(p.endswith("-0") for p in vega_trace.payloads())
+
+    def test_distinct_from_other_scanners(
+        self, sqlmap_trace, arachni_trace, vega_trace
+    ):
+        """Three different generation strategies (Section III-B)."""
+        overlap = set(vega_trace.payloads()) & set(sqlmap_trace.payloads())
+        assert len(overlap) < 0.01 * len(vega_trace)
+
+
+class TestPostDelivery:
+    def test_mix_of_get_and_post(self, sqlmap_trace):
+        methods = {r.method for r in sqlmap_trace.requests}
+        assert methods == {"GET", "POST"}
+        post_share = sum(
+            1 for r in sqlmap_trace.requests if r.method == "POST"
+        ) / len(sqlmap_trace)
+        assert 0.05 < post_share < 0.30
+
+    def test_post_payload_carries_injection(self, sqlmap_trace):
+        posts = [r for r in sqlmap_trace.requests if r.method == "POST"]
+        assert posts
+        for request in posts[:20]:
+            assert request.query == ""
+            assert request.payload() == request.body
+            assert "=" in request.payload()
+
+    def test_post_disabled(self, app):
+        scanner = VegaSimulator(app, seed=8, post_fraction=0.0)
+        trace = scanner.scan()
+        assert all(r.method == "GET" for r in trace.requests)
+
+    def test_invalid_fraction_rejected(self, app):
+        with pytest.raises(ValueError):
+            VegaSimulator(app, post_fraction=-0.1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, app):
+        first = SqlmapSimulator(app, seed=6).scan().payloads()
+        second = SqlmapSimulator(app, seed=6).scan().payloads()
+        assert first == second

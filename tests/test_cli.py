@@ -1,0 +1,60 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestTrainAndScore:
+    @pytest.fixture(scope="class")
+    def signature_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "signatures.json"
+        code = main([
+            "train", "-o", str(path), "--samples", "900",
+            "--benign", "2500", "--max-cluster-rows", "700",
+        ])
+        assert code == 0
+        return str(path)
+
+    def test_train_writes_valid_json(self, signature_file):
+        with open(signature_file) as handle:
+            data = json.load(handle)
+        assert data["schema"] == 1
+        assert data["signatures"]
+
+    def test_score_attack_exits_3(self, signature_file, capsys):
+        code = main([
+            "score", "-s", signature_file,
+            "id=1' union select 1,2,3-- -",
+        ])
+        assert code == 3
+        assert "ALERT" in capsys.readouterr().out
+
+    def test_score_benign_exits_0(self, signature_file, capsys):
+        code = main([
+            "score", "-s", signature_file, "course=cs101&term=fall2012",
+        ])
+        assert code == 0
+        assert "pass" in capsys.readouterr().out
+
+
+class TestCrawl:
+    def test_crawl_prints_stats(self, capsys):
+        code = main(["crawl", "--samples", "120", "--seed", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pages fetched" in out
+        assert "unique samples" in out
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["explode"])
