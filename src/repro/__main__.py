@@ -25,6 +25,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         n_attack_samples=args.samples,
         n_benign_train=args.benign,
         max_cluster_rows=args.max_cluster_rows,
+        workers=args.workers,
     )
     result = PSigenePipeline(config).run()
     with open(args.output, "w") as handle:
@@ -46,10 +47,33 @@ def _cmd_score(args: argparse.Namespace) -> int:
     payloads = args.payloads or [
         line.rstrip("\n") for line in sys.stdin if line.strip()
     ]
+    if args.workers > 1:
+        from repro.http import HttpRequest, Trace
+        from repro.ids import PSigeneDetector, SignatureEngine
+
+        engine = SignatureEngine(PSigeneDetector(signature_set))
+        trace = Trace(
+            name="cli",
+            requests=[HttpRequest(query=p) for p in payloads],
+        )
+        run = engine.run_batch(trace, workers=args.workers)
+        by_index = {alert.request_index: alert for alert in run.alerts}
+        exit_code = 0
+        for index, payload in enumerate(payloads):
+            alert = by_index.get(index)
+            score = float(run.scores[index])
+            if alert is not None:
+                print(
+                    f"[ALERT] p={score:0.4f} "
+                    f"signatures={alert.matched}  {payload}"
+                )
+                exit_code = 3
+            else:
+                print(f"[pass ] p={score:0.4f}  {payload}")
+        return exit_code
     exit_code = 0
     for payload in payloads:
-        score = signature_set.score(payload)
-        fired = signature_set.alerts(payload)
+        score, fired = signature_set.evaluate(payload)
         verdict = "ALERT" if fired else "pass "
         detail = f" signatures={fired}" if fired else ""
         print(f"[{verdict}] p={score:0.4f}{detail}  {payload}")
@@ -87,6 +111,7 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         n_benign_test=args.benign,
         max_cluster_rows=min(args.samples, 1500),
         n_vulnerabilities=args.vulnerabilities,
+        workers=args.workers,
     )
     rows = table5_accuracy(context)
     print(format_table(
@@ -114,10 +139,18 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--benign", type=int, default=6000)
     train.add_argument("--max-cluster-rows", type=int, default=1200)
     train.add_argument("--seed", type=int, default=2012)
+    train.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for feature extraction (default: 1)",
+    )
     train.set_defaults(func=_cmd_train)
 
     score = sub.add_parser("score", help="score payloads against signatures")
     score.add_argument("-s", "--signatures", default="signatures.json")
+    score.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for batched matching (default: 1)",
+    )
     score.add_argument("payloads", nargs="*")
     score.set_defaults(func=_cmd_score)
 
@@ -131,6 +164,10 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--benign", type=int, default=8000)
     evaluate.add_argument("--vulnerabilities", type=int, default=40)
     evaluate.add_argument("--seed", type=int, default=2012)
+    evaluate.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for feature extraction (default: 1)",
+    )
     evaluate.set_defaults(func=_cmd_eval)
     return parser
 

@@ -56,6 +56,11 @@ class PipelineConfig:
             bicluster's assignment radius.
         biclusterer: sample/feature clustering knobs.
         generalizer: signature-training knobs.
+        workers: worker processes for phase-2 feature extraction (attack
+            and benign matrices); 1 keeps extraction serial.  Outputs are
+            identical either way (see :mod:`repro.parallel.extract`).
+        extraction_chunk_size: payloads per parallel extraction task
+            (``None`` = auto).
     """
 
     seed: int = 2012
@@ -66,6 +71,8 @@ class PipelineConfig:
     assignment_radius_quantile: float = 0.95
     biclusterer: Biclusterer = field(default_factory=Biclusterer)
     generalizer: GeneralizerConfig = field(default_factory=GeneralizerConfig)
+    workers: int = 1
+    extraction_chunk_size: int | None = None
 
 
 @dataclass
@@ -144,13 +151,19 @@ class PSigenePipeline:
         full = extractor.extract_many(
             (s.payload for s in samples),
             sample_ids=[s.sample_id for s in samples],
+            workers=config.workers,
+            chunk_size=config.extraction_chunk_size,
         )
         pruned, report = prune(full)
         pruned_extractor = extractor.with_catalog(pruned.catalog)
         benign_trace = BenignTrafficGenerator(seed=config.seed + 1).trace(
             config.n_benign_train, name="benign-train"
         )
-        benign = pruned_extractor.extract_many(benign_trace.payloads())
+        benign = pruned_extractor.extract_many(
+            benign_trace.payloads(),
+            workers=config.workers,
+            chunk_size=config.extraction_chunk_size,
+        )
         return pruned, report, benign, pruned_extractor
 
     # -- phase 3 -------------------------------------------------------------

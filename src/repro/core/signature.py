@@ -117,20 +117,37 @@ class SignatureSet:
             [s.probability(normalized) for s in self.signatures]
         )
 
+    def evaluate(self, payload: str) -> tuple[float, list[int]]:
+        """One-pass verdict: ``(score, fired bicluster indices)``.
+
+        Normalizes the payload once and evaluates every signature once
+        against the shared normalized form — the hot-path entry point.
+        ``score`` is the max per-signature probability; ``fired`` holds the
+        bicluster indices whose probability reached their threshold.
+        """
+        return self.evaluate_normalized(self.normalizer(payload))
+
+    def evaluate_normalized(
+        self, normalized_payload: str
+    ) -> tuple[float, list[int]]:
+        """:meth:`evaluate` for an already-normalized payload."""
+        score = 0.0
+        fired: list[int] = []
+        for signature in self.signatures:
+            probability = signature.probability(normalized_payload)
+            if probability > score:
+                score = probability
+            if probability >= signature.threshold:
+                fired.append(signature.bicluster_index)
+        return score, fired
+
     def score(self, payload: str) -> float:
         """Max per-signature probability (the set's decision score)."""
-        if not self.signatures:
-            return 0.0
-        return float(self.probabilities(payload).max())
+        return self.evaluate(payload)[0]
 
     def alerts(self, payload: str) -> list[int]:
         """Bicluster indices of the signatures that fire on *payload*."""
-        normalized = self.normalizer(payload)
-        return [
-            s.bicluster_index
-            for s in self.signatures
-            if s.probability(normalized) >= s.threshold
-        ]
+        return self.evaluate(payload)[1]
 
     def matches(self, payload: str) -> bool:
         """True when any member signature fires on the raw payload."""

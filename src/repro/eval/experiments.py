@@ -55,6 +55,7 @@ class EvaluationContext:
         n_benign_test: int = 50_000,
         max_cluster_rows: int = 2500,
         n_vulnerabilities: int = 136,
+        workers: int = 1,
         config: PipelineConfig | None = None,
     ) -> "EvaluationContext":
         """Train pSigene and generate the test sets."""
@@ -64,6 +65,7 @@ class EvaluationContext:
                 n_attack_samples=n_attack_samples,
                 n_benign_train=n_benign_train,
                 max_cluster_rows=max_cluster_rows,
+                workers=workers,
             )
         pipeline = PSigenePipeline(config)
         result = pipeline.run()

@@ -45,14 +45,36 @@ class FeatureExtractor:
         payloads: Iterable[str],
         *,
         sample_ids: Sequence[str] | None = None,
+        workers: int = 1,
+        chunk_size: int | None = None,
     ) -> FeatureMatrix:
         """Count matrix for a collection of payloads.
 
         Args:
             payloads: raw payload strings (query strings / form bodies).
             sample_ids: optional row identifiers; defaults to ``s<i>``.
+                Must be one per payload — a mismatched length would silently
+                mislabel every row after the shorter sequence ends.
+            workers: fan extraction over this many worker processes
+                (see :mod:`repro.parallel.extract`); 1 stays serial.
+            chunk_size: payloads per parallel task (``None`` = auto).
+
+        Raises:
+            ValueError: when ``sample_ids`` is given with a length different
+                from the payload count.
         """
-        rows = [self.extract(p) for p in payloads]
+        items = list(payloads)
+        if sample_ids is not None and len(sample_ids) != len(items):
+            raise ValueError(
+                f"{len(sample_ids)} sample ids for {len(items)} payloads"
+            )
+        if workers > 1:
+            from repro.parallel.extract import ParallelFeatureExtractor
+
+            return ParallelFeatureExtractor(
+                self, workers=workers, chunk_size=chunk_size
+            ).extract_many(items, sample_ids=sample_ids)
+        rows = [self.extract(p) for p in items]
         counts = (
             np.vstack(rows) if rows else np.zeros((0, len(self.catalog)), np.int32)
         )

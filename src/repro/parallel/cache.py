@@ -1,0 +1,152 @@
+"""LRU caching for the batch hot paths.
+
+Normalization (five chained transforms, several regex substitution passes)
+is the fixed per-request cost every detector pays before any matching
+happens.  Real traffic repeats itself — scanners reuse templates, benign
+traffic reuses query shapes — so an LRU keyed on the raw payload converts
+repeats into a dict hit.
+
+The cache is deliberately *not* shared across processes: each worker owns
+its own (workers would otherwise serialize on a lock), and
+:class:`CachedNormalizer` drops its entries when pickled so forked/spawned
+workers start with an empty, correctly sized cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro.normalize import Normalizer
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Cache effectiveness counters.
+
+    Attributes:
+        hits: lookups served from the cache.
+        misses: lookups that fell through to the computation.
+        size: current entry count.
+        maxsize: capacity.
+    """
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / (hits + misses)``; 0.0 before any lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LruCache:
+    """A small, explicit LRU map (no ``functools`` so instances pickle).
+
+    ``functools.lru_cache`` on a bound method pins the instance and does
+    not survive pickling; this version is a plain object with inspectable
+    counters, which the benchmarks report.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[Any, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    _MISSING = object()
+
+    def get(self, key: Any) -> Any:
+        """Value for *key*, or ``None`` on a miss (counters updated)."""
+        value = self._entries.get(key, self._MISSING)
+        if value is self._MISSING:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert or refresh *key*, evicting the least-recently-used."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> CacheStats:
+        """Current :class:`CacheStats` snapshot."""
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            size=len(self._entries),
+            maxsize=self.maxsize,
+        )
+
+
+class CachedNormalizer:
+    """A :class:`~repro.normalize.Normalizer` behind a payload-keyed LRU.
+
+    Drop-in: it is callable like a ``Normalizer`` and exposes ``names()``,
+    so a ``SignatureSet`` or ``FeatureExtractor`` can hold one transparently.
+    Correctness is free — normalization is a pure function of the payload,
+    so a cached result is always identical to a recomputed one.
+    """
+
+    def __init__(
+        self,
+        normalizer: Normalizer | None = None,
+        *,
+        maxsize: int = 4096,
+    ) -> None:
+        # Unwrap so stacking CachedNormalizer(CachedNormalizer(n)) cannot
+        # build a chain of caches.
+        if isinstance(normalizer, CachedNormalizer):
+            normalizer = normalizer.normalizer
+        self.normalizer = normalizer if normalizer is not None else Normalizer()
+        self.cache = LruCache(maxsize=maxsize)
+
+    def __call__(self, text: str) -> str:
+        cached = self.cache.get(text)
+        if cached is not None:
+            return cached
+        normalized = self.normalizer(text)
+        self.cache.put(text, normalized)
+        return normalized
+
+    def names(self) -> list[str]:
+        """Names of the wrapped transformations, in order."""
+        return self.normalizer.names()
+
+    def stats(self) -> CacheStats:
+        """Cache counters (per-process; workers each keep their own)."""
+        return self.cache.stats()
+
+    def __getstate__(self) -> dict:
+        # Ship configuration, not contents: a worker's cache starts empty.
+        return {
+            "normalizer": self.normalizer,
+            "maxsize": self.cache.maxsize,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.normalizer = state["normalizer"]
+        self.cache = LruCache(maxsize=state["maxsize"])

@@ -1,0 +1,31 @@
+"""Timer-overhead calibration for per-item instrumentation.
+
+Wrapping every signature match or chunk in a ``perf_counter`` pair adds a
+fixed cost *inside* the measured interval.  Summing thousands of such
+intervals (as the Experiment-4 latency model does) folds that cost into
+both the serial and the critical-path estimate — but not evenly: the
+serial estimate absorbs ``n_signatures`` overheads per request while each
+worker's share absorbs only its shard's worth, biasing the reported
+speedup.  Subtracting a measured per-interval baseline removes the bias.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def timer_overhead(samples: int = 2000) -> float:
+    """Median cost, in seconds, of one ``perf_counter()`` pair.
+
+    Measures back-to-back ``perf_counter`` calls — exactly the
+    instrumentation pattern the latency models use — and returns the median
+    gap, which is robust to scheduler noise in a way the mean is not.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    gaps = []
+    for _ in range(samples):
+        start = time.perf_counter()
+        gaps.append(time.perf_counter() - start)
+    gaps.sort()
+    return gaps[len(gaps) // 2]

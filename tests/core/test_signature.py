@@ -121,6 +121,36 @@ class TestSignatureSet:
     def test_empty_set_scores_zero(self):
         assert SignatureSet([]).score("anything") == 0.0
 
+    def test_evaluate_matches_per_signature_probabilities(self):
+        # Checked against probabilities(), which walks the signatures
+        # independently of the evaluate() single-pass implementation.
+        signatures = self._set()
+        for payload in (
+            "1' union select sleep(1)",
+            "1%2527/**/UNION/**/SELECT/**/SLEEP(1)",
+            "course=cs101&term=fall2012",
+            "",
+        ):
+            score, fired = signatures.evaluate(payload)
+            probabilities = signatures.probabilities(payload)
+            assert score == pytest.approx(probabilities.max())
+            assert fired == [
+                s.bicluster_index
+                for s, p in zip(signatures, probabilities)
+                if p >= s.threshold
+            ]
+
+    def test_evaluate_normalized_skips_normalization(self):
+        signatures = self._set()
+        payload = "1%27 UNION SELECT SLEEP(1)"
+        normalized = signatures.normalizer(payload)
+        assert signatures.evaluate_normalized(
+            normalized
+        ) == signatures.evaluate(payload)
+
+    def test_evaluate_empty_set(self):
+        assert SignatureSet([]).evaluate("1' union select 1") == (0.0, [])
+
 
 class TestTrainedSignatures:
     """Against the session-scoped trained pipeline."""

@@ -69,6 +69,20 @@ class TestExtractMany:
         matrix = extractor.extract_many([])
         assert matrix.n_samples == 0
 
+    def test_sample_id_length_mismatch_rejected(self, extractor):
+        # Regression: a short/long id sequence used to be accepted and
+        # produced a corrupt FeatureMatrix (rows silently misaligned).
+        with pytest.raises(ValueError):
+            extractor.extract_many(["a=1", "b=2"], sample_ids=["only-one"])
+        with pytest.raises(ValueError):
+            extractor.extract_many(
+                ["a=1"], sample_ids=["one", "too-many"]
+            )
+
+    def test_empty_input_with_empty_ids(self, extractor):
+        matrix = extractor.extract_many([], sample_ids=[])
+        assert matrix.n_samples == 0
+
     def test_rows_match_individual_extraction(self, extractor):
         payloads = ["id=1' or 1=1-- -", "q=hello"]
         matrix = extractor.extract_many(payloads)

@@ -77,3 +77,32 @@ class TestPSigeneDetector:
         detector = PSigeneDetector(small_signatures, name="psigene-9")
         run = SignatureEngine(detector).run(trace)
         assert run.detector == "psigene-9"
+
+    def test_inspect_scores_each_signature_once(self, small_signatures):
+        # Regression: inspect() used to call alerts() + score(), each of
+        # which normalized the payload and evaluated every signature,
+        # doubling per-request work on the hot path.
+        calls = {"probability": 0}
+        original = type(small_signatures[0]).probability
+
+        class Counting(type(small_signatures[0])):
+            def probability(self, normalized_payload):
+                calls["probability"] += 1
+                return original(self, normalized_payload)
+
+        counted = [
+            Counting(
+                bicluster_index=s.bicluster_index,
+                features=s.features,
+                model=s.model,
+                threshold=s.threshold,
+            )
+            for s in small_signatures
+        ]
+        signature_set = type(small_signatures)(
+            counted, normalizer=small_signatures.normalizer
+        )
+        PSigeneDetector(signature_set).inspect(
+            "id=1' union select 1,2,3-- -"
+        )
+        assert calls["probability"] == len(counted)

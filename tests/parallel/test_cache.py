@@ -1,0 +1,90 @@
+"""Tests for the LRU cache and the cached normalizer."""
+
+import pickle
+
+import pytest
+
+from repro.normalize import Normalizer
+from repro.parallel import CachedNormalizer, LruCache
+
+
+class TestLruCache:
+    def test_put_get(self):
+        cache = LruCache(maxsize=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_counters(self):
+        cache = LruCache(maxsize=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_eviction_is_lru(self):
+        cache = LruCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a"; "b" becomes LRU
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_clear(self):
+        cache = LruCache(maxsize=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, len(cache)) == (0, 0, 0)
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            LruCache(maxsize=0)
+
+
+class TestCachedNormalizer:
+    def test_identical_to_plain_normalizer(self):
+        plain = Normalizer()
+        cached = CachedNormalizer(plain)
+        payloads = [
+            "id=1%27%20UNION%20SELECT%201",
+            "q=hello+world",
+            "id=1%27%20UNION%20SELECT%201",  # repeat -> served from cache
+        ]
+        for payload in payloads:
+            assert cached(payload) == plain(payload)
+
+    def test_repeats_hit_the_cache(self):
+        cached = CachedNormalizer()
+        cached("id=1' union select 1")
+        cached("id=1' union select 1")
+        stats = cached.stats()
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_eviction_bounded_by_maxsize(self):
+        cached = CachedNormalizer(maxsize=2)
+        for i in range(10):
+            cached(f"id={i}")
+        assert cached.stats().size == 2
+
+    def test_wrapping_a_cached_normalizer_does_not_stack(self):
+        inner = CachedNormalizer()
+        outer = CachedNormalizer(inner)
+        assert isinstance(outer.normalizer, Normalizer)
+        assert not isinstance(outer.normalizer, CachedNormalizer)
+
+    def test_names_delegate(self):
+        assert CachedNormalizer().names() == Normalizer().names()
+
+    def test_pickle_drops_entries_keeps_config(self):
+        cached = CachedNormalizer(maxsize=77)
+        cached("id=1' union select 1")
+        clone = pickle.loads(pickle.dumps(cached))
+        stats = clone.stats()
+        assert (stats.size, stats.hits, stats.misses) == (0, 0, 0)
+        assert stats.maxsize == 77
+        # ...and the clone still normalizes identically.
+        assert clone("a=1%27") == cached("a=1%27")

@@ -1,0 +1,105 @@
+"""Parallel feature extraction must be bit-identical to serial extraction."""
+
+import pytest
+
+from repro.corpus.grammar import CorpusGenerator
+from repro.features import FeatureCatalog, FeatureExtractor
+from repro.parallel import ParallelFeatureExtractor
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    """A mixed batch: generated attacks plus benign-looking repeats."""
+    samples = CorpusGenerator(seed=7).generate(120)
+    return [s.payload for s in samples] + [
+        "course=cs101&term=fall2012",
+        "q=select+a+course",
+    ] * 20
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return FeatureExtractor()
+
+
+@pytest.fixture(scope="module")
+def serial_matrix(extractor, payloads):
+    return extractor.extract_many(payloads)
+
+
+class TestExtractParity:
+    @pytest.mark.smoke
+    def test_two_workers_identical(self, extractor, payloads, serial_matrix):
+        parallel = ParallelFeatureExtractor(
+            extractor, workers=2
+        ).extract_many(payloads)
+        assert parallel.counts.dtype == serial_matrix.counts.dtype
+        assert (parallel.counts == serial_matrix.counts).all()
+        assert parallel.sample_ids == serial_matrix.sample_ids
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_worker_sweep_identical(
+        self, workers, extractor, payloads, serial_matrix
+    ):
+        parallel = ParallelFeatureExtractor(
+            extractor, workers=workers, chunk_size=17
+        ).extract_many(payloads)
+        assert (parallel.counts == serial_matrix.counts).all()
+        assert parallel.sample_ids == serial_matrix.sample_ids
+
+    def test_extractor_workers_kwarg_identical(
+        self, extractor, payloads, serial_matrix
+    ):
+        matrix = extractor.extract_many(payloads, workers=2)
+        assert (matrix.counts == serial_matrix.counts).all()
+
+    def test_custom_sample_ids_preserved_in_order(self, extractor, payloads):
+        ids = [f"row-{i}" for i in range(len(payloads))]
+        matrix = ParallelFeatureExtractor(
+            extractor, workers=2
+        ).extract_many(payloads, sample_ids=ids)
+        assert matrix.sample_ids == ids
+
+    def test_cache_disabled_still_identical(
+        self, extractor, payloads, serial_matrix
+    ):
+        parallel = ParallelFeatureExtractor(
+            extractor, workers=2, normalization_cache=0
+        ).extract_many(payloads)
+        assert (parallel.counts == serial_matrix.counts).all()
+
+
+class TestEdgeCases:
+    def test_empty_batch(self, extractor):
+        matrix = ParallelFeatureExtractor(
+            extractor, workers=4
+        ).extract_many([])
+        assert matrix.n_samples == 0
+        assert matrix.n_features == len(extractor.catalog)
+
+    def test_empty_catalog(self):
+        empty = FeatureExtractor(catalog=FeatureCatalog([]))
+        matrix = ParallelFeatureExtractor(empty, workers=2).extract_many(
+            ["id=1' union select 1"] * 80
+        )
+        assert matrix.counts.shape == (80, 0)
+
+    def test_small_batch_stays_in_process(self, extractor):
+        # Below MIN_PARALLEL_BATCH the serial path runs; output unchanged.
+        parallel = ParallelFeatureExtractor(extractor, workers=4)
+        matrix = parallel.extract_many(["id=1", "id=2"])
+        assert (
+            matrix.counts == extractor.extract_many(["id=1", "id=2"]).counts
+        ).all()
+
+    def test_sample_id_mismatch_rejected(self, extractor):
+        with pytest.raises(ValueError):
+            ParallelFeatureExtractor(extractor, workers=2).extract_many(
+                ["id=1", "id=2"], sample_ids=["only-one"]
+            )
+
+    def test_invalid_configuration_rejected(self, extractor):
+        with pytest.raises(ValueError):
+            ParallelFeatureExtractor(extractor, workers=0)
+        with pytest.raises(ValueError):
+            ParallelFeatureExtractor(extractor, chunk_size=0)
