@@ -1,16 +1,65 @@
 """Command-line interface: ``python -m repro <command>``.
 
 Commands:
-    train   run the four-phase pipeline and write a signature JSON file
-    score   score payloads (args or stdin) against a signature file
-    crawl   run phase 1 alone and print crawl statistics
-    eval    small-scale Table V (accuracy comparison of all detectors)
+    train    run the four-phase pipeline and write a signature JSON file
+    score    score payloads (args or stdin) against a signature file
+    crawl    run phase 1 alone and print crawl statistics
+    eval     small-scale Table V (accuracy comparison of all detectors)
+    serve    run the online detection gateway (TCP/HTTP, hot reload)
+    loadgen  replay attack+benign traffic against a gateway
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+COMMAND_EPILOG = """\
+commands:
+  train    run the four-phase pipeline and write a signature JSON file
+  score    score payloads (args or stdin) against a signature file
+  crawl    run phase 1 alone and print crawl statistics
+  eval     run the small-scale Table V accuracy comparison
+  serve    run the online detection gateway (line TCP + HTTP control)
+  loadgen  replay attack+benign traffic at a gateway, report throughput
+
+run `repro <command> --help` for per-command options.
+"""
+
+_DETECTOR_CHOICES = (
+    "psigene", "modsecurity", "snort", "snort-et", "bro",
+)
+
+
+def _build_detector(name: str, signatures: str | None):
+    """Detector + default-reload-path for ``--detector``/``-s``."""
+    if name == "psigene":
+        if signatures is None:
+            raise SystemExit(
+                "repro: --detector psigene needs a signature file (-s)"
+            )
+        from repro.core import signature_set_from_json
+        from repro.ids import PSigeneDetector
+
+        with open(signatures) as handle:
+            return (
+                PSigeneDetector(signature_set_from_json(handle.read())),
+                signatures,
+            )
+    from repro.ids.rulesets import (
+        build_bro_ruleset,
+        build_merged_snort_et_ruleset,
+        build_modsec_ruleset,
+        build_snort_ruleset,
+    )
+
+    builders = {
+        "modsecurity": build_modsec_ruleset,
+        "snort": build_snort_ruleset,
+        "snort-et": build_merged_snort_et_ruleset,
+        "bro": build_bro_ruleset,
+    }
+    return builders[name](), None
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -44,8 +93,11 @@ def _cmd_score(args: argparse.Namespace) -> int:
 
     with open(args.signatures) as handle:
         signature_set = signature_set_from_json(handle.read())
+    # rstrip both separators: CRLF input would otherwise leave a carriage
+    # return inside the payload, changing normalization (and thus scores)
+    # between piped and argv invocations.
     payloads = args.payloads or [
-        line.rstrip("\n") for line in sys.stdin if line.strip()
+        line.rstrip("\r\n") for line in sys.stdin if line.strip()
     ]
     if args.workers > 1:
         from repro.http import HttpRequest, Trace
@@ -126,10 +178,86 @@ def _cmd_eval(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import DetectionGateway, GatewayConfig, SignatureStore
+
+    detector, reload_path = _build_detector(args.detector, args.signatures)
+    store = SignatureStore(
+        detector,
+        path=reload_path,
+        source=(
+            f"file:{reload_path}" if reload_path is not None else "static"
+        ),
+    )
+    gateway = DetectionGateway(store, GatewayConfig(
+        host=args.host,
+        port=args.port,
+        queue_bound=args.queue_bound,
+        policy=args.policy,
+        workers=args.serve_workers,
+        max_inflight_per_connection=args.max_inflight,
+    ))
+
+    async def _serve() -> None:
+        try:
+            await gateway.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro.serve: draining and shutting down")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import (
+        SignatureStore,
+        build_load_trace,
+        format_report,
+        run_loadgen,
+    )
+
+    detector, _ = _build_detector(args.detector, args.signatures)
+    store = SignatureStore(detector)
+    trace = build_load_trace(
+        seed=args.seed,
+        n_benign=args.benign,
+        n_vulnerabilities=args.vulnerabilities,
+    )
+    payloads = trace.payloads()[: args.requests] or trace.payloads()
+    report = asyncio.run(run_loadgen(
+        store,
+        payloads,
+        queue_bound=args.queue_bound,
+        policy=args.policy,
+        workers=args.serve_workers,
+        connections=args.connections,
+        window=args.window,
+        check_parity=args.check_parity,
+    ))
+    print(format_report(report))
+    if report.parity is not None and not report.parity.ok:
+        return 4
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="pSigene reproduction (DSN 2014) command line",
+        epilog=COMMAND_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -169,6 +297,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for feature extraction (default: 1)",
     )
     evaluate.set_defaults(func=_cmd_eval)
+
+    def add_gateway_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "-s", "--signatures", default=None,
+            help="signature JSON file (required for --detector psigene)",
+        )
+        command.add_argument(
+            "--detector", choices=_DETECTOR_CHOICES, default="psigene",
+            help="which detector to mount (default: psigene)",
+        )
+        command.add_argument(
+            "--queue-bound", type=int, default=1024,
+            help="admission queue capacity (default: 1024)",
+        )
+        command.add_argument(
+            "--policy", choices=("block", "shed"), default="block",
+            help="full-queue behaviour (default: block)",
+        )
+        command.add_argument(
+            "--serve-workers", type=int, default=4,
+            help="detector worker coroutines (default: 4)",
+        )
+
+    serve = sub.add_parser(
+        "serve", help="run the online detection gateway",
+    )
+    add_gateway_options(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=9037,
+        help="listen port; 0 picks an ephemeral one (default: 9037)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="pipelining window per connection (default: 64)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="replay attack+benign traffic at a gateway",
+    )
+    add_gateway_options(loadgen)
+    loadgen.add_argument(
+        "--requests", type=int, default=2000,
+        help="payloads to replay (default: 2000)",
+    )
+    loadgen.add_argument(
+        "--connections", type=int, default=8,
+        help="concurrent client connections (default: 8)",
+    )
+    loadgen.add_argument(
+        "--window", type=int, default=32,
+        help="pipelined requests per connection (default: 32)",
+    )
+    loadgen.add_argument(
+        "--benign", type=int, default=800,
+        help="benign requests mixed into the trace (default: 800)",
+    )
+    loadgen.add_argument(
+        "--vulnerabilities", type=int, default=12,
+        help="webapp vulnerabilities the scanners probe (default: 12)",
+    )
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument(
+        "--check-parity", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="diff responses against the offline engine (default: on)",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
     return parser
 
 

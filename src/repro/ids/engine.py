@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 import numpy as np
 
@@ -20,6 +20,9 @@ from repro.core.signature import SignatureSet
 from repro.http.request import HttpRequest
 from repro.http.traffic import Trace
 from repro.ids.rules import Detection
+
+if TYPE_CHECKING:  # imported lazily to avoid the ids <-> serve cycle
+    from repro.serve.telemetry import Telemetry
 
 
 class Detector(Protocol):
@@ -111,18 +114,38 @@ class EngineRun:
 
 
 class SignatureEngine:
-    """Runs detectors over traces."""
+    """Runs detectors over traces.
 
-    def __init__(self, detector: Detector) -> None:
+    Args:
+        detector: the mounted detector.
+        telemetry: optional :class:`~repro.serve.telemetry.Telemetry`
+            sink.  When present every inspection — offline ``run`` or
+            single request — feeds the same ``inspected``/``alerted``
+            counters and ``service`` latency histogram the online
+            gateway reports, so batch scoring and live serving share one
+            metrics schema.
+    """
+
+    def __init__(
+        self, detector: Detector, *, telemetry: "Telemetry | None" = None
+    ) -> None:
         self.detector = detector
+        self.telemetry = telemetry
 
     def inspect_payload(self, payload: str) -> Detection:
         """Inspect one raw payload string."""
-        return self.detector.inspect(payload)
+        if self.telemetry is None:
+            return self.detector.inspect(payload)
+        start = time.perf_counter()
+        detection = self.detector.inspect(payload)
+        self.telemetry.record_inspection(
+            detection.alert, time.perf_counter() - start
+        )
+        return detection
 
     def inspect_request(self, request: HttpRequest) -> Detection:
         """Inspect the detector-visible payload of one request."""
-        return self.detector.inspect(request.payload())
+        return self.inspect_payload(request.payload())
 
     def run(self, trace: Trace, *, measure_time: bool = False) -> EngineRun:
         """Inspect every request of *trace*; optionally time each one."""
@@ -135,12 +158,19 @@ class SignatureEngine:
         run = EngineRun(
             detector=self.detector.name, trace_name=trace.name,
         )
+        measuring = measure_time or self.telemetry is not None
         for index, request in enumerate(trace):
             payload = request.payload()
-            if measure_time:
+            if measuring:
                 start = time.perf_counter()
                 detection = self.detector.inspect(payload)
-                timings[index] = time.perf_counter() - start
+                elapsed = time.perf_counter() - start
+                if measure_time:
+                    timings[index] = elapsed
+                if self.telemetry is not None:
+                    self.telemetry.record_inspection(
+                        detection.alert, elapsed
+                    )
             else:
                 detection = self.detector.inspect(payload)
             if detection.alert:
@@ -173,10 +203,16 @@ class SignatureEngine:
         """
         from repro.parallel.batch import run_batch
 
-        return run_batch(
+        result = run_batch(
             self.detector,
             trace,
             workers=workers,
             chunk_size=chunk_size,
             normalization_cache=normalization_cache,
         )
+        if self.telemetry is not None:
+            # Workers run in other processes, so per-request service
+            # latencies are not observable here; the counters still are.
+            self.telemetry.increment("inspected", len(trace))
+            self.telemetry.increment("alerted", result.alert_count)
+        return result

@@ -1,0 +1,48 @@
+"""Online detection gateway: serve any detector behind TCP/HTTP.
+
+The paper deploys pSigene signatures inside a live Bro IDS watching
+production traffic (Section III-C); this package is that deployment
+surface for the reproduction.  ``repro serve`` mounts a detector behind
+a line-delimited TCP data plane plus an HTTP control plane
+(``/healthz``, ``/stats``, ``/reload``, ``/inspect``), with a versioned
+hot-swappable signature store, bounded admission queues with block/shed
+backpressure, and live telemetry.  ``repro loadgen`` replays
+scanner/benign traffic against it and checks alert parity with the
+offline engine.  See DESIGN.md §11.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    BackpressurePolicy,
+    QueueClosed,
+    Shed,
+)
+from repro.serve.gateway import DetectionGateway, GatewayConfig
+from repro.serve.loadgen import (
+    LoadReport,
+    build_load_trace,
+    format_report,
+    replay,
+    run_loadgen,
+)
+from repro.serve.store import SignatureStore, StoreError, StoreVersion
+from repro.serve.telemetry import LatencyHistogram, Telemetry
+
+__all__ = [
+    "AdmissionController",
+    "BackpressurePolicy",
+    "DetectionGateway",
+    "GatewayConfig",
+    "LatencyHistogram",
+    "LoadReport",
+    "QueueClosed",
+    "Shed",
+    "SignatureStore",
+    "StoreError",
+    "StoreVersion",
+    "Telemetry",
+    "build_load_trace",
+    "format_report",
+    "replay",
+    "run_loadgen",
+]

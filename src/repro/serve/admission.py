@@ -1,0 +1,125 @@
+"""Admission control: bounded queues, backpressure policy, graceful drain.
+
+A gateway in front of "heavy traffic from millions of users" (ROADMAP)
+must decide what happens when offered load exceeds detector throughput.
+Two policies are supported:
+
+- ``block``: the submitting coroutine waits for queue space.  Combined
+  with per-connection in-flight limits this propagates backpressure all
+  the way to the TCP socket (the gateway stops reading, the kernel
+  window fills, the client slows down).
+- ``shed``: a full queue rejects the request immediately; the caller
+  answers 503/``"shed": true`` and the ``shed`` counter increments.
+  Latency of admitted requests stays bounded at the cost of refusing
+  some — the classic load-shedding trade.
+
+Shutdown is a drain, not an abort: the controller stops admitting,
+workers finish what was queued, then the gateway closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+from typing import Any
+
+from repro.serve.telemetry import Telemetry
+
+__all__ = ["AdmissionController", "BackpressurePolicy", "QueueClosed", "Shed"]
+
+
+class BackpressurePolicy(str, enum.Enum):
+    """What a full queue does to the next request."""
+
+    BLOCK = "block"
+    SHED = "shed"
+
+
+class Shed(Exception):
+    """Raised by :meth:`AdmissionController.submit` under ``shed`` policy
+    when the queue is full; the request was not admitted."""
+
+
+class QueueClosed(Exception):
+    """Raised on submit after drain has begun; no new work is admitted."""
+
+
+class AdmissionController:
+    """Bounded request queue with a configurable full-queue policy.
+
+    Args:
+        queue_bound: maximum queued (admitted but unserviced) requests.
+        policy: full-queue behaviour.
+        telemetry: counter sink (``shed`` increments happen here so every
+            admission path — TCP, HTTP, load generator — counts alike).
+    """
+
+    def __init__(
+        self,
+        *,
+        queue_bound: int = 1024,
+        policy: BackpressurePolicy | str = BackpressurePolicy.BLOCK,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if queue_bound < 1:
+            raise ValueError(f"queue_bound must be >= 1, got {queue_bound}")
+        self.policy = BackpressurePolicy(policy)
+        self.telemetry = telemetry
+        self._queue: asyncio.Queue[Any] = asyncio.Queue(maxsize=queue_bound)
+        self._closed = False
+
+    @property
+    def depth(self) -> int:
+        """Requests currently admitted and waiting for a worker."""
+        return self._queue.qsize()
+
+    @property
+    def closed(self) -> bool:
+        """True once drain has begun."""
+        return self._closed
+
+    async def submit(self, item: Any) -> None:
+        """Admit ``item`` or refuse it according to policy.
+
+        Raises:
+            QueueClosed: drain already started.
+            Shed: ``shed`` policy and the queue is full.
+        """
+        if self._closed:
+            raise QueueClosed("gateway is draining")
+        if self.policy is BackpressurePolicy.SHED:
+            try:
+                self._queue.put_nowait(item)
+            except asyncio.QueueFull:
+                if self.telemetry is not None:
+                    self.telemetry.increment("shed")
+                raise Shed(
+                    f"queue full ({self._queue.maxsize} waiting)"
+                ) from None
+        else:
+            await self._queue.put(item)
+
+    async def get(self) -> Any:
+        """Worker side: next admitted item (waits while the queue is empty)."""
+        return await self._queue.get()
+
+    def task_done(self) -> None:
+        """Worker side: mark the most recently fetched item serviced."""
+        self._queue.task_done()
+
+    def close(self) -> None:
+        """Stop admitting; already-queued items will still be serviced."""
+        self._closed = True
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Close and wait for queued items to be serviced.
+
+        Returns True when the queue emptied, False on timeout (items may
+        still be in flight).
+        """
+        self.close()
+        try:
+            await asyncio.wait_for(self._queue.join(), timeout)
+        except asyncio.TimeoutError:
+            return False
+        return True

@@ -1,0 +1,378 @@
+"""The detection gateway: an asyncio server mounting any ``Detector``.
+
+Structure (one listening port, both dialects of ``protocol.py``):
+
+- A reader per connection admits each payload line through the
+  :class:`~repro.serve.admission.AdmissionController`, capturing the
+  current :class:`~repro.serve.store.StoreVersion` **at admission time**
+  — a concurrent hot-swap never changes which signature generation
+  answers an already-admitted request.
+- A fixed pool of worker coroutines drains the queue and runs
+  ``detector.inspect`` (pure CPU, microseconds per payload — see
+  Experiment 4 — so coroutine workers suffice; process fan-out stays in
+  ``repro.parallel`` for offline batches).
+- A writer per connection emits responses strictly in request order, so
+  clients correlate by position exactly like the offline engine's
+  per-index ``EngineRun`` vectors.
+
+Per-connection pipelining is bounded: once ``max_inflight_per_connection``
+responses are outstanding the reader stops reading, the socket buffer
+fills, and the client blocks — backpressure reaches the edge without
+any protocol support.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+
+from repro.serve.admission import (
+    AdmissionController,
+    BackpressurePolicy,
+    QueueClosed,
+    Shed,
+)
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    encode_detection,
+    encode_error,
+    encode_shed,
+    http_response,
+    is_http_request_line,
+    read_http_message,
+)
+from repro.serve.store import SignatureStore, StoreError, StoreVersion
+from repro.serve.telemetry import Telemetry
+
+__all__ = ["DetectionGateway", "GatewayConfig"]
+
+
+@dataclass
+class GatewayConfig:
+    """Tunables of one gateway instance.
+
+    Attributes:
+        host: bind address.
+        port: bind port (0 picks an ephemeral port, reported by ``start``).
+        queue_bound: admission queue capacity.
+        policy: full-queue behaviour (``block`` or ``shed``).
+        workers: detector worker coroutines.
+        max_inflight_per_connection: pipelining window per connection.
+        drain_timeout: seconds to wait for queued work at shutdown.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    queue_bound: int = 1024
+    policy: BackpressurePolicy | str = BackpressurePolicy.BLOCK
+    workers: int = 4
+    max_inflight_per_connection: int = 64
+    drain_timeout: float = 10.0
+
+
+@dataclass
+class _Job:
+    """One admitted inspection: payload + the generation that answers it."""
+
+    payload: str
+    snapshot: StoreVersion
+    future: asyncio.Future
+    admitted_at: float
+
+
+class DetectionGateway:
+    """Serves a :class:`SignatureStore` over TCP/HTTP with admission
+    control and telemetry.
+
+    Args:
+        store: versioned detector holder (hot-swapped via ``POST /reload``).
+        config: server tunables.
+        telemetry: metrics sink; created (and shared with the store, if
+            the store has none) when omitted.
+    """
+
+    def __init__(
+        self,
+        store: SignatureStore,
+        config: GatewayConfig | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.store = store
+        self.config = config or GatewayConfig()
+        self.telemetry = telemetry or Telemetry()
+        if store.telemetry is None:
+            store.telemetry = self.telemetry
+        self.admission = AdmissionController(
+            queue_bound=self.config.queue_bound,
+            policy=self.config.policy,
+            telemetry=self.telemetry,
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._workers: list[asyncio.Task] = []
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._stopped = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind, spawn workers, and return the bound ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("gateway already started")
+        loop = asyncio.get_running_loop()
+        self._workers = [
+            loop.create_task(self._worker_loop())
+            for _ in range(max(1, self.config.workers))
+        ]
+        # Stream limit above MAX_LINE_BYTES so our own oversized-line
+        # handling (answer an error, keep the connection) gets to run
+        # before asyncio's reader gives up.
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            limit=4 * MAX_LINE_BYTES,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, service the queue, then close."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.admission.drain(self.config.drain_timeout)
+        for task in self._workers:
+            task.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        for writer in list(self._connections):
+            writer.close()
+        self._stopped.set()
+
+    async def serve_forever(self) -> None:
+        """Start and run until cancelled; drains on the way out."""
+        host, port = await self.start()
+        detector = self.store.current().detector.name
+        print(
+            f"repro.serve: detector={detector} on {host}:{port} "
+            f"(queue={self.config.queue_bound}, "
+            f"policy={BackpressurePolicy(self.config.policy).value}, "
+            f"workers={self.config.workers})"
+        )
+        try:
+            await self._stopped.wait()
+        except asyncio.CancelledError:
+            await self.stop()
+            raise
+
+    # -- data plane ----------------------------------------------------
+
+    async def _admit(self, payload: str) -> asyncio.Future:
+        """Admit one payload; the returned future resolves to the
+        response bytes (detection, shed notice, or error)."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        job = _Job(
+            payload=payload,
+            snapshot=self.store.current(),
+            future=future,
+            admitted_at=time.perf_counter(),
+        )
+        try:
+            await self.admission.submit(job)
+        except Shed as exc:
+            future.set_result(encode_shed(str(exc)))
+        except QueueClosed as exc:
+            future.set_result(encode_error(str(exc)))
+        return future
+
+    async def inspect(self, payload: str) -> dict:
+        """In-process client: run ``payload`` through the full admission
+        path and return the decoded response object."""
+        future = await self._admit(payload)
+        return json.loads(await future)
+
+    async def _worker_loop(self) -> None:
+        while True:
+            job = await self.admission.get()
+            started = time.perf_counter()
+            try:
+                detection = job.snapshot.detector.inspect(job.payload)
+            except Exception as exc:  # detector bug: answer, don't die
+                self.telemetry.increment("errors")
+                if not job.future.done():
+                    job.future.set_result(
+                        encode_error(f"detector error: {exc}")
+                    )
+            else:
+                finished = time.perf_counter()
+                self.telemetry.record_inspection(
+                    detection.alert, finished - started
+                )
+                self.telemetry.observe(
+                    "latency", finished - job.admitted_at
+                )
+                if not job.future.done():
+                    job.future.set_result(
+                        encode_detection(detection, job.snapshot.version)
+                    )
+            finally:
+                self.admission.task_done()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.telemetry.increment("connections")
+        self._connections.add(writer)
+        try:
+            try:
+                first = await reader.readline()
+            except ValueError:  # line exceeded even the stream limit
+                self.telemetry.increment("protocol_errors")
+                writer.write(encode_error("line too long"))
+                await writer.drain()
+                return
+            if not first:
+                return
+            if is_http_request_line(first):
+                await self._handle_http(reader, writer, first)
+            else:
+                await self._serve_lines(reader, writer, first)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _serve_lines(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        first: bytes,
+    ) -> None:
+        """The line protocol: one payload per line, responses in order."""
+        pending: asyncio.Queue = asyncio.Queue(
+            maxsize=max(1, self.config.max_inflight_per_connection)
+        )
+        flusher = asyncio.get_running_loop().create_task(
+            self._flush_responses(pending, writer)
+        )
+        line = first
+        try:
+            while line:
+                if len(line) > MAX_LINE_BYTES:
+                    self.telemetry.increment("protocol_errors")
+                    await pending.put(_done(encode_error("line too long")))
+                else:
+                    # Every line is one payload — including the empty
+                    # line: a request with no query string is still a
+                    # request the offline engine would score, and
+                    # skipping it would desync response ordering.
+                    payload = line.rstrip(b"\r\n").decode(
+                        "utf-8", errors="replace"
+                    )
+                    await pending.put(await self._admit(payload))
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # asyncio discarded an oversized line; answer the
+                    # error in order and keep reading.
+                    self.telemetry.increment("protocol_errors")
+                    await pending.put(_done(encode_error("line too long")))
+                    line = b"\n"
+        finally:
+            await pending.put(None)
+            await flusher
+
+    @staticmethod
+    async def _flush_responses(
+        pending: asyncio.Queue, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            future = await pending.get()
+            if future is None:
+                return
+            data = await future
+            try:
+                writer.write(data)
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                return
+
+    # -- control plane -------------------------------------------------
+
+    async def _handle_http(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        first: bytes,
+    ) -> None:
+        try:
+            message = await read_http_message(reader, first)
+        except (ProtocolError, asyncio.IncompleteReadError) as exc:
+            self.telemetry.increment("protocol_errors")
+            writer.write(http_response(400, {"error": str(exc)}))
+            await writer.drain()
+            return
+        status, payload = await self._route(message)
+        writer.write(http_response(status, payload))
+        await writer.drain()
+
+    async def _route(self, message) -> tuple[int, dict]:
+        method, path = message.method, message.path
+        if path == "/healthz" and method == "GET":
+            current = self.store.current()
+            return 200, {
+                "status": "draining" if self.admission.closed else "ok",
+                "detector": current.detector.name,
+                "version": current.version,
+                "queue_depth": self.admission.depth,
+            }
+        if path == "/stats" and method == "GET":
+            current = self.store.current()
+            return 200, {
+                "store": {
+                    "detector": current.detector.name,
+                    "version": current.version,
+                    "source": current.source,
+                },
+                "queue_depth": self.admission.depth,
+                **self.telemetry.snapshot(),
+            }
+        if path == "/reload" and method == "POST":
+            try:
+                if message.body.strip():
+                    published = self.store.swap_json(message.body)
+                else:
+                    published = self.store.reload_from_path()
+            except StoreError as exc:
+                return 400, {
+                    "error": str(exc),
+                    "version": self.store.version,
+                }
+            return 200, {
+                "version": published.version,
+                "source": published.source,
+                "detector": published.detector.name,
+            }
+        if path == "/inspect" and method == "POST":
+            result = await self.inspect(message.body)
+            if result.get("shed") or "error" in result:
+                return 503, result
+            return 200, result
+        if path in ("/healthz", "/stats", "/reload", "/inspect"):
+            return 405, {"error": f"{method} not allowed on {path}"}
+        return 404, {"error": f"no route {path}"}
+
+
+def _done(data: bytes) -> asyncio.Future:
+    """A future already resolved to ``data``."""
+    future = asyncio.get_running_loop().create_future()
+    future.set_result(data)
+    return future

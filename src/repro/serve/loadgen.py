@@ -1,0 +1,286 @@
+"""Load-generator harness: replay scanner + benign traffic at a gateway.
+
+The paper's deployment argument is empirical — signatures must hold up
+under a production request stream (Section III-C).  The harness builds a
+deterministic mixed trace (SQLmap and Vega scans of the vulnerable
+webapp interleaved with benign portal traffic), replays it over many
+concurrent pipelined connections, and reports sustained throughput,
+shed rate, client-observed latency percentiles, and — via
+:mod:`repro.eval.serving` — alert parity with the offline engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.eval.serving import (
+    ParityReport,
+    offline_detections,
+    parity_of_responses,
+)
+from repro.http.traffic import Trace
+from repro.serve.gateway import DetectionGateway, GatewayConfig
+from repro.serve.protocol import decode_response
+from repro.serve.store import SignatureStore
+
+__all__ = [
+    "LoadReport",
+    "build_load_trace",
+    "format_report",
+    "replay",
+    "run_loadgen",
+]
+
+
+def build_load_trace(
+    *,
+    seed: int = 7,
+    n_benign: int = 800,
+    n_vulnerabilities: int = 12,
+    name: str = "loadgen-mix",
+) -> Trace:
+    """A deterministic attack/benign mix for replay.
+
+    SQLmap and Vega scans of a small vulnerable webapp shuffled together
+    with benign portal traffic — the arrival order a perimeter IDS sees,
+    not a tidy attacks-then-benign block.
+    """
+    from repro.corpus.benign import BenignTrafficGenerator
+    from repro.corpus.webapp import VulnerableWebApp
+    from repro.scanners import SqlmapSimulator, VegaSimulator
+
+    app = VulnerableWebApp(seed=seed, n_vulnerabilities=n_vulnerabilities)
+    requests = (
+        SqlmapSimulator(app, seed=seed + 1).scan().requests
+        + VegaSimulator(app, seed=seed + 2).scan().requests
+        + BenignTrafficGenerator(seed=seed + 3).trace(n_benign).requests
+    )
+    order = np.random.default_rng(seed).permutation(len(requests))
+    return Trace(name=name, requests=[requests[i] for i in order])
+
+
+@dataclass
+class LoadReport:
+    """Everything one replay measured.
+
+    Attributes:
+        detector: detector name on the serving side.
+        queue_bound: admission queue capacity during the run.
+        policy: backpressure policy during the run.
+        requests: payloads offered.
+        completed: payloads answered with a verdict.
+        shed: payloads refused by admission control.
+        errors: undecodable or error responses.
+        alerts: verdicts that alerted.
+        duration_s: wall-clock of the replay.
+        throughput_rps: completed-plus-shed responses per second.
+        serviced_rps: completed (verdict-carrying) responses per second —
+            the honest "sustained" number when shedding is active.
+        latency_ms: client-observed percentiles (p50/p95/p99/mean/max).
+        parity: diff against the offline engine (None when skipped).
+    """
+
+    detector: str
+    queue_bound: int
+    policy: str
+    requests: int
+    completed: int
+    shed: int
+    errors: int
+    alerts: int
+    duration_s: float
+    throughput_rps: float
+    latency_ms: dict[str, float] = field(default_factory=dict)
+    parity: ParityReport | None = None
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered payloads refused."""
+        return self.shed / self.requests if self.requests else 0.0
+
+    @property
+    def serviced_rps(self) -> float:
+        """Verdict-carrying responses per second."""
+        return self.completed / self.duration_s if self.duration_s else 0.0
+
+
+async def replay(
+    host: str,
+    port: int,
+    payloads: list[str],
+    *,
+    connections: int = 8,
+    window: int = 32,
+) -> tuple[list[dict | None], np.ndarray, float]:
+    """Replay ``payloads`` and return (responses, latencies_s, duration_s).
+
+    Payloads are dealt round-robin over ``connections`` pipelined
+    connections, each keeping up to ``window`` requests in flight.
+    ``responses[i]`` stays None if the connection died before answering.
+    """
+    responses: list[dict | None] = [None] * len(payloads)
+    latencies = np.zeros(len(payloads), dtype=np.float64)
+    shards: list[list[tuple[int, str]]] = [
+        [] for _ in range(max(1, connections))
+    ]
+    for index, payload in enumerate(payloads):
+        shards[index % len(shards)].append((index, payload))
+    started = time.perf_counter()
+    await asyncio.gather(*(
+        _drive_connection(host, port, shard, responses, latencies, window)
+        for shard in shards if shard
+    ))
+    return responses, latencies, time.perf_counter() - started
+
+
+async def _drive_connection(
+    host: str,
+    port: int,
+    jobs: list[tuple[int, str]],
+    responses: list[dict | None],
+    latencies: np.ndarray,
+    window: int,
+) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    inflight = asyncio.Semaphore(max(1, window))
+    sent_at: dict[int, float] = {}
+
+    async def collect() -> None:
+        try:
+            for index, _ in jobs:
+                line = await reader.readline()
+                if not line:
+                    return
+                latencies[index] = time.perf_counter() - sent_at[index]
+                try:
+                    responses[index] = decode_response(line)
+                except ValueError:
+                    responses[index] = {"error": "undecodable response"}
+                inflight.release()
+        finally:
+            # Unblock the sender even if the server hung up early; its
+            # writes will then fail fast instead of deadlocking.
+            for _ in jobs:
+                inflight.release()
+
+    collector = asyncio.get_running_loop().create_task(collect())
+    try:
+        for index, payload in jobs:
+            await inflight.acquire()
+            if collector.done():
+                break
+            sent_at[index] = time.perf_counter()
+            writer.write(payload.encode("utf-8", errors="replace") + b"\n")
+            await writer.drain()
+        await collector
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    finally:
+        collector.cancel()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def _percentiles_ms(latencies: np.ndarray) -> dict[str, float]:
+    answered = latencies[latencies > 0]
+    if answered.size == 0:
+        return {k: 0.0 for k in
+                ("p50_ms", "p95_ms", "p99_ms", "mean_ms", "max_ms")}
+    return {
+        "p50_ms": float(np.percentile(answered, 50) * 1e3),
+        "p95_ms": float(np.percentile(answered, 95) * 1e3),
+        "p99_ms": float(np.percentile(answered, 99) * 1e3),
+        "mean_ms": float(answered.mean() * 1e3),
+        "max_ms": float(answered.max() * 1e3),
+    }
+
+
+async def run_loadgen(
+    store: SignatureStore,
+    payloads: list[str],
+    *,
+    queue_bound: int = 1024,
+    policy: str = "block",
+    workers: int = 4,
+    connections: int = 8,
+    window: int = 32,
+    check_parity: bool = True,
+) -> LoadReport:
+    """Spawn an in-process gateway, replay, and summarize.
+
+    With ``check_parity`` the serviced responses are diffed against the
+    offline detector (shed responses are excluded — there is nothing to
+    compare).
+    """
+    gateway = DetectionGateway(store, GatewayConfig(
+        queue_bound=queue_bound,
+        policy=policy,
+        workers=workers,
+    ))
+    host, port = await gateway.start()
+    try:
+        responses, latencies, duration = await replay(
+            host, port, payloads,
+            connections=connections, window=window,
+        )
+    finally:
+        await gateway.stop()
+    parity = None
+    if check_parity:
+        parity = parity_of_responses(
+            offline_detections(store.current().detector, payloads),
+            responses,
+        )
+    shed = sum(1 for r in responses if r and r.get("shed"))
+    errors = sum(
+        1 for r in responses
+        if r is not None and "error" in r and not r.get("shed")
+    )
+    completed = sum(
+        1 for r in responses
+        if r is not None and not r.get("shed") and "error" not in r
+    )
+    answered = sum(1 for r in responses if r is not None)
+    return LoadReport(
+        detector=store.current().detector.name,
+        queue_bound=queue_bound,
+        policy=policy,
+        requests=len(payloads),
+        completed=completed,
+        shed=shed,
+        errors=errors,
+        alerts=sum(
+            1 for r in responses if r is not None and r.get("alert")
+        ),
+        duration_s=duration,
+        throughput_rps=answered / duration if duration > 0 else 0.0,
+        latency_ms=_percentiles_ms(latencies),
+        parity=parity,
+    )
+
+
+def format_report(report: LoadReport) -> str:
+    """Multi-line human-readable rendering of one replay."""
+    lines = [
+        f"detector={report.detector} queue={report.queue_bound} "
+        f"policy={report.policy}",
+        f"  requests={report.requests} completed={report.completed} "
+        f"shed={report.shed} ({report.shed_rate:.1%}) "
+        f"errors={report.errors} alerts={report.alerts}",
+        f"  duration={report.duration_s:.3f}s "
+        f"throughput={report.throughput_rps:,.0f} req/s "
+        f"(serviced {report.serviced_rps:,.0f}/s)",
+        "  latency p50={p50_ms:.3f}ms p95={p95_ms:.3f}ms "
+        "p99={p99_ms:.3f}ms mean={mean_ms:.3f}ms max={max_ms:.3f}ms"
+        .format(**report.latency_ms),
+    ]
+    if report.parity is not None:
+        lines.append(f"  {report.parity.summary()}")
+    return "\n".join(lines)

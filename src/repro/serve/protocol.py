@@ -1,0 +1,186 @@
+"""Wire protocol of the detection gateway: line-delimited TCP plus HTTP.
+
+One listening port speaks both dialects, disambiguated by the first
+line of a connection:
+
+- **Line protocol** (the data plane): every line the client sends is one
+  detector-visible payload (exactly what
+  :meth:`~repro.http.request.HttpRequest.payload` yields — query string
+  plus form body, which never contains a newline).  The gateway answers
+  each line with one JSON object: ``{"alert": bool, "score": float,
+  "matched": [sids], "version": n}``, or ``{"shed": true, ...}`` when
+  admission control refused the request.
+- **HTTP/1.x** (the control plane): a first line shaped like
+  ``METHOD /path HTTP/1.x`` switches the connection to one-shot HTTP.
+  Routes: ``GET /healthz``, ``GET /stats``, ``POST /reload``,
+  ``POST /inspect``.
+
+Keeping framing in one module means the gateway, the load generator,
+and the tests all parse and emit identical bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from dataclasses import dataclass, field
+
+from repro.ids.rules import Detection
+
+__all__ = [
+    "HttpMessage",
+    "ProtocolError",
+    "decode_response",
+    "encode_detection",
+    "encode_error",
+    "encode_shed",
+    "http_response",
+    "is_http_request_line",
+    "read_http_message",
+]
+
+_HTTP_REQUEST_LINE = re.compile(
+    rb"^[A-Z]+ \S+ HTTP/1\.[01]\r?\n?$"
+)
+
+MAX_LINE_BYTES = 64 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """Malformed input on either dialect."""
+
+
+def is_http_request_line(line: bytes) -> bool:
+    """True when ``line`` opens an HTTP/1.x exchange rather than the
+    line protocol."""
+    return _HTTP_REQUEST_LINE.match(line) is not None
+
+
+def encode_detection(detection: Detection, version: int) -> bytes:
+    """One data-plane response line for a serviced inspection."""
+    return (
+        json.dumps(
+            {
+                "alert": bool(detection.alert),
+                "score": float(detection.score),
+                "matched": [int(s) for s in detection.matched_sids],
+                "version": version,
+            },
+            separators=(",", ":"),
+        ).encode()
+        + b"\n"
+    )
+
+
+def encode_shed(reason: str) -> bytes:
+    """Response line for a request refused by admission control."""
+    return (
+        json.dumps(
+            {"shed": True, "error": reason}, separators=(",", ":")
+        ).encode()
+        + b"\n"
+    )
+
+
+def encode_error(reason: str) -> bytes:
+    """Response line for a request the gateway could not process."""
+    return (
+        json.dumps(
+            {"error": reason}, separators=(",", ":")
+        ).encode()
+        + b"\n"
+    )
+
+
+def decode_response(line: bytes) -> dict:
+    """Client side: parse one data-plane response line.
+
+    Raises:
+        ProtocolError: when the line is not a JSON object.
+    """
+    try:
+        decoded = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"bad response line: {exc}") from exc
+    if not isinstance(decoded, dict):
+        raise ProtocolError(f"bad response line: {line!r}")
+    return decoded
+
+
+@dataclass
+class HttpMessage:
+    """A parsed one-shot HTTP request.
+
+    Attributes:
+        method: upper-cased verb.
+        path: request target (no host).
+        headers: lower-cased header names.
+        body: decoded body text.
+    """
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: str = ""
+
+
+async def read_http_message(
+    reader: asyncio.StreamReader, first_line: bytes
+) -> HttpMessage:
+    """Read the remainder of an HTTP request whose request line was
+    already consumed.
+
+    Raises:
+        ProtocolError: malformed head or oversized body.
+    """
+    parts = first_line.decode("latin-1").split()
+    method, path = parts[0], parts[1]
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        text = line.decode("latin-1").rstrip("\r\n")
+        if ":" not in text:
+            raise ProtocolError(f"malformed header line: {text!r}")
+        name, value = text.split(":", 1)
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as exc:
+        raise ProtocolError(
+            f"bad content-length: {length_text!r}"
+        ) from exc
+    if length > MAX_BODY_BYTES:
+        raise ProtocolError(f"body too large: {length} bytes")
+    body = b""
+    if length > 0:
+        body = await reader.readexactly(length)
+    return HttpMessage(
+        method=method, path=path, headers=headers,
+        body=body.decode("utf-8", errors="replace"),
+    )
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+}
+
+
+def http_response(status: int, payload: dict) -> bytes:
+    """Serialize a one-shot JSON HTTP response (connection closes after)."""
+    body = json.dumps(payload, indent=1).encode()
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("latin-1") + body

@@ -1,0 +1,167 @@
+"""Versioned signature store with atomic hot-swap.
+
+Agarwal & Hussain (arXiv:1805.10848) observe that signature *deployment*
+flaws — stale rulesets with no update path — dominate real-world IDS
+failures.  The store is the update path: a mounted detector can be
+replaced from a signature JSON file (the deployable artifact of
+``core/serialize.py``) or from an inline JSON body without restarting
+the gateway or dropping in-flight requests.
+
+The swap protocol is copy-on-write: the replacement detector is built
+completely off to the side (parse, validate, compile), then published
+with one attribute assignment.  Readers that captured the previous
+:class:`StoreVersion` keep answering with it; readers that arrive after
+the assignment see the new one.  A failed parse raises and leaves the
+current version untouched.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.serialize import signature_set_from_json
+from repro.core.signature import SignatureSet
+from repro.ids.engine import Detector, PSigeneDetector
+from repro.serve.telemetry import Telemetry
+
+__all__ = ["SignatureStore", "StoreError", "StoreVersion"]
+
+
+class StoreError(ValueError):
+    """Raised when a swap cannot be performed; the old version survives."""
+
+
+@dataclass(frozen=True)
+class StoreVersion:
+    """One immutable published generation of the mounted detector.
+
+    Attributes:
+        version: monotonically increasing generation number (1 = initial).
+        detector: the detector answering requests for this generation.
+        source: provenance string (``file:<path>``, ``inline``, ``static``).
+    """
+
+    version: int
+    detector: Detector
+    source: str
+
+
+class SignatureStore:
+    """Holds the current :class:`StoreVersion`; swaps are atomic.
+
+    Args:
+        detector: initially mounted detector.
+        path: default signature JSON file for path-based reloads.
+        detector_factory: builds a detector from a loaded
+            :class:`SignatureSet`; defaults to :class:`PSigeneDetector`
+            keeping the currently mounted detector's name.
+        telemetry: sink for the ``reloads`` / ``reload_failures`` counters.
+        source: provenance of the initial version.
+    """
+
+    def __init__(
+        self,
+        detector: Detector,
+        *,
+        path: str | None = None,
+        detector_factory: Callable[[SignatureSet], Detector] | None = None,
+        telemetry: Telemetry | None = None,
+        source: str = "static",
+    ) -> None:
+        self.path = path
+        self.telemetry = telemetry
+        self._factory = detector_factory
+        self._swap_lock = threading.Lock()
+        self._current = StoreVersion(
+            version=1, detector=detector, source=source
+        )
+
+    @classmethod
+    def from_file(
+        cls,
+        path: str,
+        *,
+        detector_factory: Callable[[SignatureSet], Detector] | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> "SignatureStore":
+        """Mount a pSigene signature JSON file as version 1."""
+        with open(path) as handle:
+            signature_set = signature_set_from_json(handle.read())
+        factory = detector_factory or PSigeneDetector
+        return cls(
+            factory(signature_set),
+            path=path,
+            detector_factory=detector_factory,
+            telemetry=telemetry,
+            source=f"file:{path}",
+        )
+
+    def current(self) -> StoreVersion:
+        """The live generation.  Callers snapshot it once per request so a
+        concurrent swap never changes the detector mid-inspection."""
+        return self._current
+
+    @property
+    def version(self) -> int:
+        """Generation number of the live version."""
+        return self._current.version
+
+    def _build(self, signature_set: SignatureSet) -> Detector:
+        if self._factory is not None:
+            return self._factory(signature_set)
+        return PSigeneDetector(
+            signature_set, name=self._current.detector.name
+        )
+
+    def _reject(self, message: str) -> StoreError:
+        if self.telemetry is not None:
+            self.telemetry.increment("reload_failures")
+        return StoreError(message)
+
+    def swap_detector(self, detector: Detector, *, source: str) -> StoreVersion:
+        """Publish ``detector`` as the next generation."""
+        with self._swap_lock:
+            published = StoreVersion(
+                version=self._current.version + 1,
+                detector=detector,
+                source=source,
+            )
+            self._current = published
+        if self.telemetry is not None:
+            self.telemetry.increment("reloads")
+        return published
+
+    def swap_json(self, text: str, *, source: str = "inline") -> StoreVersion:
+        """Parse signature JSON and publish it; on failure the current
+        version keeps serving.
+
+        Raises:
+            StoreError: when ``text`` is not a valid signature set.
+        """
+        try:
+            signature_set = signature_set_from_json(text)
+        except ValueError as exc:
+            raise self._reject(f"rejected signature swap: {exc}") from exc
+        return self.swap_detector(self._build(signature_set), source=source)
+
+    def reload_from_path(self, path: str | None = None) -> StoreVersion:
+        """Reload from ``path`` (or the configured default) and publish.
+
+        Raises:
+            StoreError: when no path is configured or the file is
+                missing/invalid; the current version keeps serving.
+        """
+        target = path or self.path
+        if target is None:
+            raise self._reject(
+                "no signature path configured; this store was mounted "
+                "with a static detector"
+            )
+        try:
+            with open(target) as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise self._reject(f"cannot read {target}: {exc}") from exc
+        return self.swap_json(text, source=f"file:{target}")

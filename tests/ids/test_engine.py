@@ -61,6 +61,91 @@ class TestEngineRun:
         assert engine.inspect_request(request).alert
 
 
+class TestInspectRequest:
+    def test_uses_detector_visible_payload(self, detector):
+        """inspect_request must see exactly request.payload(): query
+        string plus form body, never host or path."""
+        engine = SignatureEngine(detector)
+        body_attack = HttpRequest(
+            method="POST",
+            path="/login",
+            headers={"content-type": "application/x-www-form-urlencoded"},
+            body="user=x' union select 1--",
+        )
+        assert engine.inspect_request(body_attack).alert
+        path_only = HttpRequest(path="/union select/nothing", query="q=1")
+        assert not engine.inspect_request(path_only).alert
+
+    def test_combines_query_and_form_body(self, detector):
+        engine = SignatureEngine(detector)
+        split_attack = HttpRequest(
+            method="POST",
+            query="a=1' union",
+            headers={"content-type": "application/x-www-form-urlencoded"},
+            body="b= select 2",
+        )
+        # Neither half alone matches; payload() joins them with '&'.
+        assert not engine.inspect_payload("a=1' union").alert
+        assert not engine.inspect_payload("b= select 2").alert
+        detection = engine.inspect_request(split_attack)
+        assert detection.alert is (
+            engine.inspect_payload("a=1' union&b= select 2").alert
+        )
+
+    def test_empty_payload(self, detector):
+        engine = SignatureEngine(detector)
+        detection = engine.inspect_request(HttpRequest())
+        assert not detection.alert
+        assert detection.score == 0.0
+
+    def test_matches_direct_inspect(self, small_signatures):
+        engine = SignatureEngine(PSigeneDetector(small_signatures))
+        request = HttpRequest(query="id=1' union select 1,2,3-- -")
+        via_request = engine.inspect_request(request)
+        via_payload = engine.inspect_payload(request.payload())
+        assert via_request.alert == via_payload.alert
+        assert via_request.score == via_payload.score
+        assert via_request.matched_sids == via_payload.matched_sids
+
+
+class TestEngineTelemetry:
+    def test_single_inspections_feed_counters(self, detector):
+        from repro.serve import Telemetry
+
+        telemetry = Telemetry()
+        engine = SignatureEngine(detector, telemetry=telemetry)
+        engine.inspect_request(HttpRequest(query="a=1' union select 2"))
+        engine.inspect_payload("q=hello")
+        assert telemetry.counter("inspected") == 2
+        assert telemetry.counter("alerted") == 1
+        assert telemetry.snapshot()["latency"]["service"]["count"] == 2
+
+    def test_offline_run_feeds_same_schema(self, trace, detector):
+        from repro.serve import Telemetry
+
+        telemetry = Telemetry()
+        run = SignatureEngine(detector, telemetry=telemetry).run(trace)
+        assert telemetry.counter("inspected") == len(trace)
+        assert telemetry.counter("alerted") == run.alert_count
+        assert telemetry.snapshot()["latency"]["service"]["count"] == len(
+            trace
+        )
+
+    def test_run_batch_feeds_counters(self, trace, detector):
+        from repro.serve import Telemetry
+
+        telemetry = Telemetry()
+        run = SignatureEngine(detector, telemetry=telemetry).run_batch(
+            trace, workers=1
+        )
+        assert telemetry.counter("inspected") == len(trace)
+        assert telemetry.counter("alerted") == run.alert_count
+
+    def test_no_telemetry_no_overhead_path(self, trace, detector):
+        run = SignatureEngine(detector).run(trace)
+        assert run.timings.size == 0  # measuring stays opt-in
+
+
 class TestPSigeneDetector:
     def test_wraps_signature_set(self, small_signatures):
         detector = PSigeneDetector(small_signatures)

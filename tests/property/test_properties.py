@@ -196,6 +196,11 @@ def test_extraction_invariant_to_mutation_roundtrip(prefix, suffix):
     from repro.features import FeatureExtractor
 
     extractor = _shared_extractor()
+    # ``+`` is wire-ambiguous: a raw ``+`` is a transport-encoded space,
+    # while quote() emits ``%2B`` (a literal plus), so the two forms decode
+    # to different strings by design and the invariant cannot apply.
+    prefix = prefix.replace("+", "")
+    suffix = suffix.replace("+", "")
     payload = f"{prefix}' union select {suffix}"
     encoded = quote(payload)
     assert (

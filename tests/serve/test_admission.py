@@ -1,0 +1,96 @@
+"""Tests for admission control: policies, shedding, drain."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import (
+    AdmissionController,
+    BackpressurePolicy,
+    QueueClosed,
+    Shed,
+    Telemetry,
+)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestPolicies:
+    def test_policy_accepts_strings(self):
+        controller = AdmissionController(policy="shed")
+        assert controller.policy is BackpressurePolicy.SHED
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            AdmissionController(queue_bound=0)
+
+    def test_shed_on_full_queue(self):
+        async def scenario():
+            telemetry = Telemetry()
+            controller = AdmissionController(
+                queue_bound=2, policy="shed", telemetry=telemetry
+            )
+            await controller.submit("a")
+            await controller.submit("b")
+            with pytest.raises(Shed):
+                await controller.submit("c")
+            assert telemetry.counter("shed") == 1
+            assert controller.depth == 2
+
+        run(scenario())
+
+    def test_block_waits_for_space(self):
+        async def scenario():
+            controller = AdmissionController(queue_bound=1, policy="block")
+            await controller.submit("a")
+            waiter = asyncio.ensure_future(controller.submit("b"))
+            await asyncio.sleep(0)
+            assert not waiter.done()  # blocked on the full queue
+            item = await controller.get()
+            controller.task_done()
+            await waiter  # space opened, second submit admitted
+            assert item == "a"
+            assert controller.depth == 1
+
+        run(scenario())
+
+
+class TestDrain:
+    def test_submit_after_close_raises(self):
+        async def scenario():
+            controller = AdmissionController()
+            controller.close()
+            with pytest.raises(QueueClosed):
+                await controller.submit("a")
+
+        run(scenario())
+
+    def test_drain_waits_for_workers(self):
+        async def scenario():
+            controller = AdmissionController()
+            await controller.submit("a")
+            serviced = []
+
+            async def worker():
+                item = await controller.get()
+                await asyncio.sleep(0.01)
+                serviced.append(item)
+                controller.task_done()
+
+            task = asyncio.ensure_future(worker())
+            assert await controller.drain(timeout=1.0)
+            assert serviced == ["a"]
+            await task
+
+        run(scenario())
+
+    def test_drain_timeout(self):
+        async def scenario():
+            controller = AdmissionController()
+            await controller.submit("never-serviced")
+            assert not await controller.drain(timeout=0.01)
+            assert controller.closed
+
+        run(scenario())

@@ -1,0 +1,107 @@
+"""Tests for the versioned signature store and its swap protocol."""
+
+import pytest
+
+from repro.core import signature_set_to_json
+from repro.ids import DeterministicRuleSet, PSigeneDetector, Rule
+from repro.serve import SignatureStore, StoreError, Telemetry
+
+
+def toy_detector(name="toy"):
+    return DeterministicRuleSet(
+        name, [Rule(1, "union", r"union\s+select")]
+    )
+
+
+class TestStaticStore:
+    def test_initial_version(self):
+        store = SignatureStore(toy_detector())
+        current = store.current()
+        assert current.version == 1
+        assert current.source == "static"
+        assert store.version == 1
+
+    def test_reload_without_path_fails(self):
+        store = SignatureStore(toy_detector())
+        with pytest.raises(StoreError):
+            store.reload_from_path()
+        assert store.version == 1
+
+    def test_swap_detector_bumps_version(self):
+        store = SignatureStore(toy_detector())
+        published = store.swap_detector(
+            toy_detector("toy2"), source="test"
+        )
+        assert published.version == 2
+        assert store.current().detector.name == "toy2"
+
+
+class TestSignatureSwap:
+    def test_from_file_mounts_psigene(self, small_signatures, tmp_path):
+        path = tmp_path / "signatures.json"
+        path.write_text(signature_set_to_json(small_signatures))
+        store = SignatureStore.from_file(str(path))
+        assert store.version == 1
+        assert store.current().source == f"file:{path}"
+        detection = store.current().detector.inspect(
+            "id=1' union select 1,2,3-- -"
+        )
+        assert detection.alert
+
+    def test_swap_json_bumps_version(self, small_signatures):
+        store = SignatureStore(PSigeneDetector(small_signatures))
+        published = store.swap_json(
+            signature_set_to_json(small_signatures)
+        )
+        assert published.version == 2
+        assert published.source == "inline"
+        # The default factory keeps the mounted detector's name.
+        assert published.detector.name == "psigene"
+
+    def test_bad_json_keeps_old_version(self, small_signatures):
+        telemetry = Telemetry()
+        store = SignatureStore(
+            PSigeneDetector(small_signatures), telemetry=telemetry
+        )
+        before = store.current()
+        with pytest.raises(StoreError):
+            store.swap_json("{not json")
+        assert store.current() is before
+        assert telemetry.counter("reload_failures") == 1
+        assert telemetry.counter("reloads") == 0
+
+    def test_reload_from_path(self, small_signatures, tmp_path):
+        path = tmp_path / "signatures.json"
+        path.write_text(signature_set_to_json(small_signatures))
+        store = SignatureStore.from_file(str(path))
+        published = store.reload_from_path()
+        assert published.version == 2
+        assert published.source == f"file:{path}"
+
+    def test_reload_missing_file(self, small_signatures):
+        store = SignatureStore(
+            PSigeneDetector(small_signatures), path="/nonexistent.json"
+        )
+        with pytest.raises(StoreError):
+            store.reload_from_path()
+        assert store.version == 1
+
+    def test_reload_counter(self, small_signatures):
+        telemetry = Telemetry()
+        store = SignatureStore(
+            PSigeneDetector(small_signatures), telemetry=telemetry
+        )
+        store.swap_json(signature_set_to_json(small_signatures))
+        store.swap_json(signature_set_to_json(small_signatures))
+        assert telemetry.counter("reloads") == 2
+
+    def test_old_snapshot_survives_swap(self, small_signatures):
+        """In-flight readers keep answering with the version they took."""
+        store = SignatureStore(PSigeneDetector(small_signatures))
+        snapshot = store.current()
+        store.swap_detector(toy_detector(), source="test")
+        assert snapshot.version == 1
+        assert snapshot.detector.inspect(
+            "id=1' union select 1,2,3-- -"
+        ).alert
+        assert store.current().version == 2

@@ -1,11 +1,30 @@
 """Tests for the ``python -m repro`` command line."""
 
+import io
 import json
 import os
+import re
 
 import pytest
 
-from repro.__main__ import main
+from repro.__main__ import build_parser, main
+
+
+def score_lines(capsys):
+    """Parsed (verdict, score, payload) triples from score output."""
+    out = capsys.readouterr().out
+    rows = []
+    for line in out.strip().splitlines():
+        match = re.match(
+            r"\[(ALERT|pass )\] p=([0-9.]+)"
+            r"(?: signatures=\[[^\]]*\])?(?:  (.*))?$",
+            line,
+        )
+        assert match, f"unparseable score line: {line!r}"
+        rows.append(
+            (match.group(1), float(match.group(2)), match.group(3) or "")
+        )
+    return rows
 
 
 class TestTrainAndScore:
@@ -41,6 +60,88 @@ class TestTrainAndScore:
         assert "pass" in capsys.readouterr().out
 
 
+class TestScoreStdin:
+    ATTACK = "id=1' union select 1,2,3-- -"
+    BENIGN = "course=cs101&term=fall2012"
+
+    @pytest.fixture(scope="class")
+    def signature_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-stdin") / "signatures.json"
+        code = main([
+            "train", "-o", str(path), "--samples", "900",
+            "--benign", "2500", "--max-cluster-rows", "700",
+        ])
+        assert code == 0
+        return str(path)
+
+    def test_crlf_stdin_matches_argv(
+        self, signature_file, capsys, monkeypatch
+    ):
+        """CRLF-terminated stdin (Windows pipes, curl output) must score
+        identically to argv payloads — a stray \\r inside the payload
+        changes normalization."""
+        code_argv = main(["score", "-s", signature_file, self.ATTACK])
+        argv_rows = score_lines(capsys)
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(f"{self.ATTACK}\r\n")
+        )
+        code_stdin = main(["score", "-s", signature_file])
+        stdin_rows = score_lines(capsys)
+        assert code_stdin == code_argv == 3
+        assert stdin_rows == argv_rows
+
+    def test_lf_stdin_unchanged(self, signature_file, capsys, monkeypatch):
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(f"{self.ATTACK}\n{self.BENIGN}\n"),
+        )
+        code = main(["score", "-s", signature_file])
+        rows = score_lines(capsys)
+        assert code == 3
+        assert [r[0] for r in rows] == ["ALERT", "pass "]
+        assert [r[2] for r in rows] == [self.ATTACK, self.BENIGN]
+
+    def test_serial_and_batch_agree(self, signature_file, capsys):
+        """Exit code and every printed score must be identical through
+        the serial (workers=1) and batched (workers>1) paths."""
+        payloads = [
+            self.ATTACK,
+            self.BENIGN,
+            "q=robert'); drop table students;--",
+            "page=3&sort=name",
+            "",
+        ]
+        code_serial = main(
+            ["score", "-s", signature_file, "--workers", "1"] + payloads
+        )
+        serial_rows = score_lines(capsys)
+        code_batch = main(
+            ["score", "-s", signature_file, "--workers", "2"] + payloads
+        )
+        batch_rows = score_lines(capsys)
+        assert code_serial == code_batch == 3
+        assert serial_rows == batch_rows
+
+
+class TestVersionAndHelp:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_help_epilog_lists_commands(self):
+        help_text = build_parser().format_help()
+        for command in (
+            "train", "score", "crawl", "eval", "serve", "loadgen",
+        ):
+            assert re.search(
+                rf"^  {command}\s+\S", help_text, re.MULTILINE
+            ), f"epilog missing command {command!r}"
+
+
 class TestCrawl:
     def test_crawl_prints_stats(self, capsys):
         code = main(["crawl", "--samples", "120", "--seed", "4"])
@@ -48,6 +149,24 @@ class TestCrawl:
         out = capsys.readouterr().out
         assert "pages fetched" in out
         assert "unique samples" in out
+
+
+class TestLoadgenCommand:
+    @pytest.mark.smoke
+    def test_loadgen_against_in_process_gateway(self, capsys):
+        code = main([
+            "loadgen", "--detector", "modsecurity",
+            "--requests", "120", "--connections", "2", "--window", "4",
+            "--benign", "40", "--vulnerabilities", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PARITY" in out
+        assert "throughput" in out
+
+    def test_psigene_requires_signature_file(self):
+        with pytest.raises(SystemExit):
+            main(["loadgen", "--detector", "psigene", "--requests", "10"])
 
 
 class TestParser:
