@@ -50,8 +50,8 @@ def main() -> None:
     ]
     print("\nScoring payloads (max per-signature probability):")
     for label, payload in probes:
-        score = result.signature_set.score(payload)
-        verdict = "ALERT " if result.signature_set.matches(payload) else "pass  "
+        score, fired = result.signature_set.evaluate(payload)
+        verdict = "ALERT " if fired else "pass  "
         print(f"  [{verdict}] p={score:0.4f}  {label}")
 
 

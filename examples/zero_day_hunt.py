@@ -51,16 +51,16 @@ def main() -> None:
     print(f"\n{'':52s}  pSigene      Perdisci")
     print("zero-day payloads (never seen, novel vocabulary):")
     for payload in ZERO_DAYS:
-        score = signatures.score(payload)
-        psig = f"p={score:0.3f} {'ALERT' if signatures.matches(payload) else 'miss '}"
-        perd = "ALERT" if perdisci.matches(payload) else "miss "
+        score, fired = signatures.evaluate(payload)
+        psig = f"p={score:0.3f} {'ALERT' if fired else 'miss '}"
+        perd = "ALERT" if perdisci.inspect(payload).alert else "miss "
         print(f"  {payload[:50]:52s}  {psig}  {perd}")
 
     print("\nbenign lookalikes:")
     for payload in LOOKALIKES:
-        score = signatures.score(payload)
-        psig = f"p={score:0.3f} {'ALERT' if signatures.matches(payload) else 'pass '}"
-        perd = "ALERT" if perdisci.matches(payload) else "pass "
+        score, fired = signatures.evaluate(payload)
+        psig = f"p={score:0.3f} {'ALERT' if fired else 'pass '}"
+        perd = "ALERT" if perdisci.inspect(payload).alert else "pass "
         print(f"  {payload[:50]:52s}  {psig}  {perd}")
 
     caught = sum(1 for p in ZERO_DAYS if signatures.matches(p))

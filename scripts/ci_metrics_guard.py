@@ -1,0 +1,100 @@
+"""CI guard: boot the gateway, scrape ``/metrics``, fail on bad lines.
+
+Runs the exact contract a Prometheus scraper depends on, end to end:
+
+1. start a :class:`~repro.serve.gateway.DetectionGateway` on an
+   ephemeral port,
+2. push a few payloads through the line protocol so the counters move,
+3. ``GET /metrics`` over a raw socket,
+4. strict-parse the exposition (:func:`repro.obs.prometheus.parse_exposition`
+   raises on any malformed line), and
+5. cross-check the parsed counters against the ``/stats`` JSON.
+
+Exits non-zero on any failure, with the offending detail on stderr.
+
+Usage: ``PYTHONPATH=src python scripts/ci_metrics_guard.py``
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+
+
+async def _http(host: str, port: int, path: str) -> tuple[int, str]:
+    """Minimal GET; returns (status, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: ci\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    header, _, body = raw.partition(b"\r\n\r\n")
+    return int(header.split()[1]), body.decode()
+
+
+async def _scenario() -> None:
+    from repro.ids import DeterministicRuleSet, Rule
+    from repro.obs.prometheus import parse_exposition, sample_value
+    from repro.serve import DetectionGateway, SignatureStore
+
+    detector = DeterministicRuleSet(
+        "ci-guard", [Rule(1, "union", r"union\s+select")]
+    )
+    gateway = DetectionGateway(SignatureStore(detector))
+    host, port = await gateway.start()
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+        payloads = ["id=1' union select 1", "q=hello", "page=2"]
+        for payload in payloads:
+            writer.write(payload.encode() + b"\n")
+            await writer.drain()
+            await reader.readline()
+        writer.close()
+        await writer.wait_closed()
+
+        status, body = await _http(host, port, "/metrics")
+        if status != 200:
+            raise AssertionError(f"/metrics returned HTTP {status}")
+        families = parse_exposition(body)  # raises on malformed lines
+        if not families:
+            raise AssertionError("/metrics exposition is empty")
+
+        stats_status, stats_body = await _http(host, port, "/stats")
+        if stats_status != 200:
+            raise AssertionError(f"/stats returned HTTP {stats_status}")
+        counters = json.loads(stats_body)["counters"]
+        for short_name in ("inspected", "alerted"):
+            exposed = sample_value(families, f"repro_{short_name}_total")
+            if exposed != counters[short_name]:
+                raise AssertionError(
+                    f"{short_name}: /metrics says {exposed}, "
+                    f"/stats says {counters[short_name]}"
+                )
+        if counters["inspected"] != len(payloads):
+            raise AssertionError(
+                f"expected {len(payloads)} inspections, "
+                f"counted {counters['inspected']}"
+            )
+        print(
+            f"metrics guard OK: {len(families)} families, "
+            f"{sum(len(s) for s in families.values())} samples, "
+            f"counters agree with /stats"
+        )
+    finally:
+        await gateway.stop()
+
+
+def main() -> int:
+    """Run the guard; returns a process exit code."""
+    try:
+        asyncio.run(_scenario())
+    except Exception as error:  # noqa: BLE001 - CI wants any failure loud
+        print(f"metrics guard FAILED: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,11 @@ Commands:
     eval     small-scale Table V (accuracy comparison of all detectors)
     serve    run the online detection gateway (TCP/HTTP, hot reload)
     loadgen  replay attack+benign traffic against a gateway
+    obs      observability: dump /metrics, validate run manifests
+
+Shared options (``--seed``, ``--workers``, ``-s/--signatures``) are
+declared once as parent parsers, so their spelling and defaults are
+identical across every subcommand that takes them.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ commands:
   eval     run the small-scale Table V accuracy comparison
   serve    run the online detection gateway (line TCP + HTTP control)
   loadgen  replay attack+benign traffic at a gateway, report throughput
+  obs      dump a gateway's /metrics or validate a run manifest
 
 run `repro <command> --help` for per-command options.
 """
@@ -41,11 +47,18 @@ def _build_detector(name: str, signatures: str | None):
         from repro.core import signature_set_from_json
         from repro.ids import PSigeneDetector
 
-        with open(signatures) as handle:
-            return (
-                PSigeneDetector(signature_set_from_json(handle.read())),
-                signatures,
-            )
+        try:
+            with open(signatures) as handle:
+                serialized = handle.read()
+        except FileNotFoundError:
+            raise SystemExit(
+                f"repro: signature file {signatures!r} not found; "
+                "train one first (repro train) or pass -s"
+            ) from None
+        return (
+            PSigeneDetector(signature_set_from_json(serialized)),
+            signatures,
+        )
     from repro.ids.rulesets import (
         build_bro_ruleset,
         build_merged_snort_et_ruleset,
@@ -75,6 +88,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         n_benign_train=args.benign,
         max_cluster_rows=args.max_cluster_rows,
         workers=args.workers,
+        manifest_dir=args.manifest_dir or None,
     )
     result = PSigenePipeline(config).run()
     with open(args.output, "w") as handle:
@@ -85,14 +99,22 @@ def _cmd_train(args: argparse.Namespace) -> int:
         f"({result.pruning.final_features} active features); "
         f"wrote {args.output}"
     )
+    if result.manifest_path is not None:
+        print(f"run manifest: {result.manifest_path}")
     return 0
 
 
 def _cmd_score(args: argparse.Namespace) -> int:
     from repro.core import signature_set_from_json
 
-    with open(args.signatures) as handle:
-        signature_set = signature_set_from_json(handle.read())
+    try:
+        with open(args.signatures) as handle:
+            signature_set = signature_set_from_json(handle.read())
+    except FileNotFoundError:
+        raise SystemExit(
+            f"repro: signature file {args.signatures!r} not found; "
+            "train one first (repro train) or pass -s"
+        ) from None
     # rstrip both separators: CRLF input would otherwise leave a carriage
     # return inside the payload, changing normalization (and thus scores)
     # between piped and argv invocations.
@@ -247,6 +269,75 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_dump(args: argparse.Namespace) -> int:
+    import http.client
+
+    from repro.obs.prometheus import ExpositionError, parse_exposition
+
+    connection = http.client.HTTPConnection(
+        args.host, args.port, timeout=args.timeout
+    )
+    try:
+        connection.request("GET", "/metrics")
+        response = connection.getresponse()
+        body = response.read().decode("utf-8")
+    except OSError as error:
+        raise SystemExit(
+            f"repro: cannot scrape {args.host}:{args.port}/metrics: {error}"
+        ) from None
+    finally:
+        connection.close()
+    if response.status != 200:
+        raise SystemExit(
+            f"repro: /metrics returned HTTP {response.status}"
+        )
+    try:
+        families = parse_exposition(body)
+    except ExpositionError as error:
+        raise SystemExit(
+            f"repro: gateway served malformed exposition: {error}"
+        ) from None
+    sys.stdout.write(body)
+    print(
+        f"# repro obs: {len(families)} metric families, "
+        f"{sum(len(samples) for samples in families.values())} samples",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_obs_validate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.manifest import ManifestError, validate_manifest
+
+    try:
+        with open(args.manifest) as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"repro: manifest {args.manifest!r} not found"
+        ) from None
+    except json.JSONDecodeError as error:
+        raise SystemExit(
+            f"repro: {args.manifest}: invalid JSON: {error}"
+        ) from None
+    try:
+        validate_manifest(manifest)
+    except ManifestError as error:
+        print(f"INVALID {args.manifest}: {error}")
+        return 5
+    phases = ", ".join(
+        phase["name"] for phase in manifest["phases"] if phase["depth"] <= 1
+    )
+    print(
+        f"OK {args.manifest}: schema {manifest['schema']}, "
+        f"git {manifest['git']}, seed {manifest['seed']}, "
+        f"phases [{phases}]"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -261,48 +352,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    train = sub.add_parser("train", help="train and export signatures")
+    # Parent parsers: one definition per shared option, so --seed,
+    # --workers, and -s/--signatures are spelled and defaulted
+    # identically everywhere they appear.
+    seed_options = argparse.ArgumentParser(add_help=False)
+    seed_options.add_argument(
+        "--seed", type=int, default=2012,
+        help="master RNG seed (default: 2012)",
+    )
+    worker_options = argparse.ArgumentParser(add_help=False)
+    worker_options.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default: 1)",
+    )
+    signature_options = argparse.ArgumentParser(add_help=False)
+    signature_options.add_argument(
+        "-s", "--signatures", default="signatures.json",
+        help="signature JSON file (default: signatures.json)",
+    )
+
+    train = sub.add_parser(
+        "train", help="train and export signatures",
+        parents=[seed_options, worker_options],
+    )
     train.add_argument("-o", "--output", default="signatures.json")
     train.add_argument("--samples", type=int, default=2000)
     train.add_argument("--benign", type=int, default=6000)
     train.add_argument("--max-cluster-rows", type=int, default=1200)
-    train.add_argument("--seed", type=int, default=2012)
     train.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes for feature extraction (default: 1)",
+        "--manifest-dir", default="",
+        help="write a run manifest into this directory ('' disables; "
+             "conventionally: runs)",
     )
     train.set_defaults(func=_cmd_train)
 
-    score = sub.add_parser("score", help="score payloads against signatures")
-    score.add_argument("-s", "--signatures", default="signatures.json")
-    score.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes for batched matching (default: 1)",
+    score = sub.add_parser(
+        "score", help="score payloads against signatures",
+        parents=[worker_options, signature_options],
     )
     score.add_argument("payloads", nargs="*")
     score.set_defaults(func=_cmd_score)
 
-    crawl = sub.add_parser("crawl", help="crawl the simulated portals")
+    crawl = sub.add_parser(
+        "crawl", help="crawl the simulated portals",
+        parents=[seed_options],
+    )
     crawl.add_argument("--samples", type=int, default=1000)
-    crawl.add_argument("--seed", type=int, default=2012)
     crawl.set_defaults(func=_cmd_crawl)
 
-    evaluate = sub.add_parser("eval", help="run the Table V comparison")
+    evaluate = sub.add_parser(
+        "eval", help="run the Table V comparison",
+        parents=[seed_options, worker_options],
+    )
     evaluate.add_argument("--samples", type=int, default=1500)
     evaluate.add_argument("--benign", type=int, default=8000)
     evaluate.add_argument("--vulnerabilities", type=int, default=40)
-    evaluate.add_argument("--seed", type=int, default=2012)
-    evaluate.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes for feature extraction (default: 1)",
-    )
     evaluate.set_defaults(func=_cmd_eval)
 
     def add_gateway_options(command: argparse.ArgumentParser) -> None:
-        command.add_argument(
-            "-s", "--signatures", default=None,
-            help="signature JSON file (required for --detector psigene)",
-        )
         command.add_argument(
             "--detector", choices=_DETECTOR_CHOICES, default="psigene",
             help="which detector to mount (default: psigene)",
@@ -322,6 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve", help="run the online detection gateway",
+        parents=[signature_options],
     )
     add_gateway_options(serve)
     serve.add_argument("--host", default="127.0.0.1")
@@ -337,6 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     loadgen = sub.add_parser(
         "loadgen", help="replay attack+benign traffic at a gateway",
+        parents=[seed_options, signature_options],
     )
     add_gateway_options(loadgen)
     loadgen.add_argument(
@@ -359,13 +468,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--vulnerabilities", type=int, default=12,
         help="webapp vulnerabilities the scanners probe (default: 12)",
     )
-    loadgen.add_argument("--seed", type=int, default=7)
     loadgen.add_argument(
         "--check-parity", action=argparse.BooleanOptionalAction,
         default=True,
         help="diff responses against the offline engine (default: on)",
     )
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    obs = sub.add_parser(
+        "obs", help="observability: dump /metrics, validate manifests",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    dump = obs_sub.add_parser(
+        "dump", help="scrape and strict-parse a gateway's /metrics",
+    )
+    dump.add_argument("--host", default="127.0.0.1")
+    dump.add_argument(
+        "--port", type=int, default=9037,
+        help="gateway port (default: 9037)",
+    )
+    dump.add_argument(
+        "--timeout", type=float, default=5.0,
+        help="connect/read timeout in seconds (default: 5)",
+    )
+    dump.set_defaults(func=_cmd_obs_dump)
+    validate = obs_sub.add_parser(
+        "validate", help="check a run manifest against the schema",
+    )
+    validate.add_argument("manifest", help="path to a runs/<ts>.json file")
+    validate.set_defaults(func=_cmd_obs_validate)
     return parser
 
 

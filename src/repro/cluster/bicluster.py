@@ -24,6 +24,8 @@ import numpy as np
 from repro.cluster.dendrogram import Dendrogram
 from repro.cluster.distance import euclidean_matrix, unique_rows_with_weights
 from repro.cluster.linkage import upgma
+from repro.obs import trace
+from repro.obs.registry import get_registry
 
 #: Paper constants.  The 5% selection rule is Section III-D verbatim.
 #: Black holes are "biclusters composed of vectors of mostly zeroes"; the
@@ -209,9 +211,18 @@ class Biclusterer:
         if prototypes.shape[0] < 2:
             raise ValueError("all samples identical; nothing to cluster")
         distances = euclidean_matrix(prototypes)
-        linkage = upgma(
-            prototypes, weights=weights, distances=distances.copy()
-        )
+        # UPGMA is the quadratic heart of phase 3 — it gets its own span
+        # and a registry histogram so scaling work can watch it directly.
+        with trace.span(
+            "cluster.linkage", prototypes=int(prototypes.shape[0]),
+        ) as linkage_span:
+            linkage = upgma(
+                prototypes, weights=weights, distances=distances.copy()
+            )
+        get_registry().histogram(
+            "repro_cluster_linkage_seconds",
+            "Wall time of one UPGMA linkage build.",
+        ).observe(linkage_span.wall_s)
         dendrogram = Dendrogram(linkage, prototypes.shape[0])
         cophenetic = dendrogram.cophenetic_correlation(distances)
 

@@ -5,7 +5,9 @@ entry point of the library:
 
 >>> from repro.core import PipelineConfig, PSigenePipeline
 >>> result = PSigenePipeline(PipelineConfig(n_attack_samples=1500)).run()
->>> result.signature_set.score("id=1' union select 1,2,database()-- -")
+>>> score, fired = result.signature_set.evaluate(
+...     "id=1' union select 1,2,database()-- -")
+>>> score
 0.99...
 
 Scale note (documented in DESIGN.md): UPGMA is quadratic in distinct rows,
@@ -38,6 +40,9 @@ from repro.features.extractor import FeatureExtractor
 from repro.features.matrix import FeatureMatrix
 from repro.features.pruning import PruningReport, prune
 from repro.normalize import Normalizer
+from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.registry import get_registry
+from repro.obs.trace import Tracer
 
 
 @dataclass
@@ -61,6 +66,8 @@ class PipelineConfig:
             identical either way (see :mod:`repro.parallel.extract`).
         extraction_chunk_size: payloads per parallel extraction task
             (``None`` = auto).
+        manifest_dir: directory for the run manifest (phases, timings,
+            counts, git version); ``None`` disables manifest emission.
     """
 
     seed: int = 2012
@@ -73,6 +80,7 @@ class PipelineConfig:
     generalizer: GeneralizerConfig = field(default_factory=GeneralizerConfig)
     workers: int = 1
     extraction_chunk_size: int | None = None
+    manifest_dir: str | None = None
 
 
 @dataclass
@@ -89,6 +97,9 @@ class PipelineResult:
         trainings: per-signature training diagnostics (phase 4).
         signature_set: the deliverable.
         catalog: the pruned feature catalog.
+        trace: exported span tree of the run (``Tracer.export()``).
+        manifest_path: where the run manifest was written, when
+            :attr:`PipelineConfig.manifest_dir` was set.
     """
 
     samples: list[AttackSample]
@@ -100,6 +111,8 @@ class PipelineResult:
     trainings: list[SignatureTraining]
     signature_set: SignatureSet
     catalog: FeatureCatalog
+    trace: dict | None = None
+    manifest_path: str | None = None
 
     def table6(self) -> list[dict[str, int]]:
         """Table VI rows: per-bicluster sample/feature/signature sizes."""
@@ -281,14 +294,43 @@ class PSigenePipeline:
     # -- orchestration ---------------------------------------------------------
 
     def run(self) -> PipelineResult:
-        """Execute all four phases and return the full result."""
-        samples = self.collect_samples()
-        matrix, pruning, benign, _extractor = self.extract_features(samples)
-        biclustering, biclusters = self.bicluster(matrix)
-        trainings, signature_set = self.generalize(
-            biclusters, matrix, benign
-        )
-        return PipelineResult(
+        """Execute all four phases and return the full result.
+
+        The whole run is traced: each phase is a named span under
+        ``pipeline.run``, instrumented library calls underneath
+        (``features.extract_many``, ``cluster.linkage``, ...) nest as
+        children, and the exported tree lands on
+        :attr:`PipelineResult.trace`.  With
+        :attr:`PipelineConfig.manifest_dir` set, a validated run
+        manifest is also written and its path recorded.
+        """
+        config = self.config
+        tracer = Tracer(registry=get_registry())
+        with tracer.activate(), tracer.span(
+            "pipeline.run",
+            seed=config.seed,
+            n_attack_samples=config.n_attack_samples,
+            workers=config.workers,
+        ):
+            with tracer.span("phase.crawl", use_crawler=config.use_crawler):
+                samples = self.collect_samples()
+            with tracer.span("phase.features") as features_span:
+                matrix, pruning, benign, _extractor = self.extract_features(
+                    samples
+                )
+                features_span.set(
+                    features_initial=pruning.initial_features,
+                    features_kept=pruning.final_features,
+                )
+            with tracer.span("phase.bicluster") as bicluster_span:
+                biclustering, biclusters = self.bicluster(matrix)
+                bicluster_span.set(biclusters=len(biclusters))
+            with tracer.span("phase.generalize") as generalize_span:
+                trainings, signature_set = self.generalize(
+                    biclusters, matrix, benign
+                )
+                generalize_span.set(signatures=len(signature_set))
+        result = PipelineResult(
             samples=samples,
             matrix=matrix,
             pruning=pruning,
@@ -298,4 +340,33 @@ class PSigenePipeline:
             trainings=trainings,
             signature_set=signature_set,
             catalog=matrix.catalog,
+            trace=tracer.export(),
         )
+        if config.manifest_dir is not None:
+            result.manifest_path = self._write_manifest(tracer, result)
+        return result
+
+    def _write_manifest(
+        self, tracer: Tracer, result: PipelineResult
+    ) -> str:
+        """Emit the run manifest; returns the written path."""
+        config = self.config
+        manifest = build_manifest(
+            seed=config.seed,
+            config={
+                "n_attack_samples": config.n_attack_samples,
+                "n_benign_train": config.n_benign_train,
+                "use_crawler": config.use_crawler,
+                "max_cluster_rows": config.max_cluster_rows,
+                "workers": config.workers,
+            },
+            phases=tracer.phase_summaries(),
+            counts={
+                "samples": len(result.samples),
+                "features": len(result.catalog),
+                "biclusters": len(result.biclusters),
+                "signatures": len(result.signature_set),
+            },
+            trace=result.trace,
+        )
+        return write_manifest(manifest, config.manifest_dir)

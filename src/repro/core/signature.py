@@ -10,6 +10,7 @@ over the normalized request payload (Section III-C).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -142,16 +143,38 @@ class SignatureSet:
         return score, fired
 
     def score(self, payload: str) -> float:
-        """Max per-signature probability (the set's decision score)."""
+        """Max per-signature probability (the set's decision score).
+
+        .. deprecated::
+            Use :meth:`evaluate` (or mount the set behind a
+            :class:`~repro.ids.engine.Detector`); calling ``score`` and
+            ``alerts`` separately normalizes and matches twice.
+        """
+        warnings.warn(
+            "SignatureSet.score() is deprecated; use evaluate() — it "
+            "returns (score, fired) in one normalization pass",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.evaluate(payload)[0]
 
     def alerts(self, payload: str) -> list[int]:
-        """Bicluster indices of the signatures that fire on *payload*."""
+        """Bicluster indices of the signatures that fire on *payload*.
+
+        .. deprecated::
+            Use :meth:`evaluate`; see :meth:`score`.
+        """
+        warnings.warn(
+            "SignatureSet.alerts() is deprecated; use evaluate() — it "
+            "returns (score, fired) in one normalization pass",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.evaluate(payload)[1]
 
     def matches(self, payload: str) -> bool:
         """True when any member signature fires on the raw payload."""
-        return bool(self.alerts(payload))
+        return bool(self.evaluate(payload)[1])
 
     def subset(self, bicluster_indices: list[int]) -> "SignatureSet":
         """A new set restricted to the given bicluster numbers.

@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 
 from repro.corpus.grammar import AttackSample
 from repro.crawler.dedup import PayloadDeduplicator
+from repro.obs import trace
+from repro.obs.registry import get_registry
 from repro.crawler.fetcher import Fetcher, SimulatedClock
 from repro.crawler.frontier import Frontier
 from repro.crawler.parsers import (
@@ -69,9 +71,31 @@ class CrawlSession:
             allowed_hosts=hosts,
         )
         self._dedup = PayloadDeduplicator()
+        registry = get_registry()
+        self._fetched_counter = registry.counter(
+            "repro_crawl_pages_fetched_total",
+            "Pages fetched successfully by the crawler.",
+        )
+        self._blocked_counter = registry.counter(
+            "repro_crawl_pages_blocked_total",
+            "Fetches refused by robots.txt.",
+        )
+        self._payloads_counter = registry.counter(
+            "repro_crawl_payloads_total",
+            "Payload strings extracted before dedup.",
+        )
+        self._dedup_counter = registry.counter(
+            "repro_crawl_payloads_deduped_total",
+            "Payloads dropped as normalized duplicates.",
+        )
 
     def run(self) -> CrawlReport:
         """Crawl from the portal seeds until frontier/budget exhaustion."""
+        with trace.span("crawl.run") as crawl_span:
+            report = self._run(crawl_span)
+        return report
+
+    def _run(self, crawl_span) -> CrawlReport:
         report = CrawlReport()
         for seed in self._web.seeds():
             self._frontier.add(seed, depth=0)
@@ -87,15 +111,23 @@ class CrawlSession:
             result = self._fetcher.fetch(url)
             if result is None:
                 report.pages_blocked += 1
+                self._blocked_counter.inc()
                 continue
             if not result.ok:
                 continue
             report.pages_fetched += 1
+            self._fetched_counter.inc()
             host, _path, _query = split_url(url)
             if "json" in result.content_type:
                 self._consume_json(result.body, host, depth, report)
             else:
                 self._consume_html(result.body, host, depth, report)
+        crawl_span.set(
+            pages_fetched=report.pages_fetched,
+            pages_blocked=report.pages_blocked,
+            payloads_seen=report.payloads_seen,
+            samples=len(report.samples),
+        )
         return report
 
     def _consume_html(
@@ -119,7 +151,9 @@ class CrawlSession:
 
     def _admit(self, payload: str, host: str, report: CrawlReport) -> None:
         report.payloads_seen += 1
+        self._payloads_counter.inc()
         if not self._dedup.admit(payload):
+            self._dedup_counter.inc()
             return
         sample = AttackSample(
             sample_id=f"crawl-{len(report.samples):06d}",

@@ -16,7 +16,6 @@ from repro.eval.experiments import (
     table5_accuracy,
     table6_cluster_details,
 )
-from repro.eval.reporting import format_table, percent
 from repro.eval.drift import DriftRound, drift_study, drifted_families
 from repro.eval.evasion import (
     BASE_ATTACKS,
@@ -25,7 +24,14 @@ from repro.eval.evasion import (
     evasion_matrix,
     evasion_payloads,
 )
-from repro.eval.report import render_report, write_report
+from repro.eval.report import (
+    format_table,
+    html,
+    percent,
+    render_report,
+    tables,
+    write_report,
+)
 from repro.eval.svg import LineChart, render_dendrogram_svg
 from repro.eval.tuning import SignatureTuning, tune_thresholds
 
@@ -51,6 +57,8 @@ __all__ = [
     "SignatureTuning",
     "render_report",
     "write_report",
+    "html",
+    "tables",
     "LineChart",
     "render_dendrogram_svg",
     "evasion_matrix",

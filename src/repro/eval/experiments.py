@@ -357,9 +357,9 @@ def experiment3_perdisci(
     attacks = context.datasets.sqlmap.merged(
         context.datasets.arachni, name="attacks-all"
     )
-    attack_alerts = [system.matches(p) for p in attacks.payloads()]
+    attack_alerts = [system.inspect(p).alert for p in attacks.payloads()]
     benign_alerts = [
-        system.matches(p) for p in context.datasets.benign.payloads()
+        system.inspect(p).alert for p in context.datasets.benign.payloads()
     ]
     confusion = confusion_from_alerts(attack_alerts, benign_alerts)
 
@@ -370,7 +370,7 @@ def experiment3_perdisci(
     else:
         training_payloads = payloads
     train_tpr = float(np.mean(
-        [system.matches(p) for p in training_payloads]
+        [system.inspect(p).alert for p in training_payloads]
     ))
     return {
         "fine_grained_clusters": report.fine_grained.k,

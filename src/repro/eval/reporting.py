@@ -1,47 +1,21 @@
-"""Plain-text table rendering for experiment output.
+"""Deprecated shim: text tables moved to :mod:`repro.eval.report.text`.
 
-Every bench prints its table through this module so the regenerated rows
-visually line up with the paper's tables.
+Import :func:`~repro.eval.report.text.format_table` and
+:func:`~repro.eval.report.text.percent` from ``repro.eval.report``
+(or plain ``repro.eval``) instead.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import warnings
 
+from repro.eval.report.text import format_table, percent
 
-def format_table(
-    headers: Sequence[str],
-    rows: Sequence[Sequence[object]],
-    *,
-    title: str | None = None,
-) -> str:
-    """Fixed-width table with a header rule, GitHub-markdown-free."""
-    cells = [[str(h) for h in headers]] + [
-        [str(value) for value in row] for row in rows
-    ]
-    widths = [
-        max(len(row[column]) for row in cells)
-        for column in range(len(headers))
-    ]
-    lines: list[str] = []
-    if title:
-        lines.append(title)
-    header_line = "  ".join(
-        cells[0][column].ljust(widths[column])
-        for column in range(len(headers))
-    )
-    lines.append(header_line)
-    lines.append("  ".join("-" * w for w in widths))
-    for row in cells[1:]:
-        lines.append(
-            "  ".join(
-                row[column].ljust(widths[column])
-                for column in range(len(headers))
-            )
-        )
-    return "\n".join(lines)
+__all__ = ["format_table", "percent"]
 
-
-def percent(value: float, digits: int = 2) -> str:
-    """Format a fraction as the paper's percent style: 90.52."""
-    return f"{100.0 * value:.{digits}f}"
+warnings.warn(
+    "repro.eval.reporting is deprecated; import format_table/percent "
+    "from repro.eval.report (the merged reporting package)",
+    DeprecationWarning,
+    stacklevel=2,
+)

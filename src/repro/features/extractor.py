@@ -13,6 +13,8 @@ import numpy as np
 from repro.features.definitions import FeatureCatalog, build_catalog
 from repro.features.matrix import FeatureMatrix
 from repro.normalize import Normalizer
+from repro.obs import trace
+from repro.obs.registry import get_registry
 from repro.regexlib import compile_pattern
 
 
@@ -68,21 +70,59 @@ class FeatureExtractor:
             raise ValueError(
                 f"{len(sample_ids)} sample ids for {len(items)} payloads"
             )
-        if workers > 1:
-            from repro.parallel.extract import ParallelFeatureExtractor
+        with trace.span(
+            "features.extract_many", payloads=len(items), workers=workers,
+        ) as extract_span:
+            if workers > 1:
+                from repro.parallel.extract import ParallelFeatureExtractor
 
-            return ParallelFeatureExtractor(
-                self, workers=workers, chunk_size=chunk_size
-            ).extract_many(items, sample_ids=sample_ids)
-        rows = [self.extract(p) for p in items]
-        counts = (
-            np.vstack(rows) if rows else np.zeros((0, len(self.catalog)), np.int32)
-        )
-        if sample_ids is None:
-            ids = [f"s{i}" for i in range(counts.shape[0])]
-        else:
-            ids = list(sample_ids)
-        return FeatureMatrix(counts=counts, catalog=self.catalog, sample_ids=ids)
+                matrix = ParallelFeatureExtractor(
+                    self, workers=workers, chunk_size=chunk_size
+                ).extract_many(items, sample_ids=sample_ids)
+            else:
+                rows = [self.extract(p) for p in items]
+                counts = (
+                    np.vstack(rows)
+                    if rows
+                    else np.zeros((0, len(self.catalog)), np.int32)
+                )
+                if sample_ids is None:
+                    ids = [f"s{i}" for i in range(counts.shape[0])]
+                else:
+                    ids = list(sample_ids)
+                matrix = FeatureMatrix(
+                    counts=counts, catalog=self.catalog, sample_ids=ids
+                )
+            self._record_metrics(matrix, extract_span)
+        return matrix
+
+    def _record_metrics(self, matrix: FeatureMatrix, extract_span) -> None:
+        """Feed the extraction counters: payload volume plus per-feature
+        match totals (one labeled series per catalog feature).
+
+        Totals are computed once per batch from the finished matrix —
+        per-payload counter updates would put a few hundred lock
+        acquisitions in the middle of the extraction loop.
+        """
+        registry = get_registry()
+        registry.counter(
+            "repro_features_payloads_total",
+            "Payloads run through feature extraction.",
+        ).inc(matrix.counts.shape[0])
+        totals = matrix.counts.sum(axis=0)
+        total_matches = int(totals.sum())
+        registry.counter(
+            "repro_features_matches_total",
+            "Feature pattern matches counted, over all features.",
+        ).inc(total_matches)
+        for definition, column_total in zip(matrix.catalog, totals):
+            if column_total:
+                registry.counter(
+                    "repro_feature_matches_total",
+                    "Feature pattern matches counted, per feature.",
+                    labels={"feature": definition.label},
+                ).inc(int(column_total))
+        extract_span.set(matches=total_matches)
 
     def with_catalog(self, catalog: FeatureCatalog) -> "FeatureExtractor":
         """A new extractor over a (typically pruned) catalog."""

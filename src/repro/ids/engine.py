@@ -20,6 +20,7 @@ from repro.core.signature import SignatureSet
 from repro.http.request import HttpRequest
 from repro.http.traffic import Trace
 from repro.ids.rules import Detection
+from repro.obs import trace as obs_trace
 
 if TYPE_CHECKING:  # imported lazily to avoid the ids <-> serve cycle
     from repro.serve.telemetry import Telemetry
@@ -149,6 +150,14 @@ class SignatureEngine:
 
     def run(self, trace: Trace, *, measure_time: bool = False) -> EngineRun:
         """Inspect every request of *trace*; optionally time each one."""
+        with obs_trace.span(
+            "engine.run",
+            detector=self.detector.name,
+            requests=len(trace),
+        ):
+            return self._run(trace, measure_time=measure_time)
+
+    def _run(self, trace: Trace, *, measure_time: bool) -> EngineRun:
         flags = np.zeros(len(trace), dtype=bool)
         timings = (
             np.zeros(len(trace), dtype=np.float64)

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.signature import SignatureSet
 from repro.http.traffic import Trace
+from repro.ids.rules import Detection
 from repro.parallel.timing import timer_overhead
 
 
@@ -62,6 +63,11 @@ def _balanced_shards(costs: list[float], workers: int) -> list[list[int]]:
 class ClusterModeEngine:
     """Shards a signature set across simulated Bro cluster workers.
 
+    Implements the :class:`~repro.ids.engine.Detector` protocol, so it
+    mounts directly on a :class:`~repro.ids.engine.SignatureEngine`:
+    verdicts come from one :meth:`SignatureSet.evaluate` pass (sharding
+    only changes *where* signatures run, never *what* they decide).
+
     Args:
         signature_set: the deployed signatures.
         workers: cluster size; capped at the signature count (one
@@ -73,6 +79,17 @@ class ClusterModeEngine:
             raise ValueError("need at least one worker")
         self.signature_set = signature_set
         self.workers = min(workers, max(1, len(signature_set)))
+        self.name = f"cluster-{self.workers}"
+
+    def inspect(self, payload: str) -> Detection:
+        """Cluster-mode verdict on one payload.
+
+        Sharding is a latency model, not a decision procedure — every
+        worker sees the same payload, so the union of shard verdicts
+        equals the plain serial evaluation performed here.
+        """
+        score, fired = self.signature_set.evaluate(payload)
+        return Detection(alert=bool(fired), score=score, matched_sids=fired)
 
     def run(self, trace: Trace, *, calibration: int = 50) -> ParallelRun:
         """Measure serial vs cluster-mode latency over *trace*.

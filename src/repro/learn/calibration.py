@@ -123,7 +123,7 @@ def score_signature_set(
     benign_payloads: list[str],
 ) -> tuple[np.ndarray, np.ndarray]:
     """Helper: set-level scores + labels for calibration analysis."""
-    scores = [signature_set.score(p) for p in attack_payloads]
-    scores += [signature_set.score(p) for p in benign_payloads]
+    scores = [signature_set.evaluate(p)[0] for p in attack_payloads]
+    scores += [signature_set.evaluate(p)[0] for p in benign_payloads]
     labels = [1.0] * len(attack_payloads) + [0.0] * len(benign_payloads)
     return np.asarray(scores), np.asarray(labels)

@@ -15,7 +15,31 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.registry import get_registry
+
 MatVec = Callable[[np.ndarray], np.ndarray]
+
+
+def _record_solve(result: "PCGResult") -> "PCGResult":
+    """Feed the solver's registry counters; returns the result unchanged.
+
+    The paper leans on PCG for every per-bicluster Θ (Section II-D);
+    iteration counts are the cheapest early warning that a Newton system
+    went ill-conditioned, so each solve reports them process-wide.
+    """
+    registry = get_registry()
+    registry.counter(
+        "repro_pcg_solves_total", "PCG linear solves performed.",
+    ).inc()
+    registry.counter(
+        "repro_pcg_iterations_total", "Total PCG iterations across solves.",
+    ).inc(result.iterations)
+    if not result.converged:
+        registry.counter(
+            "repro_pcg_nonconverged_total",
+            "PCG solves that hit the iteration cap or lost SPD.",
+        ).inc()
+    return result
 
 
 @dataclass
@@ -79,12 +103,12 @@ def pcg(
     while iterations < max_iterations:
         r_norm = float(np.linalg.norm(r))
         if r_norm <= threshold:
-            return PCGResult(x, iterations, r_norm, True)
+            return _record_solve(PCGResult(x, iterations, r_norm, True))
         ap = matvec(p)
         pap = float(p @ ap)
         if pap <= 0:
             # Numerical loss of positive-definiteness; bail with best x.
-            return PCGResult(x, iterations, r_norm, False)
+            return _record_solve(PCGResult(x, iterations, r_norm, False))
         alpha = rz / pap
         x = x + alpha * p
         r = r - alpha * ap
@@ -95,4 +119,6 @@ def pcg(
         rz = rz_next
         iterations += 1
 
-    return PCGResult(x, iterations, float(np.linalg.norm(r)), False)
+    return _record_solve(
+        PCGResult(x, iterations, float(np.linalg.norm(r)), False)
+    )

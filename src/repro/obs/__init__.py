@@ -1,0 +1,75 @@
+"""Unified observability: metrics registry, span tracing, exposition.
+
+Every subsystem of the reproduction reports through this package
+(DESIGN.md §12):
+
+- :mod:`repro.obs.registry` — process-wide counters, gauges, and
+  log-bucketed histograms, with a :class:`NullRegistry` no-op variant.
+- :mod:`repro.obs.trace` — nested span tracing for the offline pipeline
+  with deterministic JSON export.
+- :mod:`repro.obs.prometheus` — Prometheus text-format rendering and a
+  strict parser (used by ``GET /metrics``, ``repro obs dump``, and the
+  CI exposition guard).
+- :mod:`repro.obs.manifest` — per-run JSON manifests under ``runs/``.
+
+The serving stack's :class:`~repro.serve.telemetry.Telemetry` is a
+consumer of this registry: the gateway's ``/stats`` counters and the
+``/metrics`` exposition are two views of the same instruments.
+"""
+
+from repro.obs import trace
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    ManifestError,
+    build_manifest,
+    git_describe,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.prometheus import (
+    CONTENT_TYPE,
+    ExpositionError,
+    Sample,
+    parse_exposition,
+    render_exposition,
+    sample_value,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.trace import Span, Tracer, current_tracer, span
+
+__all__ = [
+    "CONTENT_TYPE",
+    "Counter",
+    "ExpositionError",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_SCHEMA",
+    "ManifestError",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Sample",
+    "Span",
+    "Tracer",
+    "build_manifest",
+    "current_tracer",
+    "get_registry",
+    "git_describe",
+    "parse_exposition",
+    "render_exposition",
+    "sample_value",
+    "set_registry",
+    "span",
+    "trace",
+    "use_registry",
+    "validate_manifest",
+    "write_manifest",
+]

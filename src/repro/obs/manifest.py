@@ -1,0 +1,178 @@
+"""Run manifests: one JSON record per pipeline run, written to ``runs/``.
+
+The paper reports its pipeline as aggregate numbers (30,000 samples
+crawled, 477 features, 9 signatures); reproducing those numbers at
+different scales and seeds means keeping a machine-readable record of
+every run — what configuration ran, which phases it executed, how long
+each took in wall and CPU time, what it produced, and against which
+code (``git describe``).  ``PSigenePipeline.run`` emits one of these
+when ``PipelineConfig.manifest_dir`` is set; ``repro obs validate``
+checks one against the schema.
+
+The schema is deliberately flat and versioned (``schema: 1``) so later
+PRs can extend it without breaking earlier readers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from typing import Any
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "ManifestError",
+    "build_manifest",
+    "git_describe",
+    "validate_manifest",
+    "write_manifest",
+]
+
+#: Current manifest schema version.
+MANIFEST_SCHEMA = 1
+
+#: Required top-level keys and the types validation enforces.
+_REQUIRED: dict[str, type | tuple] = {
+    "schema": int,
+    "created_unix": (int, float),
+    "git": str,
+    "seed": int,
+    "config": dict,
+    "phases": list,
+    "counts": dict,
+}
+
+_PHASE_REQUIRED: dict[str, type | tuple] = {
+    "name": str,
+    "depth": int,
+    "wall_s": (int, float),
+    "cpu_s": (int, float),
+    "attrs": dict,
+}
+
+
+class ManifestError(ValueError):
+    """A manifest that does not conform to the schema."""
+
+
+def git_describe(cwd: str | None = None) -> str:
+    """``git describe --always --dirty`` of the working tree.
+
+    Returns ``"unknown"`` when git is unavailable or the directory is
+    not a repository — a manifest must never fail a run over metadata.
+    """
+    try:
+        completed = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if completed.returncode != 0:
+        return "unknown"
+    return completed.stdout.strip() or "unknown"
+
+
+def build_manifest(
+    *,
+    seed: int,
+    config: dict[str, Any],
+    phases: list[dict[str, Any]],
+    counts: dict[str, int],
+    trace: dict[str, Any] | None = None,
+    git: str | None = None,
+) -> dict[str, Any]:
+    """Assemble a schema-1 manifest dict.
+
+    Args:
+        seed: the run's master seed.
+        config: JSON-safe snapshot of the driving configuration.
+        phases: flat phase rows (see ``Tracer.phase_summaries``).
+        counts: what the run produced (samples, features, signatures...).
+        trace: optional full span tree (``Tracer.export()``).
+        git: code version; computed via :func:`git_describe` when absent.
+    """
+    manifest: dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "created_unix": time.time(),
+        "git": git if git is not None else git_describe(),
+        "seed": int(seed),
+        "config": dict(config),
+        "phases": [dict(phase) for phase in phases],
+        "counts": {key: int(value) for key, value in counts.items()},
+    }
+    if trace is not None:
+        manifest["trace"] = trace
+    return manifest
+
+
+def validate_manifest(manifest: Any) -> dict[str, Any]:
+    """Check a manifest against the schema; returns it on success.
+
+    Raises:
+        ManifestError: missing keys, wrong types, or a phase row that
+            does not carry name/depth/wall/cpu/attrs.
+    """
+    if not isinstance(manifest, dict):
+        raise ManifestError(
+            f"manifest must be an object, got {type(manifest).__name__}"
+        )
+    for key, expected in _REQUIRED.items():
+        if key not in manifest:
+            raise ManifestError(f"manifest missing required key {key!r}")
+        if not isinstance(manifest[key], expected):
+            raise ManifestError(
+                f"manifest key {key!r} has type "
+                f"{type(manifest[key]).__name__}"
+            )
+    if manifest["schema"] != MANIFEST_SCHEMA:
+        raise ManifestError(
+            f"unsupported manifest schema {manifest['schema']!r}"
+        )
+    for index, phase in enumerate(manifest["phases"]):
+        if not isinstance(phase, dict):
+            raise ManifestError(f"phase {index} is not an object")
+        for key, expected in _PHASE_REQUIRED.items():
+            if key not in phase:
+                raise ManifestError(
+                    f"phase {index} missing required key {key!r}"
+                )
+            if not isinstance(phase[key], expected):
+                raise ManifestError(
+                    f"phase {index} key {key!r} has type "
+                    f"{type(phase[key]).__name__}"
+                )
+    for key, value in manifest["counts"].items():
+        if not isinstance(key, str) or not isinstance(value, int):
+            raise ManifestError(
+                f"counts entries must be str -> int, got {key!r}: {value!r}"
+            )
+    return manifest
+
+
+def write_manifest(manifest: dict[str, Any], directory: str) -> str:
+    """Validate and write a manifest to ``<directory>/<timestamp>.json``.
+
+    The filename is a UTC timestamp; collisions (two runs in one second)
+    get a ``-<n>`` suffix rather than clobbering the earlier run.
+    Returns the written path.
+    """
+    validate_manifest(manifest)
+    os.makedirs(directory, exist_ok=True)
+    stamp = time.strftime(
+        "%Y%m%dT%H%M%SZ", time.gmtime(manifest["created_unix"])
+    )
+    path = os.path.join(directory, f"{stamp}.json")
+    suffix = 1
+    while os.path.exists(path):
+        path = os.path.join(directory, f"{stamp}-{suffix}.json")
+        suffix += 1
+    with open(path, "w") as handle:
+        json.dump(manifest, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path

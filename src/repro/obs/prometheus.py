@@ -1,0 +1,286 @@
+"""Prometheus text exposition: render a registry, parse it back, strictly.
+
+The gateway's ``GET /metrics`` and the ``repro obs dump`` CLI both emit
+this format (text/plain, version 0.0.4).  The module also ships a strict
+parser — not for scraping Prometheus ourselves, but so the tests and the
+CI guard can round-trip the exposition and fail loudly on drift: a
+malformed line that a real Prometheus server would drop silently is an
+observability outage nobody notices until a dashboard goes blank.
+
+Rendering rules (the subset of the spec we produce):
+
+- ``# HELP <name> <text>`` then ``# TYPE <name> <kind>`` once per family,
+  immediately before its samples.
+- Samples are ``name value`` or ``name{label="value",...} value`` with
+  label values ``\\``-escaped.
+- Families are sorted by name; a trailing newline ends the document.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "CONTENT_TYPE",
+    "ExpositionError",
+    "Sample",
+    "parse_exposition",
+    "render_exposition",
+    "sample_value",
+]
+
+#: The content type Prometheus scrapers expect for the text format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$'
+)
+_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+class ExpositionError(ValueError):
+    """A line that is not valid Prometheus text format."""
+
+
+class Sample:
+    """One parsed sample line.
+
+    Attributes:
+        name: sample name (may carry ``_bucket``/``_sum`` suffixes).
+        labels: decoded label mapping.
+        value: the sample's float value.
+    """
+
+    def __init__(self, name: str, labels: dict[str, str], value: float):
+        self.name = name
+        self.labels = labels
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Sample({self.name!r}, {self.labels!r}, {self.value!r})"
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape ``\\``, ``"`` and newlines per the exposition spec."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    """Reverse :func:`_escape_label_value`."""
+    result: list[str] = []
+    index = 0
+    while index < len(value):
+        ch = value[index]
+        if ch == "\\" and index + 1 < len(value):
+            follower = value[index + 1]
+            result.append(
+                {"n": "\n", "\\": "\\", '"': '"'}.get(follower, follower)
+            )
+            index += 2
+        else:
+            result.append(ch)
+            index += 1
+    return "".join(result)
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_exposition(registry: "MetricsRegistry") -> str:
+    """The registry's instruments in Prometheus text format."""
+    lines: list[str] = []
+    seen_families: set[str] = set()
+    for instrument in registry.collect():
+        family = instrument.name
+        if family not in seen_families:
+            seen_families.add(family)
+            if instrument.help:
+                help_text = instrument.help.replace("\\", r"\\")
+                help_text = help_text.replace("\n", r"\n")
+                lines.append(f"# HELP {family} {help_text}")
+            lines.append(f"# TYPE {family} {instrument.kind}")
+        for name, labels, value in instrument.samples():
+            if labels:
+                rendered = ",".join(
+                    f'{key}="{_escape_label_value(str(labels[key]))}"'
+                    for key in sorted(labels)
+                )
+                lines.append(f"{name}{{{rendered}}} {_format_value(value)}")
+            else:
+                lines.append(f"{name} {_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_value(text: str, line_number: int) -> float:
+    """Parse a sample value, accepting the spec's infinity spellings."""
+    lowered = text.lower()
+    if lowered in ("+inf", "inf"):
+        return math.inf
+    if lowered == "-inf":
+        return -math.inf
+    if lowered == "nan":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise ExpositionError(
+            f"line {line_number}: bad sample value {text!r}"
+        ) from exc
+
+
+def _parse_labels(raw: str, line_number: int) -> dict[str, str]:
+    """Decode the ``k="v",...`` body of a labeled sample."""
+    labels: dict[str, str] = {}
+    if not raw.strip():
+        return labels
+    # Split on commas outside quotes.
+    parts: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    index = 0
+    while index < len(raw):
+        ch = raw[index]
+        if ch == "\\" and in_quotes:
+            current.append(raw[index:index + 2])
+            index += 2
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+        if ch == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        index += 1
+    if in_quotes:
+        raise ExpositionError(
+            f"line {line_number}: unterminated label value"
+        )
+    parts.append("".join(current))
+    for part in parts:
+        match = _LABEL_RE.match(part.strip())
+        if match is None:
+            raise ExpositionError(
+                f"line {line_number}: malformed label {part!r}"
+            )
+        key = match.group("key")
+        if key in labels:
+            raise ExpositionError(
+                f"line {line_number}: duplicate label {key!r}"
+            )
+        labels[key] = _unescape_label_value(match.group("value"))
+    return labels
+
+
+def parse_exposition(text: str) -> dict[str, list[Sample]]:
+    """Parse exposition text into ``{family_name: [Sample, ...]}``.
+
+    Strict by design — raises :class:`ExpositionError` on anything a
+    conforming producer would never emit: unknown ``# TYPE`` kinds,
+    samples with no ``TYPE``, malformed labels, duplicate series,
+    missing trailing newline.
+    """
+    if text and not text.endswith("\n"):
+        raise ExpositionError("exposition must end with a newline")
+    families: dict[str, list[Sample]] = {}
+    types: dict[str, str] = {}
+    seen_series: set[tuple[str, tuple]] = set()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ExpositionError(
+                    f"line {line_number}: malformed comment {line!r}"
+                )
+            name = parts[2]
+            if not _NAME_RE.match(name):
+                raise ExpositionError(
+                    f"line {line_number}: bad metric name {name!r}"
+                )
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in _TYPES:
+                    raise ExpositionError(
+                        f"line {line_number}: bad TYPE line {line!r}"
+                    )
+                if name in types:
+                    raise ExpositionError(
+                        f"line {line_number}: duplicate TYPE for {name!r}"
+                    )
+                types[name] = parts[3]
+                families.setdefault(name, [])
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ExpositionError(
+                f"line {line_number}: malformed sample {line!r}"
+            )
+        sample_name = match.group("name")
+        family = _family_of(sample_name, types)
+        if family is None:
+            raise ExpositionError(
+                f"line {line_number}: sample {sample_name!r} has no TYPE"
+            )
+        labels = _parse_labels(match.group("labels") or "", line_number)
+        series_key = (sample_name, tuple(sorted(labels.items())))
+        if series_key in seen_series:
+            raise ExpositionError(
+                f"line {line_number}: duplicate series {sample_name!r} "
+                f"{labels!r}"
+            )
+        seen_series.add(series_key)
+        value = _parse_value(match.group("value"), line_number)
+        families[family].append(Sample(sample_name, labels, value))
+    return families
+
+
+def _family_of(sample_name: str, types: dict[str, str]) -> str | None:
+    """Resolve a sample to its family, honoring histogram suffixes."""
+    if sample_name in types:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) in ("histogram", "summary"):
+                return base
+    return None
+
+
+def sample_value(
+    families: dict[str, list[Sample]],
+    name: str,
+    labels: dict[str, str] | None = None,
+) -> float:
+    """Convenience lookup: the value of one series, by exact match.
+
+    Raises:
+        KeyError: when no sample of that name/labelset exists.
+    """
+    wanted = labels or {}
+    for samples in families.values():
+        for sample in samples:
+            if sample.name == name and sample.labels == wanted:
+                return sample.value
+    raise KeyError(f"no sample {name!r} with labels {wanted!r}")

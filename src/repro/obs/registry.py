@@ -1,0 +1,542 @@
+"""Process-wide metrics: counters, gauges, and log-bucketed histograms.
+
+The paper's evaluation is measurement end to end — crawl volume
+(Section II-A), feature-matrix sparsity (II-B), per-signature matching
+latency (Experiment 4), detection rates (Table V) — yet only the serving
+hot path was instrumented before this module existed.  The registry is
+the one place every subsystem reports through: the crawler counts fetches
+and dedup hits, the extractor counts per-feature matches, the learner
+counts PCG iterations, and the gateway's telemetry is a thin consumer of
+the same instruments it used to own.
+
+Design constraints, in order:
+
+1. **Cheap on the hot path.**  One instrument operation is one lock
+   acquisition and a couple of scalar updates; instrument handles are
+   resolved once (at construction / first use) and then held, so steady
+   state never touches the registry dict.
+2. **No-op capable.**  :class:`NullRegistry` hands out inert instruments
+   so instrumented code can run with measurable-zero overhead — the
+   baseline the overhead benchmark compares against.
+3. **Exposable.**  Every instrument renders to the Prometheus text format
+   (:mod:`repro.obs.prometheus`) and to a plain dict snapshot.
+
+Metric naming convention (DESIGN.md §12): ``repro_<subsystem>_<what>``
+with the standard suffixes — ``_total`` for counters, ``_seconds`` for
+histograms of durations, bare names for gauges.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from collections.abc import Callable, Mapping
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    """Validate a metric name against the Prometheus charset."""
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name: {name!r}")
+    return name
+
+
+def _check_labels(labels: Mapping[str, str] | None) -> tuple:
+    """Validate and freeze a label set into a sorted, hashable key."""
+    if not labels:
+        return ()
+    for key in labels:
+        if not _LABEL_NAME_RE.match(key):
+            raise ValueError(f"invalid label name: {key!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    Args:
+        name: Prometheus-style metric name (``repro_..._total``).
+        help: one-line description, rendered as ``# HELP``.
+        labels: optional static label set distinguishing this series
+            from siblings of the same name.
+        lock: shared registry lock (a private one is made when absent).
+    """
+
+    kind = "counter"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        labels: Mapping[str, str] | None = None,
+        lock: threading.Lock | None = None,
+    ) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.labels = dict(_check_labels(labels))
+        self._lock = lock if lock is not None else threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0: {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        """Current count."""
+        with self._lock:
+            return self._value
+
+    def samples(self) -> list[tuple[str, dict, float]]:
+        """Exposition samples: ``[(name, labels, value)]``."""
+        return [(self.name, self.labels, float(self.value))]
+
+
+class Gauge:
+    """A value that can go up and down — or be computed on read.
+
+    A callback gauge (``function=...``) is evaluated at collection time;
+    it is how live state (admission queue depth, store version) is
+    exported without the owner pushing updates.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        labels: Mapping[str, str] | None = None,
+        function: Callable[[], float] | None = None,
+        lock: threading.Lock | None = None,
+    ) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.labels = dict(_check_labels(labels))
+        self._lock = lock if lock is not None else threading.Lock()
+        self._value = 0.0
+        self._function = function
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value`` (clears any callback)."""
+        with self._lock:
+            self._function = None
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the stored value."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the stored value."""
+        self.inc(-amount)
+
+    def set_function(self, function: Callable[[], float] | None) -> None:
+        """Make this gauge compute its value through ``function``."""
+        with self._lock:
+            self._function = function
+
+    @property
+    def value(self) -> float:
+        """Current value (evaluates the callback when one is set)."""
+        with self._lock:
+            function = self._function
+            if function is None:
+                return self._value
+        return float(function())
+
+    def samples(self) -> list[tuple[str, dict, float]]:
+        """Exposition samples: ``[(name, labels, value)]``."""
+        return [(self.name, self.labels, float(self.value))]
+
+
+class Histogram:
+    """Streaming histogram with geometrically-spaced buckets.
+
+    Exact storage of every observation is unbounded on a long-running
+    process; a fixed set of log-spaced buckets bounds memory at a few
+    hundred integers while keeping quantile error under the bucket
+    growth factor (~12% worst case with the default 1.25).
+
+    Args:
+        name: metric name (``repro_..._seconds`` for durations).
+        help: one-line description.
+        low: lower edge of the first finite bucket.
+        high: upper edge of the last finite bucket.
+        growth: ratio between consecutive bucket edges.
+        lock: shared registry lock (a private one is made when absent).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str = "histogram",
+        help: str = "",
+        *,
+        low: float = 1e-6,
+        high: float = 60.0,
+        growth: float = 1.25,
+        lock: threading.Lock | None = None,
+    ) -> None:
+        if not (0 < low < high):
+            raise ValueError(f"need 0 < low < high, got {low}, {high}")
+        if growth <= 1.0:
+            raise ValueError(f"growth must exceed 1, got {growth}")
+        self.name = _check_name(name)
+        self.help = help
+        self.labels: dict[str, str] = {}
+        edges = [low]
+        while edges[-1] < high:
+            edges.append(edges[-1] * growth)
+        self._edges = edges
+        self._log_low = math.log(low)
+        self._log_growth = math.log(growth)
+        # One underflow bucket below ``low`` and one overflow above ``high``.
+        self._counts = [0] * (len(edges) + 1)
+        self._lock = lock if lock is not None else threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (negatives clamp to zero)."""
+        if value < 0:
+            value = 0.0
+        if value < self._edges[0]:
+            index = 0
+        else:
+            index = 1 + int(
+                (math.log(value) - self._log_low) / self._log_growth
+            )
+            index = min(index, len(self._counts) - 1)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.total += value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` in (0, 1], as the covering bucket edge.
+
+        Returns the upper edge of the bucket holding the q-th observation,
+        clamped to the largest observed value, so the estimate never
+        exceeds reality by more than one bucket's width.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = math.ceil(q * self.count)
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= rank:
+                edge = self._edges[min(index, len(self._edges) - 1)]
+                return min(edge, self.max)
+        return self.max
+
+    def percentiles_ms(self) -> dict[str, float]:
+        """The standard p50/p95/p99 triple plus mean/max, in milliseconds."""
+        return {
+            "p50_ms": self.quantile(0.50) * 1e3,
+            "p95_ms": self.quantile(0.95) * 1e3,
+            "p99_ms": self.quantile(0.99) * 1e3,
+            "mean_ms": self.mean * 1e3,
+            "max_ms": self.max * 1e3,
+        }
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(upper_edge, cumulative_count)`` pairs.
+
+        The final pair has ``math.inf`` as its edge and equals ``count``.
+        """
+        with self._lock:
+            pairs: list[tuple[float, int]] = []
+            seen = 0
+            for index, bucket_count in enumerate(self._counts[:-1]):
+                seen += bucket_count
+                pairs.append((self._edges[index], seen))
+            pairs.append((math.inf, self.count))
+            return pairs
+
+    def samples(self) -> list[tuple[str, dict, float]]:
+        """Exposition samples: ``_bucket{le=...}`` series, ``_sum``,
+        ``_count``."""
+        rows: list[tuple[str, dict, float]] = []
+        for edge, cumulative in self.cumulative_buckets():
+            label = "+Inf" if math.isinf(edge) else format(edge, ".9g")
+            rows.append((f"{self.name}_bucket", {"le": label}, float(cumulative)))
+        rows.append((f"{self.name}_sum", {}, float(self.total)))
+        rows.append((f"{self.name}_count", {}, float(self.count)))
+        return rows
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument in a process.
+
+    One lock is shared by the registry and all of its instruments, so a
+    multi-instrument update (the telemetry hot path) serializes exactly
+    once per instrument with no lock-ordering hazards.
+
+    Instruments are keyed by ``(name, labelset)``; asking for an existing
+    key returns the existing instrument, asking for an existing name with
+    a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple, Any] = {}
+        self._kinds: dict[str, str] = {}
+
+    def _get_or_create(
+        self, kind: str, name: str, key: tuple, factory: Callable[[], Any]
+    ) -> Any:
+        with self._lock:
+            existing_kind = self._kinds.get(name)
+            if existing_kind is not None and existing_kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing_kind}, not {kind}"
+                )
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[key] = instrument
+                self._kinds[name] = kind
+            return instrument
+
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        labels: Mapping[str, str] | None = None,
+    ) -> Counter:
+        """Get or create the :class:`Counter` for ``(name, labels)``."""
+        key = (name, _check_labels(labels))
+        return self._get_or_create(
+            "counter", name, key,
+            lambda: Counter(name, help, labels=labels, lock=self._lock),
+        )
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        labels: Mapping[str, str] | None = None,
+        function: Callable[[], float] | None = None,
+    ) -> Gauge:
+        """Get or create a :class:`Gauge`; ``function`` (re)binds the
+        callback even on an existing gauge."""
+        key = (name, _check_labels(labels))
+        gauge = self._get_or_create(
+            "gauge", name, key,
+            lambda: Gauge(
+                name, help, labels=labels, function=function,
+                lock=self._lock,
+            ),
+        )
+        if function is not None:
+            gauge.set_function(function)
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        low: float = 1e-6,
+        high: float = 60.0,
+        growth: float = 1.25,
+    ) -> Histogram:
+        """Get or create the :class:`Histogram` named ``name``."""
+        key = (name, ())
+        return self._get_or_create(
+            "histogram", name, key,
+            lambda: Histogram(
+                name, help, low=low, high=high, growth=growth,
+                lock=self._lock,
+            ),
+        )
+
+    def collect(self) -> list[Any]:
+        """Every registered instrument, sorted by (name, labelset)."""
+        with self._lock:
+            return [
+                self._instruments[key]
+                for key in sorted(self._instruments)
+            ]
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict view: scalar values and histogram summaries."""
+        result: dict[str, Any] = {}
+        for instrument in self.collect():
+            if instrument.kind == "histogram":
+                result[instrument.name] = {
+                    "count": instrument.count,
+                    **instrument.percentiles_ms(),
+                }
+            else:
+                key = instrument.name
+                if instrument.labels:
+                    rendered = ",".join(
+                        f"{k}={v}" for k, v in sorted(instrument.labels.items())
+                    )
+                    key = f"{key}{{{rendered}}}"
+                result[key] = instrument.value
+        return result
+
+
+class _NullInstrument:
+    """Inert counter/gauge/histogram: every mutator is a no-op.
+
+    One instance serves all three roles; reads return zero so code that
+    inspects its own instruments keeps working against a
+    :class:`NullRegistry`.
+    """
+
+    kind = "null"
+    name = "null"
+    help = ""
+    labels: dict[str, str] = {}
+    count = 0
+    total = 0.0
+    max = 0.0
+    value = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        """No-op."""
+
+    def dec(self, amount: float = 1) -> None:
+        """No-op."""
+
+    def set(self, value: float) -> None:
+        """No-op."""
+
+    def set_function(self, function: Callable[[], float] | None) -> None:
+        """No-op."""
+
+    def observe(self, value: float) -> None:
+        """No-op."""
+
+    def quantile(self, q: float) -> float:
+        """Always 0.0."""
+        return 0.0
+
+    def percentiles_ms(self) -> dict[str, float]:
+        """All-zero percentile summary."""
+        return {
+            "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+            "mean_ms": 0.0, "max_ms": 0.0,
+        }
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Empty bucket list."""
+        return [(math.inf, 0)]
+
+    def samples(self) -> list[tuple[str, dict, float]]:
+        """No samples."""
+        return []
+
+
+_NULL = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry whose instruments do nothing.
+
+    Install it (``set_registry(NullRegistry())``) to run instrumented
+    code with zero bookkeeping — the control arm of the overhead
+    benchmark, and the escape hatch for workloads that want no metrics.
+    """
+
+    def counter(self, name, help="", *, labels=None):
+        """The shared inert instrument."""
+        return _NULL
+
+    def gauge(self, name, help="", *, labels=None, function=None):
+        """The shared inert instrument."""
+        return _NULL
+
+    def histogram(self, name, help="", *, low=1e-6, high=60.0, growth=1.25):
+        """The shared inert instrument."""
+        return _NULL
+
+    def collect(self) -> list[Any]:
+        """Always empty."""
+        return []
+
+    def snapshot(self) -> dict[str, Any]:
+        """Always empty."""
+        return {}
+
+
+_default_registry: MetricsRegistry = MetricsRegistry()
+_registry_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-wide default registry; returns the old one."""
+    global _default_registry
+    with _registry_lock:
+        previous = _default_registry
+        _default_registry = registry
+        return previous
+
+
+class use_registry:
+    """Context manager: temporarily install ``registry`` as the default.
+
+    >>> from repro.obs import MetricsRegistry, use_registry
+    >>> with use_registry(MetricsRegistry()) as registry:
+    ...     pass  # instrumented code reports into `registry`
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._previous: MetricsRegistry | None = None
+
+    def __enter__(self) -> MetricsRegistry:
+        """Install the registry; returns it for ``as`` binding."""
+        self._previous = set_registry(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc_info) -> None:
+        """Restore the previously installed registry."""
+        if self._previous is not None:
+            set_registry(self._previous)

@@ -1,0 +1,196 @@
+"""Lightweight span tracing for the offline pipeline.
+
+The pipeline is a chain of phases — crawl, extract, bicluster,
+generalize — and every performance question about it ("where did the
+wall time go when ``--samples`` doubled?") is a question about that
+tree.  A :class:`Tracer` records it: ``with trace.span("features.extract",
+n=3000):`` opens a named span, nested ``span()`` calls become children,
+and the finished tree exports to deterministic JSON (stable key order,
+spans in start order) that the run manifest embeds.
+
+Ambient by design: instrumented library code calls the module-level
+:func:`span` without knowing whether anyone is tracing.  When no tracer
+is active the call yields an unrecorded throwaway span — two dict
+lookups of overhead — so instrumentation can stay unconditionally in
+place.  Activation is a `contextvars` binding, so concurrent tasks
+(e.g. the gateway's event loop) never see another task's tracer.
+
+Durations are recorded as both wall time (``perf_counter``) and CPU
+time (``process_time``); the spread between them is the cheapest
+blocked-versus-busy diagnostic there is.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
+
+__all__ = ["Span", "Tracer", "current_tracer", "span"]
+
+_ACTIVE_TRACER: ContextVar["Tracer | None"] = ContextVar(
+    "repro_obs_tracer", default=None
+)
+
+
+@dataclass
+class Span:
+    """One named, timed region of work.
+
+    Attributes:
+        name: dotted span name (``phase.features``, ``cluster.linkage``).
+        attrs: caller-supplied attributes (sample counts, worker counts).
+        children: spans opened while this one was current.
+        wall_s: wall-clock duration in seconds (set at close).
+        cpu_s: process CPU time consumed in seconds (set at close).
+    """
+
+    name: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes discovered mid-span; returns self."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self, *, timings: bool = True) -> dict[str, Any]:
+        """Plain-dict form; ``timings=False`` yields the structural
+        skeleton (names, attrs, nesting) used by determinism checks."""
+        exported: dict[str, Any] = {
+            "name": self.name,
+            "attrs": {k: self.attrs[k] for k in sorted(self.attrs)},
+        }
+        if timings:
+            exported["wall_s"] = self.wall_s
+            exported["cpu_s"] = self.cpu_s
+        exported["children"] = [
+            child.to_dict(timings=timings) for child in self.children
+        ]
+        return exported
+
+
+class Tracer:
+    """Collects a tree of :class:`Span` records.
+
+    Args:
+        registry: optional metrics registry; when present every closed
+            span also feeds a ``repro_span_seconds``-style histogram so
+            phase timings show up in ``/metrics`` and ``obs dump``
+            without a separate export step.
+    """
+
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
+        self.roots: list[Span] = []
+        self.registry = registry
+        self._stack: list[Span] = []
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs: Any):
+        """Open a child span of the current span (or a new root)."""
+        opened = Span(name=name, attrs=dict(attrs))
+        if self._stack:
+            self._stack[-1].children.append(opened)
+        else:
+            self.roots.append(opened)
+        self._stack.append(opened)
+        wall_start = time.perf_counter()
+        cpu_start = time.process_time()
+        try:
+            yield opened
+        finally:
+            opened.wall_s = time.perf_counter() - wall_start
+            opened.cpu_s = time.process_time() - cpu_start
+            self._stack.pop()
+            if self.registry is not None:
+                self.registry.histogram(
+                    "repro_span_" + _metric_suffix(name) + "_seconds",
+                    f"Wall time of {name} spans.",
+                ).observe(opened.wall_s)
+
+    @contextlib.contextmanager
+    def activate(self):
+        """Install this tracer as the ambient one for :func:`span`."""
+        token = _ACTIVE_TRACER.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE_TRACER.reset(token)
+
+    def export(self, *, timings: bool = True) -> dict[str, Any]:
+        """The trace as a JSON-ready dict (``schema`` + root spans)."""
+        return {
+            "schema": 1,
+            "spans": [root.to_dict(timings=timings) for root in self.roots],
+        }
+
+    def to_json(self, *, timings: bool = True) -> str:
+        """Deterministic JSON: sorted keys, fixed separators."""
+        return json.dumps(
+            self.export(timings=timings),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def phase_summaries(self) -> list[dict[str, Any]]:
+        """Flat per-phase rows (name, wall/cpu, attrs) for manifests.
+
+        Depth-first over the tree, so nested spans follow their parent.
+        """
+        rows: list[dict[str, Any]] = []
+
+        def _walk(span_record: Span, depth: int) -> None:
+            rows.append({
+                "name": span_record.name,
+                "depth": depth,
+                "wall_s": span_record.wall_s,
+                "cpu_s": span_record.cpu_s,
+                "attrs": {
+                    k: span_record.attrs[k]
+                    for k in sorted(span_record.attrs)
+                },
+            })
+            for child in span_record.children:
+                _walk(child, depth + 1)
+
+        for root in self.roots:
+            _walk(root, 0)
+        return rows
+
+
+def _metric_suffix(name: str) -> str:
+    """Span name → metric-name fragment (dots and dashes to underscores)."""
+    return "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+
+
+def current_tracer() -> Tracer | None:
+    """The ambient tracer, or ``None`` when tracing is off."""
+    return _ACTIVE_TRACER.get()
+
+
+@contextlib.contextmanager
+def span(name: str, **attrs: Any):
+    """Open a span on the ambient tracer; a cheap no-op without one.
+
+    This is the one call instrumented code makes:
+
+    >>> from repro.obs import trace
+    >>> with trace.span("features.extract", n=3000) as s:
+    ...     s.set(matches=12)
+    """
+    tracer = _ACTIVE_TRACER.get()
+    if tracer is None:
+        yield Span(name=name, attrs=dict(attrs))
+        return
+    with tracer.span(name, **attrs) as opened:
+        yield opened

@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.signature import SignatureSet
 from repro.http.traffic import Trace
 from repro.ids.engine import Alert, Detector, EngineRun
+from repro.obs import trace as obs_trace
 from repro.parallel.cache import CachedNormalizer
 from repro.parallel.chunking import assign_round_robin, chunk_spans, plan_chunks
 from repro.parallel.timing import timer_overhead
@@ -111,6 +112,32 @@ def run_batch(
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    with obs_trace.span(
+        "engine.run_batch",
+        detector=detector.name,
+        requests=len(trace),
+        workers=workers,
+    ) as batch_span:
+        run = _run_batch(
+            detector,
+            trace,
+            workers=workers,
+            chunk_size=chunk_size,
+            normalization_cache=normalization_cache,
+        )
+        batch_span.set(alerts=run.alert_count)
+    return run
+
+
+def _run_batch(
+    detector: Detector,
+    trace: Trace,
+    *,
+    workers: int,
+    chunk_size: int | None,
+    normalization_cache: int,
+) -> EngineRun:
+    """The chunk/fan-out/merge body of :func:`run_batch`."""
     payloads = trace.payloads()
     n = len(payloads)
     spans = plan_chunks(n, workers, chunk_size)

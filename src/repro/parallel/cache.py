@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.normalize import Normalizer
+from repro.obs.registry import get_registry
 
 
 @dataclass(frozen=True)
@@ -123,13 +124,32 @@ class CachedNormalizer:
             normalizer = normalizer.normalizer
         self.normalizer = normalizer if normalizer is not None else Normalizer()
         self.cache = LruCache(maxsize=maxsize)
+        self._bind_instruments()
+
+    def _bind_instruments(self) -> None:
+        """Resolve the process-wide cache counters once.
+
+        Workers reconstructed via pickle re-bind against *their*
+        process's registry, so each process accumulates its own totals.
+        """
+        registry = get_registry()
+        self._hits_counter = registry.counter(
+            "repro_normalize_cache_hits_total",
+            "Normalizations served from the payload LRU.",
+        )
+        self._misses_counter = registry.counter(
+            "repro_normalize_cache_misses_total",
+            "Normalizations that fell through to the transform chain.",
+        )
 
     def __call__(self, text: str) -> str:
         cached = self.cache.get(text)
         if cached is not None:
+            self._hits_counter.inc()
             return cached
         normalized = self.normalizer(text)
         self.cache.put(text, normalized)
+        self._misses_counter.inc()
         return normalized
 
     def names(self) -> list[str]:
@@ -150,3 +170,4 @@ class CachedNormalizer:
     def __setstate__(self, state: dict) -> None:
         self.normalizer = state["normalizer"]
         self.cache = LruCache(maxsize=state["maxsize"])
+        self._bind_instruments()

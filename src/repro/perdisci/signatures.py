@@ -52,6 +52,11 @@ class PerdisciReport:
 class PerdisciSystem:
     """The adapted Perdisci signature generator and matcher.
 
+    Implements the :class:`~repro.ids.engine.Detector` protocol
+    (``inspect``), so the baseline mounts on the same
+    :class:`~repro.ids.engine.SignatureEngine` as pSigene for the
+    Experiment 3 comparison.
+
     Args:
         max_training: clustering is O(n²); beyond this many payloads a
             seeded subsample is clustered (the original system clusters
@@ -60,6 +65,8 @@ class PerdisciSystem:
         min_content_length: the too-short-signature filter.
         seed: subsampling seed.
     """
+
+    name = "perdisci"
 
     def __init__(
         self,
@@ -189,10 +196,29 @@ class PerdisciSystem:
 
     # -- matching ----------------------------------------------------------------
 
-    def matches(self, payload: str) -> bool:
-        """True when any signature's token subsequence occurs in order
-        in the normalized payload."""
+    def inspect(self, payload: str):
+        """Detector-protocol verdict on one payload.
+
+        Token signatures are deterministic — matched or not — so the
+        score is 0/1 and ``matched_sids`` lists the (1-based) positions
+        of the signatures whose subsequence occurred in order.
+        """
+        from repro.ids.rules import Detection
         from repro.normalize import normalize
 
         normalized = normalize(payload)
-        return any(s.matches(normalized) for s in self.signatures)
+        fired = [
+            number
+            for number, signature in enumerate(self.signatures, start=1)
+            if signature.matches(normalized)
+        ]
+        return Detection(
+            alert=bool(fired),
+            score=1.0 if fired else 0.0,
+            matched_sids=fired,
+        )
+
+    def matches(self, payload: str) -> bool:
+        """True when any signature's token subsequence occurs in order
+        in the normalized payload."""
+        return self.inspect(payload).alert

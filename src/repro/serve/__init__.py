@@ -4,7 +4,8 @@ The paper deploys pSigene signatures inside a live Bro IDS watching
 production traffic (Section III-C); this package is that deployment
 surface for the reproduction.  ``repro serve`` mounts a detector behind
 a line-delimited TCP data plane plus an HTTP control plane
-(``/healthz``, ``/stats``, ``/reload``, ``/inspect``), with a versioned
+(``/healthz``, ``/stats``, ``/metrics``, ``/reload``, ``/inspect``),
+with a versioned
 hot-swappable signature store, bounded admission queues with block/shed
 backpressure, and live telemetry.  ``repro loadgen`` replays
 scanner/benign traffic against it and checks alert parity with the

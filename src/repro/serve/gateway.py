@@ -44,6 +44,7 @@ from repro.serve.protocol import (
     is_http_request_line,
     read_http_message,
 )
+from repro.obs.prometheus import CONTENT_TYPE, render_exposition
 from repro.serve.store import SignatureStore, StoreError, StoreVersion
 from repro.serve.telemetry import Telemetry
 
@@ -109,6 +110,20 @@ class DetectionGateway:
             queue_bound=self.config.queue_bound,
             policy=self.config.policy,
             telemetry=self.telemetry,
+        )
+        # Live-state gauges: evaluated at scrape time, so /metrics shows
+        # the instantaneous queue depth and deployed signature generation
+        # without the data plane pushing updates anywhere.
+        registry = self.telemetry.registry
+        registry.gauge(
+            "repro_queue_depth",
+            "Admission queue depth at scrape time.",
+            function=lambda: float(self.admission.depth),
+        )
+        registry.gauge(
+            "repro_store_version",
+            "Deployed signature store generation.",
+            function=lambda: float(self.store.version),
         )
         self._server: asyncio.base_events.Server | None = None
         self._workers: list[asyncio.Task] = []
@@ -321,10 +336,13 @@ class DetectionGateway:
             await writer.drain()
             return
         status, payload = await self._route(message)
-        writer.write(http_response(status, payload))
+        # Only /metrics answers with a string body (Prometheus text
+        # format); every JSON route returns a dict.
+        content_type = CONTENT_TYPE if isinstance(payload, str) else None
+        writer.write(http_response(status, payload, content_type=content_type))
         await writer.drain()
 
-    async def _route(self, message) -> tuple[int, dict]:
+    async def _route(self, message) -> tuple[int, dict | str]:
         method, path = message.method, message.path
         if path == "/healthz" and method == "GET":
             current = self.store.current()
@@ -361,12 +379,14 @@ class DetectionGateway:
                 "source": published.source,
                 "detector": published.detector.name,
             }
+        if path == "/metrics" and method == "GET":
+            return 200, render_exposition(self.telemetry.registry)
         if path == "/inspect" and method == "POST":
             result = await self.inspect(message.body)
             if result.get("shed") or "error" in result:
                 return 503, result
             return 200, result
-        if path in ("/healthz", "/stats", "/reload", "/inspect"):
+        if path in ("/healthz", "/stats", "/metrics", "/reload", "/inspect"):
             return 405, {"error": f"{method} not allowed on {path}"}
         return 404, {"error": f"no route {path}"}
 

@@ -12,8 +12,8 @@ line of a connection:
   admission control refused the request.
 - **HTTP/1.x** (the control plane): a first line shaped like
   ``METHOD /path HTTP/1.x`` switches the connection to one-shot HTTP.
-  Routes: ``GET /healthz``, ``GET /stats``, ``POST /reload``,
-  ``POST /inspect``.
+  Routes: ``GET /healthz``, ``GET /stats``, ``GET /metrics``
+  (Prometheus text format), ``POST /reload``, ``POST /inspect``.
 
 Keeping framing in one module means the gateway, the load generator,
 and the tests all parse and emit identical bytes.
@@ -174,12 +174,24 @@ _STATUS_TEXT = {
 }
 
 
-def http_response(status: int, payload: dict) -> bytes:
-    """Serialize a one-shot JSON HTTP response (connection closes after)."""
-    body = json.dumps(payload, indent=1).encode()
+def http_response(
+    status: int, payload: dict | str, *, content_type: str | None = None
+) -> bytes:
+    """Serialize a one-shot HTTP response (connection closes after).
+
+    A dict payload renders as JSON; a string payload is sent verbatim
+    as ``text/plain`` (the ``/metrics`` exposition route) unless
+    ``content_type`` says otherwise.
+    """
+    if isinstance(payload, str):
+        body = payload.encode()
+        media = content_type or "text/plain; charset=utf-8"
+    else:
+        body = json.dumps(payload, indent=1).encode()
+        media = content_type or "application/json"
     head = (
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {media}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: close\r\n\r\n"
     )

@@ -1,41 +1,43 @@
-"""Live telemetry: monotonic counters and streaming latency histograms.
+"""Serving telemetry: a named-counter view over the metrics registry.
 
 The paper's Bro deployment watched production traffic for weeks
 (Section III-C); judging such a deployment requires knowing what the
 detector actually did — how many requests it inspected, how many alerts
 it raised, how long inspection took at the tail.  :class:`Telemetry`
-collects exactly that, cheaply enough to stay on in the hot path: each
-observation is one lock acquisition, one bucket increment, and a handful
-of scalar updates.
+collects exactly that.
 
-The same object serves the online gateway and the offline
-:class:`~repro.ids.engine.SignatureEngine`, so a trace scored in batch
-and a trace replayed through ``repro serve`` report through one schema.
+Since the observability layer landed, telemetry is a *consumer* of
+:class:`~repro.obs.registry.MetricsRegistry`, not an owner of its own
+counter dicts: ``increment("inspected")`` feeds the registry counter
+``repro_inspected_total``, ``observe("service", s)`` feeds the histogram
+``repro_service_seconds``, and the gateway's ``/stats`` JSON and
+``/metrics`` Prometheus exposition are two renderings of the same
+instruments — they cannot disagree.
+
+The short-name API (``inspected``, ``alerted``, ``shed``...) is kept
+because the serving stack and its tests speak it; the mapping to
+canonical metric names is mechanical (``repro_<name>_total`` /
+``repro_<name>_seconds``).
 """
 
 from __future__ import annotations
 
-import math
 import threading
 import time
-from collections import defaultdict
 from typing import Any
+
+from repro.obs.registry import Counter, Histogram, MetricsRegistry
 
 __all__ = ["LatencyHistogram", "Telemetry"]
 
 
-class LatencyHistogram:
-    """Streaming latency histogram with log-spaced buckets.
+class LatencyHistogram(Histogram):
+    """A log-bucketed latency histogram (seconds).
 
-    Exact storage of per-request latencies is unbounded on a long-running
-    gateway; a fixed set of geometrically-spaced buckets bounds memory at
-    a few hundred integers while keeping quantile error under the bucket
-    growth factor (~12% worst case with the default 1.25).
-
-    Args:
-        low: lower edge of the first finite bucket, in seconds.
-        high: upper edge of the last finite bucket, in seconds.
-        growth: ratio between consecutive bucket edges.
+    Kept as a named subclass of :class:`repro.obs.registry.Histogram`
+    for the serving stack's vocabulary and backward compatibility; all
+    behaviour — bucket math, quantiles, ``percentiles_ms`` — lives in
+    the base class.
     """
 
     def __init__(
@@ -45,73 +47,9 @@ class LatencyHistogram:
         high: float = 60.0,
         growth: float = 1.25,
     ) -> None:
-        if not (0 < low < high):
-            raise ValueError(f"need 0 < low < high, got {low}, {high}")
-        if growth <= 1.0:
-            raise ValueError(f"growth must exceed 1, got {growth}")
-        edges = [low]
-        while edges[-1] < high:
-            edges.append(edges[-1] * growth)
-        self._edges = edges
-        self._log_low = math.log(low)
-        self._log_growth = math.log(growth)
-        # One underflow bucket below ``low`` and one overflow above ``high``.
-        self._counts = [0] * (len(edges) + 1)
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
-
-    def observe(self, seconds: float) -> None:
-        """Record one latency observation."""
-        if seconds < 0:
-            seconds = 0.0
-        if seconds < self._edges[0]:
-            index = 0
-        else:
-            index = 1 + int(
-                (math.log(seconds) - self._log_low) / self._log_growth
-            )
-            index = min(index, len(self._counts) - 1)
-        self._counts[index] += 1
-        self.count += 1
-        self.total += seconds
-        if seconds > self.max:
-            self.max = seconds
-
-    @property
-    def mean(self) -> float:
-        """Mean observed latency in seconds (0 when empty)."""
-        return self.total / self.count if self.count else 0.0
-
-    def quantile(self, q: float) -> float:
-        """Latency at quantile ``q`` in (0, 1], as the covering bucket edge.
-
-        Returns the upper edge of the bucket holding the q-th observation,
-        clamped to the largest observed value, so the estimate never
-        exceeds reality by more than one bucket's width.
-        """
-        if not 0.0 < q <= 1.0:
-            raise ValueError(f"quantile must be in (0, 1], got {q}")
-        if self.count == 0:
-            return 0.0
-        rank = math.ceil(q * self.count)
-        seen = 0
-        for index, bucket_count in enumerate(self._counts):
-            seen += bucket_count
-            if seen >= rank:
-                edge = self._edges[min(index, len(self._edges) - 1)]
-                return min(edge, self.max)
-        return self.max
-
-    def percentiles_ms(self) -> dict[str, float]:
-        """The standard p50/p95/p99 triple plus mean/max, in milliseconds."""
-        return {
-            "p50_ms": self.quantile(0.50) * 1e3,
-            "p95_ms": self.quantile(0.95) * 1e3,
-            "p99_ms": self.quantile(0.99) * 1e3,
-            "mean_ms": self.mean * 1e3,
-            "max_ms": self.max * 1e3,
-        }
+        super().__init__(
+            "repro_latency_seconds", low=low, high=high, growth=growth
+        )
 
 
 class Telemetry:
@@ -130,54 +68,86 @@ class Telemetry:
 
     Histograms are created on first use; the gateway records ``service``
     (detector time alone) and ``latency`` (queue wait + service).
+
+    Args:
+        registry: the metrics registry to report through.  A private
+            one is created when omitted; pass
+            :class:`~repro.obs.registry.NullRegistry` to disable all
+            bookkeeping.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
-        self._counters: defaultdict[str, int] = defaultdict(int)
-        self._histograms: dict[str, LatencyHistogram] = {}
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
         self._started = time.monotonic()
+        # Hot-path instruments, resolved once.
+        self._inspected = self._counter("inspected")
+        self._alerted = self._counter("alerted")
+        self._service = self._histogram("service")
 
-    def increment(self, name: str, amount: int = 1) -> None:
-        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+    def _counter(self, name: str) -> Counter:
+        """Registry counter for short name ``name`` (cached)."""
         with self._lock:
-            self._counters[name] += amount
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self.registry.counter(
+                    f"repro_{name}_total",
+                    f"Serving counter {name!r}.",
+                )
+                self._counters[name] = counter
+            return counter
 
-    def observe(self, name: str, seconds: float) -> None:
-        """Record a latency sample into histogram ``name``."""
+    def _histogram(self, name: str) -> Histogram:
+        """Registry histogram for short name ``name`` (cached)."""
         with self._lock:
             histogram = self._histograms.get(name)
             if histogram is None:
-                histogram = self._histograms[name] = LatencyHistogram()
-            histogram.observe(seconds)
+                histogram = self.registry.histogram(
+                    f"repro_{name}_seconds",
+                    f"Latency histogram {name!r} (seconds).",
+                )
+                self._histograms[name] = histogram
+            return histogram
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        self._counter(name).inc(amount)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record a latency sample into histogram ``name``."""
+        self._histogram(name).observe(seconds)
 
     def record_inspection(self, alerted: bool, seconds: float) -> None:
         """One-call hot-path helper: counters + the ``service`` histogram."""
-        with self._lock:
-            self._counters["inspected"] += 1
-            if alerted:
-                self._counters["alerted"] += 1
-            histogram = self._histograms.get("service")
-            if histogram is None:
-                histogram = self._histograms["service"] = LatencyHistogram()
-            histogram.observe(seconds)
+        self._inspected.inc()
+        if alerted:
+            self._alerted.inc()
+        self._service.observe(seconds)
 
     def counter(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""
-        with self._lock:
-            return self._counters.get(name, 0)
+        return int(self._counter(name).value)
 
     def snapshot(self) -> dict[str, Any]:
         """Point-in-time copy of every counter and histogram summary."""
         with self._lock:
-            return {
-                "uptime_s": time.monotonic() - self._started,
-                "counters": dict(self._counters),
-                "latency": {
-                    name: {
-                        "count": histogram.count,
-                        **histogram.percentiles_ms(),
-                    }
-                    for name, histogram in self._histograms.items()
-                },
-            }
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "uptime_s": time.monotonic() - self._started,
+            "counters": {
+                name: int(counter.value)
+                for name, counter in counters.items()
+                if counter.value or name in ("inspected", "alerted")
+            },
+            "latency": {
+                name: {
+                    "count": histogram.count,
+                    **histogram.percentiles_ms(),
+                }
+                for name, histogram in histograms.items()
+                if histogram.count or name == "service"
+            },
+        }

@@ -60,9 +60,9 @@ class TestIncrementalUpdate:
             "cat=4' and sleep(7)-- -",
         ]
         update = incremental_update(small_pipeline, small_result, fresh)
-        assert update.signature_set.score(
+        assert update.signature_set.evaluate(
             "x=1' union select 7,8,9-- -"
-        ) > 0.6
+        )[0] > 0.6
 
 
 class TestWarmStrategy:
@@ -101,9 +101,9 @@ class TestWarmStrategy:
         update = incremental_update(
             small_pipeline, small_result, self.FRESH, strategy="warm"
         )
-        assert update.signature_set.score(
+        assert update.signature_set.evaluate(
             "x=1' union select 7,8,9-- -"
-        ) > 0.6
+        )[0] > 0.6
 
     def test_warm_keeps_thresholds(self, small_pipeline, small_result):
         update = incremental_update(

@@ -32,8 +32,8 @@ class TestRoundtrip:
             "cat=9' and sleep(5)#",
         ]
         for payload in payloads:
-            assert restored.score(payload) == pytest.approx(
-                small_signatures.score(payload)
+            assert restored.evaluate(payload)[0] == pytest.approx(
+                small_signatures.evaluate(payload)[0]
             )
 
     def test_json_is_valid_and_versioned(self, small_signatures):

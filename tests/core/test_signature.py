@@ -89,19 +89,29 @@ class TestSignatureSet:
         signatures = self._set()
         payload = "1' union select sleep(1)"
         probabilities = signatures.probabilities(payload)
-        assert signatures.score(payload) == pytest.approx(
-            probabilities.max()
-        )
+        score, _fired = signatures.evaluate(payload)
+        assert score == pytest.approx(probabilities.max())
 
     def test_alerts_lists_fired_indices(self):
         signatures = self._set()
-        fired = signatures.alerts("1' union select sleep(1)")
+        _score, fired = signatures.evaluate("1' union select sleep(1)")
         assert fired == [1]  # second signature's 0.9 threshold not met
+
+    def test_deprecated_entry_points_warn_but_work(self):
+        signatures = self._set()
+        payload = "1' union select sleep(1)"
+        score, fired = signatures.evaluate(payload)
+        with pytest.warns(DeprecationWarning, match="evaluate"):
+            assert signatures.score(payload) == pytest.approx(score)
+        with pytest.warns(DeprecationWarning, match="evaluate"):
+            assert signatures.alerts(payload) == fired
 
     def test_normalization_inside_set(self):
         signatures = self._set()
-        raw = signatures.score("1' union select sleep(1)")
-        evaded = signatures.score("1%2527/**/UNION/**/SELECT/**/SLEEP(1)")
+        raw, _ = signatures.evaluate("1' union select sleep(1)")
+        evaded, _ = signatures.evaluate(
+            "1%2527/**/UNION/**/SELECT/**/SLEEP(1)"
+        )
         assert evaded == pytest.approx(raw)
 
     def test_subset_by_bicluster(self):
@@ -119,7 +129,7 @@ class TestSignatureSet:
         assert original[1].threshold == 0.9
 
     def test_empty_set_scores_zero(self):
-        assert SignatureSet([]).score("anything") == 0.0
+        assert SignatureSet([]).evaluate("anything")[0] == 0.0
 
     def test_evaluate_matches_per_signature_probabilities(self):
         # Checked against probabilities(), which walks the signatures
@@ -162,7 +172,7 @@ class TestTrainedSignatures:
             "page=1' or '1'='1",
         ]
         for payload in attacks:
-            assert small_signatures.score(payload) > 0.6, payload
+            assert small_signatures.evaluate(payload)[0] > 0.6, payload
 
     def test_benign_scores_low(self, small_signatures):
         benign = [
@@ -172,7 +182,7 @@ class TestTrainedSignatures:
             "",
         ]
         for payload in benign:
-            assert small_signatures.score(payload) < 0.5, payload
+            assert small_signatures.evaluate(payload)[0] < 0.5, payload
 
     def test_zero_day_generalization(self, small_signatures):
         """Payloads with structures *not* in the grammar (novel table
@@ -184,4 +194,4 @@ class TestTrainedSignatures:
             "v=-42' uNiOn SeLeCt 99,98,97,96,95,94 fRoM flags#",
         ]
         for payload in novel:
-            assert small_signatures.score(payload) > 0.6, payload
+            assert small_signatures.evaluate(payload)[0] > 0.6, payload

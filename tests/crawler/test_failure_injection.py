@@ -97,7 +97,7 @@ class TestDetectorRobustness:
 
     @pytest.mark.parametrize("payload", HOSTILE, ids=range(len(HOSTILE)))
     def test_psigene_total(self, small_signatures, payload):
-        score = small_signatures.score(payload)
+        score, _fired = small_signatures.evaluate(payload)
         assert 0.0 <= score <= 1.0
 
     @pytest.mark.parametrize("payload", HOSTILE, ids=range(len(HOSTILE)))

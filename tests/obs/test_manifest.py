@@ -1,0 +1,156 @@
+"""Run-manifest schema validation and pipeline emission tests."""
+
+import json
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    ManifestError,
+    build_manifest,
+    git_describe,
+    validate_manifest,
+    write_manifest,
+)
+
+
+def minimal_manifest(**overrides):
+    manifest = build_manifest(
+        seed=2012,
+        config={"n_attack_samples": 100},
+        phases=[{
+            "name": "pipeline.run", "depth": 0,
+            "wall_s": 1.5, "cpu_s": 1.2, "attrs": {"seed": 2012},
+        }],
+        counts={"samples": 100, "signatures": 4},
+        git="abc1234",
+    )
+    manifest.update(overrides)
+    return manifest
+
+
+class TestSchema:
+    def test_built_manifest_validates(self):
+        manifest = minimal_manifest()
+        assert validate_manifest(manifest) is manifest
+        assert manifest["schema"] == MANIFEST_SCHEMA
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ManifestError, match="object"):
+            validate_manifest(["not", "a", "manifest"])
+
+    @pytest.mark.parametrize("key", [
+        "schema", "created_unix", "git", "seed", "config", "phases",
+        "counts",
+    ])
+    def test_missing_key_rejected(self, key):
+        manifest = minimal_manifest()
+        del manifest[key]
+        with pytest.raises(ManifestError, match=key):
+            validate_manifest(manifest)
+
+    def test_wrong_schema_version_rejected(self):
+        with pytest.raises(ManifestError, match="schema"):
+            validate_manifest(minimal_manifest(schema=99))
+
+    def test_phase_missing_field_rejected(self):
+        manifest = minimal_manifest()
+        del manifest["phases"][0]["wall_s"]
+        with pytest.raises(ManifestError, match="wall_s"):
+            validate_manifest(manifest)
+
+    def test_non_int_count_rejected(self):
+        with pytest.raises(ManifestError, match="counts"):
+            validate_manifest(minimal_manifest(counts={"samples": "many"}))
+
+    def test_git_describe_never_raises(self):
+        assert isinstance(git_describe("/definitely/not/a/repo"), str)
+
+
+class TestWrite:
+    def test_write_and_reload(self, tmp_path):
+        path = write_manifest(minimal_manifest(), str(tmp_path))
+        with open(path) as handle:
+            reloaded = json.load(handle)
+        validate_manifest(reloaded)
+        assert reloaded["seed"] == 2012
+
+    def test_collision_gets_suffix(self, tmp_path):
+        manifest = minimal_manifest()
+        first = write_manifest(manifest, str(tmp_path))
+        second = write_manifest(manifest, str(tmp_path))
+        assert first != second
+        assert second.endswith("-1.json")
+
+    def test_invalid_manifest_not_written(self, tmp_path):
+        with pytest.raises(ManifestError):
+            write_manifest({"schema": 1}, str(tmp_path))
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestPipelineEmission:
+    """End-to-end: a tiny pipeline run emits trace + manifest."""
+
+    @pytest.fixture(scope="class")
+    def run_result(self, tmp_path_factory):
+        from repro.core import PipelineConfig, PSigenePipeline
+
+        manifest_dir = tmp_path_factory.mktemp("runs")
+        config = PipelineConfig(
+            n_attack_samples=400,
+            n_benign_train=1200,
+            max_cluster_rows=300,
+            manifest_dir=str(manifest_dir),
+        )
+        return PSigenePipeline(config).run(), manifest_dir
+
+    def test_every_phase_appears_as_named_span(self, run_result):
+        result, _ = run_result
+        root = result.trace["spans"][0]
+        assert root["name"] == "pipeline.run"
+        names = [child["name"] for child in root["children"]]
+        assert names == [
+            "phase.crawl", "phase.features", "phase.bicluster",
+            "phase.generalize",
+        ]
+
+    def test_library_spans_nest_under_phases(self, run_result):
+        result, _ = run_result
+        root = result.trace["spans"][0]
+        by_name = {child["name"]: child for child in root["children"]}
+        crawl_children = [
+            c["name"] for c in by_name["phase.crawl"]["children"]
+        ]
+        assert "crawl.run" in crawl_children
+        features_children = [
+            c["name"] for c in by_name["phase.features"]["children"]
+        ]
+        assert "features.extract_many" in features_children
+        bicluster_children = [
+            c["name"] for c in by_name["phase.bicluster"]["children"]
+        ]
+        assert "cluster.linkage" in bicluster_children
+
+    def test_manifest_written_and_valid(self, run_result):
+        result, manifest_dir = run_result
+        assert result.manifest_path is not None
+        with open(result.manifest_path) as handle:
+            manifest = json.load(handle)
+        validate_manifest(manifest)
+        assert manifest["counts"]["samples"] == len(result.samples)
+        assert manifest["counts"]["signatures"] == len(
+            result.signature_set
+        )
+        phase_names = [p["name"] for p in manifest["phases"]]
+        assert phase_names[0] == "pipeline.run"
+        assert list(manifest_dir.iterdir())
+
+    def test_no_manifest_without_dir(self):
+        from repro.core import PipelineConfig, PSigenePipeline
+
+        result = PSigenePipeline(PipelineConfig(
+            n_attack_samples=400, n_benign_train=1200,
+            max_cluster_rows=300,
+        )).run()
+        assert result.manifest_path is None
+        assert result.trace is not None

@@ -1,0 +1,183 @@
+"""Tests for the metrics registry and its instruments."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("repro_test_total")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("repro_test_total").inc(-1)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("repro test total")
+
+    def test_thread_safety(self):
+        counter = Counter("repro_test_total")
+
+        def hammer():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 40_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("repro_depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12.0
+
+    def test_callback_evaluated_at_read(self):
+        state = {"depth": 3}
+        gauge = Gauge("repro_depth", function=lambda: state["depth"])
+        assert gauge.value == 3.0
+        state["depth"] = 7
+        assert gauge.value == 7.0
+
+    def test_set_clears_callback(self):
+        gauge = Gauge("repro_depth", function=lambda: 99)
+        gauge.set(1)
+        assert gauge.value == 1.0
+
+
+class TestHistogram:
+    def test_count_sum_mean(self):
+        histogram = Histogram("repro_lat_seconds")
+        for value in (0.001, 0.002, 0.003):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(0.006)
+        assert histogram.mean == pytest.approx(0.002)
+
+    def test_quantile_within_one_bucket(self):
+        histogram = Histogram("repro_lat_seconds", growth=1.25)
+        for _ in range(100):
+            histogram.observe(0.010)
+        # The covering edge can overshoot by at most the growth factor.
+        assert 0.010 <= histogram.quantile(0.5) <= 0.010 * 1.25
+
+    def test_cumulative_buckets_monotone_and_complete(self):
+        histogram = Histogram("repro_lat_seconds")
+        for value in (1e-7, 0.001, 0.5, 120.0):  # under, mid, mid, over
+            histogram.observe(value)
+        pairs = histogram.cumulative_buckets()
+        counts = [count for _, count in pairs]
+        assert counts == sorted(counts)
+        assert counts[-1] == histogram.count == 4
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("repro_x", low=0.0)
+        with pytest.raises(ValueError):
+            Histogram("repro_x", growth=1.0)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_a_total")
+        b = registry.counter("repro_a_total")
+        assert a is b
+
+    def test_labels_distinguish_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_a_total", labels={"feature": "x"})
+        b = registry.counter("repro_a_total", labels={"feature": "y"})
+        assert a is not b
+        a.inc(2)
+        assert b.value == 0
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_a_total")
+
+    def test_collect_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_z_total")
+        registry.counter("repro_a_total")
+        names = [i.name for i in registry.collect()]
+        assert names == sorted(names)
+
+    def test_snapshot_includes_labels_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", labels={"k": "v"}).inc(3)
+        registry.histogram("repro_b_seconds").observe(0.01)
+        snap = registry.snapshot()
+        assert snap["repro_a_total{k=v}"] == 3
+        assert snap["repro_b_seconds"]["count"] == 1
+
+
+class TestNullRegistry:
+    def test_everything_is_inert(self):
+        registry = NullRegistry()
+        counter = registry.counter("repro_a_total")
+        counter.inc(100)
+        histogram = registry.histogram("repro_b_seconds")
+        histogram.observe(1.0)
+        assert counter.value == 0.0
+        assert histogram.count == 0
+        assert registry.collect() == []
+        assert registry.snapshot() == {}
+
+
+class TestAmbientRegistry:
+    def test_use_registry_swaps_and_restores(self):
+        before = get_registry()
+        private = MetricsRegistry()
+        with use_registry(private) as installed:
+            assert installed is private
+            assert get_registry() is private
+        assert get_registry() is before
+
+    def test_cached_normalizer_reports_into_ambient_registry(self):
+        from repro.parallel.cache import CachedNormalizer
+
+        with use_registry(MetricsRegistry()) as registry:
+            normalizer = CachedNormalizer(maxsize=8)
+            normalizer("id=1")
+            normalizer("id=1")
+            snap = registry.snapshot()
+        assert snap["repro_normalize_cache_misses_total"] == 1
+        assert snap["repro_normalize_cache_hits_total"] == 1
+
+    def test_cached_normalizer_rebinds_after_pickle(self):
+        from repro.parallel.cache import CachedNormalizer
+
+        with use_registry(MetricsRegistry()):
+            normalizer = CachedNormalizer(maxsize=8)
+        with use_registry(MetricsRegistry()) as second:
+            revived = pickle.loads(pickle.dumps(normalizer))
+            revived("id=1")
+            assert second.snapshot()[
+                "repro_normalize_cache_misses_total"
+            ] == 1

@@ -1,0 +1,112 @@
+"""Tests for span tracing: nesting, determinism, ambient activation."""
+
+import json
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs import trace
+
+
+class TestNesting:
+    def test_children_nest_under_parent(self):
+        tracer = trace.Tracer()
+        with tracer.span("pipeline.run"):
+            with tracer.span("phase.crawl"):
+                pass
+            with tracer.span("phase.features"):
+                with tracer.span("features.extract_many"):
+                    pass
+        assert [r.name for r in tracer.roots] == ["pipeline.run"]
+        root = tracer.roots[0]
+        assert [c.name for c in root.children] == [
+            "phase.crawl", "phase.features",
+        ]
+        assert root.children[1].children[0].name == "features.extract_many"
+
+    def test_siblings_after_close_are_roots(self):
+        tracer = trace.Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+    def test_timings_recorded(self):
+        tracer = trace.Tracer()
+        with tracer.span("work"):
+            sum(range(1000))
+        span = tracer.roots[0]
+        assert span.wall_s >= 0.0
+        assert span.cpu_s >= 0.0
+
+    def test_exception_still_closes_span(self):
+        tracer = trace.Tracer()
+        try:
+            with tracer.span("outer"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert tracer.roots[0].wall_s >= 0.0
+        with tracer.span("after"):
+            pass
+        # The failed span must have been popped: "after" is a new root.
+        assert [r.name for r in tracer.roots] == ["outer", "after"]
+
+
+class TestAmbient:
+    def test_module_span_is_noop_without_tracer(self):
+        assert trace.current_tracer() is None
+        with trace.span("orphan", n=1) as span:
+            span.set(extra=2)
+        assert span.attrs == {"n": 1, "extra": 2}
+
+    def test_activate_routes_module_spans(self):
+        tracer = trace.Tracer()
+        with tracer.activate():
+            assert trace.current_tracer() is tracer
+            with trace.span("inside"):
+                pass
+        assert trace.current_tracer() is None
+        assert [r.name for r in tracer.roots] == ["inside"]
+
+
+class TestExport:
+    def _traced(self):
+        tracer = trace.Tracer()
+        with tracer.span("pipeline.run", seed=7):
+            with tracer.span("phase.crawl", pages=3):
+                pass
+        return tracer
+
+    def test_structural_export_is_deterministic(self):
+        first = self._traced().to_json(timings=False)
+        second = self._traced().to_json(timings=False)
+        assert first == second
+
+    def test_export_schema_and_attr_order(self):
+        exported = self._traced().export(timings=False)
+        assert exported["schema"] == 1
+        root = exported["spans"][0]
+        assert root["name"] == "pipeline.run"
+        assert root["children"][0]["attrs"] == {"pages": 3}
+
+    def test_json_round_trips(self):
+        text = self._traced().to_json()
+        parsed = json.loads(text)
+        assert parsed["spans"][0]["wall_s"] >= 0.0
+
+    def test_phase_summaries_flatten_depth_first(self):
+        rows = self._traced().phase_summaries()
+        assert [(r["name"], r["depth"]) for r in rows] == [
+            ("pipeline.run", 0), ("phase.crawl", 1),
+        ]
+        assert rows[0]["attrs"] == {"seed": 7}
+
+
+class TestRegistryFeed:
+    def test_spans_feed_histograms(self):
+        registry = MetricsRegistry()
+        tracer = trace.Tracer(registry=registry)
+        with tracer.span("phase.crawl"):
+            pass
+        histogram = registry.histogram("repro_span_phase_crawl_seconds")
+        assert histogram.count == 1
