@@ -8,6 +8,7 @@ Commands:
     serve    run the online detection gateway (TCP/HTTP, hot reload)
     loadgen  replay attack+benign traffic against a gateway
     obs      observability: dump /metrics, validate run manifests
+    conform  differential conformance: oracle runs, golden corpora
 
 Shared options (``--seed``, ``--workers``, ``-s/--signatures``) are
 declared once as parent parsers, so their spelling and defaults are
@@ -28,6 +29,7 @@ commands:
   serve    run the online detection gateway (line TCP + HTTP control)
   loadgen  replay attack+benign traffic at a gateway, report throughput
   obs      dump a gateway's /metrics or validate a run manifest
+  conform  run the differential oracle, record/diff golden corpora
 
 run `repro <command> --help` for per-command options.
 """
@@ -338,6 +340,134 @@ def _cmd_obs_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _conform_detector(args: argparse.Namespace):
+    """The detector a conformance command drives.
+
+    With ``-s`` the signature file is mounted; without it a small
+    deterministic pipeline is trained in-process (the canonical
+    configuration golden corpora are recorded against).
+    """
+    if args.signatures is not None:
+        detector, _ = _build_detector("psigene", args.signatures)
+        return detector, f"file:{args.signatures}"
+    from repro.conformance import train_default_detector
+
+    print(
+        f"repro conform: no -s given; training the canonical small "
+        f"signature set (seed={args.seed})"
+    )
+    return train_default_detector(args.seed), f"trained:seed={args.seed}"
+
+
+def _cmd_conform_run(args: argparse.Namespace) -> int:
+    from repro.conformance import (
+        Oracle,
+        format_report,
+        generate_corpus,
+    )
+
+    detector, source = _conform_detector(args)
+    payloads = generate_corpus(seed=args.seed, budget=args.budget)
+    print(
+        f"repro conform: {len(payloads)} payloads "
+        f"(budget={args.budget}, seed={args.seed}), detector {source}"
+    )
+    oracle = Oracle(detector)
+    report = oracle.run(payloads)
+    print(format_report(report))
+    exit_code = 0 if report.ok else 6
+    if args.perdisci:
+        from repro.corpus.grammar import CorpusGenerator
+        from repro.perdisci.signatures import PerdisciSystem
+
+        system = PerdisciSystem(seed=args.seed)
+        system.fit([
+            sample.payload
+            for sample in CorpusGenerator(seed=args.seed).generate(
+                max(64, len(payloads) // 3)
+            )
+        ])
+        perdisci_report = Oracle(system, check_extraction=False).run(
+            payloads
+        )
+        print(format_report(perdisci_report))
+        if not perdisci_report.ok:
+            exit_code = 6
+    return exit_code
+
+
+def _cmd_conform_record(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.conformance import (
+        generate_corpus,
+        serial_verdicts,
+        write_golden,
+    )
+
+    detector, source = _conform_detector(args)
+    payloads = generate_corpus(seed=args.seed, budget=args.budget)
+    output = args.output or os.path.join(
+        "conformance", "golden", f"{args.budget}-seed{args.seed}.jsonl"
+    )
+    directory = os.path.dirname(output)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    write_golden(
+        output,
+        payloads,
+        serial_verdicts(detector, payloads),
+        detector=detector.name,
+        seed=args.seed,
+        budget=args.budget,
+        extra={"source": source},
+    )
+    print(
+        f"recorded {len(payloads)} verdicts "
+        f"(budget={args.budget}, seed={args.seed}) to {output}"
+    )
+    return 0
+
+
+def _cmd_conform_diff(args: argparse.Namespace) -> int:
+    from repro.conformance import (
+        GoldenError,
+        diff_golden,
+        read_golden,
+        serial_verdicts,
+    )
+
+    try:
+        golden = read_golden(args.golden)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"repro: golden corpus {args.golden!r} not found; "
+            "record one first (repro conform record)"
+        ) from None
+    except GoldenError as error:
+        raise SystemExit(f"repro: {error}") from None
+    args.seed = golden.meta.get("seed", args.seed)
+    detector, _ = _conform_detector(args)
+    divergences = diff_golden(
+        golden, serial_verdicts(detector, golden.payloads)
+    )
+    if not divergences:
+        print(
+            f"GOLDEN OK: {len(golden)} recorded verdicts reproduced "
+            f"({args.golden})"
+        )
+        return 0
+    print(
+        f"GOLDEN DIVERGENT: {len(divergences)} disagreement(s) "
+        f"against {args.golden}"
+    )
+    for divergence in divergences[:20]:
+        print(f"  ! {divergence.describe()}")
+    if len(divergences) > 20:
+        print(f"  ... and {len(divergences) - 20} more")
+    return 6
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -497,6 +627,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("manifest", help="path to a runs/<ts>.json file")
     validate.set_defaults(func=_cmd_obs_validate)
+
+    conform = sub.add_parser(
+        "conform",
+        help="differential conformance: oracle runs, golden corpora",
+    )
+    conform_sub = conform.add_subparsers(dest="conform_command", required=True)
+
+    conform_options = argparse.ArgumentParser(add_help=False)
+    conform_options.add_argument(
+        "--seed", type=int, default=2012,
+        help="fuzz corpus / training seed (default: 2012)",
+    )
+    conform_options.add_argument(
+        "-s", "--signatures", default=None,
+        help="signature JSON file to mount (default: train the "
+             "canonical small set in-process)",
+    )
+    budget_option = argparse.ArgumentParser(add_help=False)
+    budget_option.add_argument(
+        "--budget", choices=("small", "medium", "large"), default="small",
+        help="fuzz corpus size (default: small)",
+    )
+
+    conform_run = conform_sub.add_parser(
+        "run",
+        help="fuzz a corpus and assert every detector path agrees",
+        parents=[conform_options, budget_option],
+    )
+    conform_run.add_argument(
+        "--perdisci", action=argparse.BooleanOptionalAction, default=True,
+        help="also self-check the Perdisci baseline's paths (default: on)",
+    )
+    conform_run.set_defaults(func=_cmd_conform_run)
+
+    conform_record = conform_sub.add_parser(
+        "record",
+        help="snapshot baseline verdicts to a golden JSONL corpus",
+        parents=[conform_options, budget_option],
+    )
+    conform_record.add_argument(
+        "-o", "--output", default=None,
+        help="snapshot path (default: "
+             "conformance/golden/<budget>-seed<seed>.jsonl)",
+    )
+    conform_record.set_defaults(func=_cmd_conform_record)
+
+    conform_diff = conform_sub.add_parser(
+        "diff",
+        help="recompute verdicts and diff them against a golden corpus",
+        parents=[conform_options],
+    )
+    conform_diff.add_argument(
+        "golden", help="path to a recorded golden .jsonl corpus",
+    )
+    conform_diff.set_defaults(func=_cmd_conform_diff)
     return parser
 
 

@@ -1,0 +1,39 @@
+"""Shared harness glue: the self-trained detector conformance runs use.
+
+A conformance run needs a detector.  Operators pass a signature file;
+CI and the test suite instead train a small deterministic pipeline —
+*the same* configuration the test fixtures use, so a golden corpus
+recorded by ``repro conform record`` is reproducible by anything that
+holds the seed.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import PipelineConfig
+
+__all__ = ["default_training_config", "train_default_detector"]
+
+
+def default_training_config(seed: int = 2012) -> PipelineConfig:
+    """The canonical small training configuration.
+
+    One definition shared by the conformance CLI, the CI conform step,
+    and the test suite's session fixtures: 900 crawled samples, 2500
+    benign negatives, clustering capped at 700 prototypes.  Any drift
+    here invalidates recorded golden corpora, so change it deliberately.
+    """
+    return PipelineConfig(
+        seed=seed,
+        n_attack_samples=900,
+        n_benign_train=2500,
+        max_cluster_rows=700,
+    )
+
+
+def train_default_detector(seed: int = 2012):
+    """Train the canonical small pipeline and mount it as a detector."""
+    from repro.core.pipeline import PSigenePipeline
+    from repro.ids.engine import PSigeneDetector
+
+    result = PSigenePipeline(default_training_config(seed)).run()
+    return PSigeneDetector(result.signature_set)

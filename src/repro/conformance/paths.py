@@ -1,0 +1,276 @@
+"""The registered detector paths the oracle can drive.
+
+A *path* is one way this repo turns a payload into a verdict: the serial
+``detector.inspect`` loop, the offline engine's ``run``, the batched
+``run_batch`` fan-out at several worker counts, cluster-mode sharding,
+and a live gateway TCP round-trip.  Every path reduces its native output
+to the :class:`~repro.conformance.verdict.Verdict` normal form, so the
+oracle can compare them without knowing how any of them work inside.
+
+Paths declare applicability via :meth:`DetectorPath.supports`: the
+cluster path needs a ``signature_set`` to shard, the multiprocess batch
+paths need a picklable detector, and everything else takes any
+:class:`~repro.ids.engine.Detector`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+
+from repro.conformance.verdict import ConformanceError, Verdict
+from repro.core.signature import SignatureSet
+from repro.http.request import HttpRequest
+from repro.http.traffic import Trace
+
+__all__ = [
+    "BatchPath",
+    "ClusterPath",
+    "DetectorPath",
+    "EngineRunPath",
+    "GatewayPath",
+    "SerialPath",
+    "default_paths",
+]
+
+#: Worker counts the batch paths cover by default — 1 exercises the
+#: in-process chunk loop, 2 and 8 the real multiprocess fan-out.
+DEFAULT_WORKER_COUNTS = (1, 2, 8)
+
+
+def _as_trace(payloads: list[str], name: str) -> Trace:
+    """Wrap raw payload strings as a query-only trace.
+
+    ``HttpRequest(query=p).payload()`` round-trips the string unchanged,
+    so trace-driven paths see byte-identical detector input.
+    """
+    return Trace(
+        name=name, requests=[HttpRequest(query=p) for p in payloads]
+    )
+
+
+class DetectorPath:
+    """One registered way of computing verdicts.
+
+    Subclasses set :attr:`name` and implement :meth:`run`; they may
+    narrow :meth:`supports` when the path needs detector internals.
+    """
+
+    name = "abstract"
+
+    def supports(self, detector) -> bool:
+        """Can this path drive *detector*?"""
+        del detector
+        return True
+
+    def run(self, detector, payloads: list[str]) -> list[Verdict]:
+        """Verdicts for *payloads*, in order.
+
+        Raises:
+            ConformanceError: when the path cannot produce a verdict for
+                every payload (the oracle turns this into a path-level
+                divergence rather than crashing the whole run).
+        """
+        raise NotImplementedError
+
+
+class SerialPath(DetectorPath):
+    """Ground truth: one ``detector.inspect`` call per payload."""
+
+    name = "serial"
+
+    def run(self, detector, payloads: list[str]) -> list[Verdict]:
+        """One ``inspect`` call per payload, in order."""
+        return [
+            Verdict.from_detection(detector.inspect(p)) for p in payloads
+        ]
+
+
+class EngineRunPath(DetectorPath):
+    """The offline :meth:`~repro.ids.engine.SignatureEngine.run` loop.
+
+    The serial engine only records scores for alerting requests, so
+    non-alert verdicts carry ``score=None`` and the oracle skips their
+    score comparison.
+    """
+
+    name = "engine-run"
+
+    def run(self, detector, payloads: list[str]) -> list[Verdict]:
+        """Verdicts reconstructed from one ``EngineRun`` over a trace."""
+        from repro.ids.engine import SignatureEngine
+
+        run = SignatureEngine(detector).run(
+            _as_trace(payloads, "conform-engine")
+        )
+        by_index = {alert.request_index: alert for alert in run.alerts}
+        verdicts: list[Verdict] = []
+        for index in range(len(payloads)):
+            alert = by_index.get(index)
+            if alert is None:
+                verdicts.append(Verdict(
+                    alert=bool(run.alert_flags[index]), score=None, fired=()
+                ))
+            else:
+                verdicts.append(Verdict(
+                    alert=True,
+                    score=float(alert.score),
+                    fired=tuple(int(s) for s in alert.matched),
+                ))
+        return verdicts
+
+
+class BatchPath(DetectorPath):
+    """The chunked :func:`repro.parallel.batch.run_batch` fan-out."""
+
+    def __init__(
+        self, workers: int = 1, *, chunk_size: int | None = None
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.name = f"batch-w{workers}"
+
+    def supports(self, detector) -> bool:
+        """Multiprocess fan-out needs a picklable detector."""
+        if self.workers == 1:
+            return True
+        try:  # multiprocess fan-out ships the detector to workers
+            pickle.dumps(detector)
+        except Exception:
+            return False
+        return True
+
+    def run(self, detector, payloads: list[str]) -> list[Verdict]:
+        """Verdicts from one chunked ``run_batch`` execution."""
+        from repro.parallel.batch import run_batch
+
+        run = run_batch(
+            detector,
+            _as_trace(payloads, f"conform-{self.name}"),
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+        )
+        by_index = {alert.request_index: alert for alert in run.alerts}
+        return [
+            Verdict(
+                alert=bool(run.alert_flags[index]),
+                score=float(run.scores[index]),
+                fired=tuple(
+                    int(s) for s in by_index[index].matched
+                ) if index in by_index else (),
+            )
+            for index in range(len(payloads))
+        ]
+
+
+class ClusterPath(DetectorPath):
+    """Cluster-mode sharding (:class:`~repro.ids.parallel.ClusterModeEngine`).
+
+    Only applicable to detectors that expose a ``signature_set`` — the
+    shards are per-signature, so there must be signatures to shard.
+    """
+
+    def __init__(self, workers: int = 4) -> None:
+        self.workers = workers
+        self.name = f"cluster-w{workers}"
+
+    def supports(self, detector) -> bool:
+        """Sharding needs a :class:`SignatureSet` to split."""
+        return isinstance(
+            getattr(detector, "signature_set", None), SignatureSet
+        )
+
+    def run(self, detector, payloads: list[str]) -> list[Verdict]:
+        """One sharded ``inspect`` per payload."""
+        from repro.ids.parallel import ClusterModeEngine
+
+        engine = ClusterModeEngine(
+            detector.signature_set, workers=self.workers
+        )
+        return [
+            Verdict.from_detection(engine.inspect(p)) for p in payloads
+        ]
+
+
+class GatewayPath(DetectorPath):
+    """A live gateway round-trip: real TCP socket, real wire framing.
+
+    The gateway is started on an ephemeral port, the payloads are
+    replayed over pipelined connections exactly like ``repro loadgen``,
+    and each data-plane response line decodes to one verdict.  The
+    queue bound is sized to the payload count and the policy is
+    ``block``, so nothing sheds — a missing or error response is a
+    conformance failure, not load shedding.
+    """
+
+    name = "gateway"
+
+    def __init__(
+        self,
+        *,
+        connections: int = 2,
+        window: int = 32,
+        workers: int = 4,
+    ) -> None:
+        self.connections = connections
+        self.window = window
+        self.workers = workers
+
+    def run(self, detector, payloads: list[str]) -> list[Verdict]:
+        """Replay *payloads* against a live gateway and decode."""
+        from repro.serve.gateway import DetectionGateway, GatewayConfig
+        from repro.serve.loadgen import replay
+        from repro.serve.store import SignatureStore
+
+        async def _roundtrip() -> list[dict | None]:
+            gateway = DetectionGateway(
+                SignatureStore(detector),
+                GatewayConfig(
+                    queue_bound=max(64, len(payloads)),
+                    policy="block",
+                    workers=self.workers,
+                ),
+            )
+            host, port = await gateway.start()
+            try:
+                responses, _latencies, _duration = await replay(
+                    host, port, payloads,
+                    connections=self.connections, window=self.window,
+                )
+            finally:
+                await gateway.stop()
+            return responses
+
+        responses = asyncio.run(_roundtrip())
+        verdicts: list[Verdict] = []
+        for index, response in enumerate(responses):
+            if response is None or response.get("shed") or (
+                "error" in response
+            ):
+                raise ConformanceError(
+                    f"gateway gave no verdict for payload {index}: "
+                    f"{response!r}"
+                )
+            verdicts.append(Verdict(
+                alert=bool(response.get("alert")),
+                score=float(response.get("score", 0.0)),
+                fired=tuple(int(s) for s in response.get("matched", [])),
+            ))
+        return verdicts
+
+
+def default_paths(
+    *,
+    worker_counts: tuple[int, ...] = DEFAULT_WORKER_COUNTS,
+    gateway: bool = True,
+    cluster_workers: int = 4,
+) -> list[DetectorPath]:
+    """Every registered path, serial (the baseline) first."""
+    paths: list[DetectorPath] = [SerialPath(), EngineRunPath()]
+    paths.extend(BatchPath(workers=count) for count in worker_counts)
+    paths.append(ClusterPath(workers=cluster_workers))
+    if gateway:
+        paths.append(GatewayPath())
+    return paths

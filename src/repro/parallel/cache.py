@@ -54,8 +54,8 @@ class LruCache:
     """
 
     def __init__(self, maxsize: int = 4096) -> None:
-        if maxsize < 1:
-            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
@@ -80,7 +80,14 @@ class LruCache:
         return value
 
     def put(self, key: Any, value: Any) -> None:
-        """Insert or refresh *key*, evicting the least-recently-used."""
+        """Insert or refresh *key*, evicting the least-recently-used.
+
+        With ``maxsize=0`` the cache holds nothing: ``put`` is a no-op
+        and every ``get`` is a miss — the disabled-but-counting limit of
+        the capacity spectrum, so callers can keep one code path.
+        """
+        if self.maxsize == 0:
+            return
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = value
@@ -110,6 +117,8 @@ class CachedNormalizer:
     so a ``SignatureSet`` or ``FeatureExtractor`` can hold one transparently.
     Correctness is free — normalization is a pure function of the payload,
     so a cached result is always identical to a recomputed one.
+    ``maxsize=0`` degrades to a counting pass-through: nothing is
+    retained, every call recomputes and registers as a miss.
     """
 
     def __init__(

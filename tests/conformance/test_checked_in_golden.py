@@ -1,0 +1,58 @@
+"""The repository's checked-in golden corpus still reproduces.
+
+``conformance/golden/small-seed2012.jsonl`` was recorded with
+``repro conform record`` against the canonical small training
+configuration — the same one the ``small_signatures`` fixture trains.
+If this test fails, a change moved a recorded verdict: either revert
+it, or (when the change is intentional) re-record the snapshot and
+review the diff line by line.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.conformance import (
+    diff_golden,
+    generate_corpus,
+    read_golden,
+    serial_verdicts,
+)
+from repro.ids import PSigeneDetector
+
+GOLDEN = (
+    Path(__file__).resolve().parents[2]
+    / "conformance" / "golden" / "small-seed2012.jsonl"
+)
+
+
+@pytest.mark.smoke
+class TestCheckedInGolden:
+    def test_snapshot_exists_and_parses(self):
+        golden = read_golden(str(GOLDEN))
+        assert golden.meta["detector"] == "psigene"
+        assert golden.meta["seed"] == 2012
+        assert golden.meta["budget"] == "small"
+        assert len(golden) == golden.meta["n"]
+
+    def test_snapshot_matches_the_generated_corpus(self):
+        # The recorded payloads are exactly generate_corpus(seed, budget)
+        # for the header's parameters — nobody hand-edited the file.
+        golden = read_golden(str(GOLDEN))
+        assert golden.payloads == generate_corpus(
+            seed=golden.meta["seed"], budget=golden.meta["budget"]
+        )
+
+    def test_fixture_detector_reproduces_every_verdict(
+        self, small_signatures
+    ):
+        golden = read_golden(str(GOLDEN))
+        divergences = diff_golden(
+            golden,
+            serial_verdicts(
+                PSigeneDetector(small_signatures), golden.payloads
+            ),
+        )
+        assert divergences == [], "\n".join(
+            d.describe() for d in divergences[:10]
+        )

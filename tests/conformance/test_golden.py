@@ -1,0 +1,151 @@
+"""Golden-corpus snapshots: record, read back, detect drift and rot."""
+
+import json
+
+import pytest
+
+from repro.conformance import (
+    GoldenError,
+    Verdict,
+    diff_golden,
+    read_golden,
+    write_golden,
+)
+
+
+PAYLOADS = ["id=1' union select 1", "q=hello", "q=café&x=%27"]
+VERDICTS = [
+    Verdict(alert=True, score=0.93, fired=(1, 4)),
+    Verdict(alert=False, score=0.02, fired=()),
+    Verdict(alert=False, score=None, fired=()),
+]
+
+
+def record(path, payloads=PAYLOADS, verdicts=VERDICTS):
+    write_golden(
+        str(path), list(payloads), list(verdicts),
+        detector="toy", seed=2012, budget="small",
+        extra={"source": "test"},
+    )
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        target = tmp_path / "golden.jsonl"
+        record(target)
+        golden = read_golden(str(target))
+        assert len(golden) == 3
+        assert golden.payloads == PAYLOADS
+        assert golden.verdicts == VERDICTS
+        assert golden.ids == ["g-00000", "g-00001", "g-00002"]
+        assert golden.meta["detector"] == "toy"
+        assert golden.meta["seed"] == 2012
+        assert golden.meta["source"] == "test"
+
+    def test_none_score_survives_the_round_trip(self, tmp_path):
+        target = tmp_path / "golden.jsonl"
+        record(target)
+        assert read_golden(str(target)).verdicts[2].score is None
+
+    def test_unicode_payload_is_stored_readably(self, tmp_path):
+        # ensure_ascii=False: review diffs should show café, not é.
+        target = tmp_path / "golden.jsonl"
+        record(target)
+        assert "café" in target.read_text()
+
+    def test_length_mismatch_refused_at_write(self, tmp_path):
+        with pytest.raises(ValueError, match="payloads"):
+            write_golden(
+                str(tmp_path / "bad.jsonl"), PAYLOADS, VERDICTS[:1],
+                detector="toy", seed=1, budget="small",
+            )
+
+
+class TestReadValidation:
+    def test_empty_file(self, tmp_path):
+        target = tmp_path / "empty.jsonl"
+        target.write_text("")
+        with pytest.raises(GoldenError, match="empty"):
+            read_golden(str(target))
+
+    def test_unparseable_header(self, tmp_path):
+        target = tmp_path / "bad.jsonl"
+        target.write_text("{not json\n")
+        with pytest.raises(GoldenError, match="bad meta"):
+            read_golden(str(target))
+
+    def test_wrong_kind(self, tmp_path):
+        target = tmp_path / "bad.jsonl"
+        target.write_text(json.dumps({"kind": "something-else"}) + "\n")
+        with pytest.raises(GoldenError, match="not a conformance"):
+            read_golden(str(target))
+
+    def test_wrong_schema(self, tmp_path):
+        target = tmp_path / "bad.jsonl"
+        target.write_text(json.dumps({
+            "kind": "repro-conformance-golden", "schema": 99,
+        }) + "\n")
+        with pytest.raises(GoldenError, match="schema"):
+            read_golden(str(target))
+
+    def test_incomplete_record(self, tmp_path):
+        target = tmp_path / "bad.jsonl"
+        record(target)
+        lines = target.read_text().splitlines()
+        broken = json.loads(lines[1])
+        del broken["fired"]
+        lines[1] = json.dumps(broken)
+        target.write_text("\n".join(lines) + "\n")
+        with pytest.raises(GoldenError, match="incomplete record"):
+            read_golden(str(target))
+
+    def test_header_count_contradiction(self, tmp_path):
+        target = tmp_path / "bad.jsonl"
+        record(target)
+        lines = target.read_text().splitlines()
+        target.write_text("\n".join(lines[:-1]) + "\n")  # drop a record
+        with pytest.raises(GoldenError, match="declares"):
+            read_golden(str(target))
+
+    def test_blank_lines_are_tolerated(self, tmp_path):
+        target = tmp_path / "golden.jsonl"
+        record(target)
+        target.write_text(target.read_text() + "\n\n")
+        assert len(read_golden(str(target))) == 3
+
+
+class TestDiffGolden:
+    def test_identical_verdicts_are_quiet(self, tmp_path):
+        target = tmp_path / "golden.jsonl"
+        record(target)
+        golden = read_golden(str(target))
+        assert diff_golden(golden, list(VERDICTS)) == []
+
+    def test_flipped_verdict_is_caught(self, tmp_path):
+        target = tmp_path / "golden.jsonl"
+        record(target)
+        golden = read_golden(str(target))
+        drifted = list(VERDICTS)
+        drifted[0] = Verdict(alert=False, score=0.93, fired=())
+        out = diff_golden(golden, drifted)
+        assert {d.field for d in out} == {"alert", "fired"}
+        assert all(d.baseline == "golden" for d in out)
+
+    def test_small_score_drift_is_within_golden_tolerance(self, tmp_path):
+        # The golden tolerance is wider than the in-process one: it must
+        # absorb a JSON float round-trip, not flag it.
+        target = tmp_path / "golden.jsonl"
+        record(target)
+        golden = read_golden(str(target))
+        drifted = list(VERDICTS)
+        drifted[0] = Verdict(alert=True, score=0.93 + 1e-9, fired=(1, 4))
+        assert diff_golden(golden, drifted) == []
+
+    def test_large_score_drift_is_caught(self, tmp_path):
+        target = tmp_path / "golden.jsonl"
+        record(target)
+        golden = read_golden(str(target))
+        drifted = list(VERDICTS)
+        drifted[0] = Verdict(alert=True, score=0.5, fired=(1, 4))
+        out = diff_golden(golden, drifted)
+        assert [d.field for d in out] == ["score"]

@@ -6,17 +6,16 @@ artifacts are session-scoped; tests must treat them as read-only.
 
 import pytest
 
-from repro.core import PipelineConfig, PSigenePipeline
+from repro.conformance import default_training_config
+from repro.core import PSigenePipeline
 
 
 @pytest.fixture(scope="session")
 def small_config():
-    return PipelineConfig(
-        seed=2012,
-        n_attack_samples=900,
-        n_benign_train=2500,
-        max_cluster_rows=700,
-    )
+    # The canonical small configuration — shared with `repro conform`'s
+    # self-training path so golden corpora recorded from these fixtures
+    # are reproducible from the CLI (and vice versa).
+    return default_training_config(seed=2012)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,61 @@
+"""The PR-4 migration shims: ``score()``/``alerts()`` must warn and
+delegate to ``evaluate()``.
+
+No direct coverage existed for the deprecation contract — a refactor
+could silently drop the warning (or worse, fork the scoring logic) and
+nothing would fail.  These tests pin both halves: the
+``DeprecationWarning`` is actually emitted, and the shims return exactly
+what ``evaluate()`` returns.
+"""
+
+import warnings
+
+import pytest
+
+
+ATTACK = "id=1' union select 1,2,database()-- -"
+BENIGN = "q=student+union+hours"
+
+
+class TestScoreShim:
+    def test_emits_deprecation_warning(self, small_signatures):
+        with pytest.warns(DeprecationWarning, match="evaluate"):
+            small_signatures.score(ATTACK)
+
+    def test_delegates_to_evaluate(self, small_signatures):
+        expected_score, _ = small_signatures.evaluate(ATTACK)
+        with pytest.warns(DeprecationWarning):
+            assert small_signatures.score(ATTACK) == expected_score
+
+    def test_benign_payload_too(self, small_signatures):
+        expected_score, _ = small_signatures.evaluate(BENIGN)
+        with pytest.warns(DeprecationWarning):
+            assert small_signatures.score(BENIGN) == expected_score
+
+
+class TestAlertsShim:
+    def test_emits_deprecation_warning(self, small_signatures):
+        with pytest.warns(DeprecationWarning, match="evaluate"):
+            small_signatures.alerts(ATTACK)
+
+    def test_delegates_to_evaluate(self, small_signatures):
+        _, expected_fired = small_signatures.evaluate(ATTACK)
+        with pytest.warns(DeprecationWarning):
+            assert small_signatures.alerts(ATTACK) == expected_fired
+
+    def test_warning_names_the_caller_frame(self, small_signatures):
+        # stacklevel=2: the warning must point at this file, not at
+        # signature.py, or every deprecation report blames the library.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            small_signatures.alerts(ATTACK)
+        assert len(caught) == 1
+        assert caught[0].filename == __file__
+
+
+class TestEvaluateStaysQuiet:
+    def test_evaluate_emits_no_warning(self, small_signatures):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            score, fired = small_signatures.evaluate(ATTACK)
+        assert score > 0.5 and fired

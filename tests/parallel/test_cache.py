@@ -42,7 +42,7 @@ class TestLruCache:
 
     def test_invalid_maxsize(self):
         with pytest.raises(ValueError):
-            LruCache(maxsize=0)
+            LruCache(maxsize=-1)
 
 
 class TestCachedNormalizer:
@@ -88,3 +88,72 @@ class TestCachedNormalizer:
         assert stats.maxsize == 77
         # ...and the clone still normalizes identically.
         assert clone("a=1%27") == cached("a=1%27")
+
+
+class TestCapacityPressure:
+    """LRU boundary cases: capacity 0, capacity 1, repeated keys."""
+
+    def test_capacity_zero_holds_nothing_counts_misses(self):
+        cache = LruCache(maxsize=0)
+        cache.put("a", 1)
+        assert len(cache) == 0 and "a" not in cache
+        assert cache.get("a") is None
+        assert cache.get("a") is None
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (0, 2, 0)
+        assert stats.hit_rate == 0.0
+
+    def test_capacity_zero_normalizer_is_pass_through(self):
+        plain = Normalizer()
+        cached = CachedNormalizer(maxsize=0)
+        payload = "id=1%27%20union%20select%201"
+        for _ in range(3):
+            assert cached(payload) == plain(payload)
+        stats = cached.stats()
+        assert (stats.hits, stats.misses, stats.size) == (0, 3, 0)
+
+    def test_capacity_one_keeps_only_newest(self):
+        cache = LruCache(maxsize=1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" not in cache and cache.get("b") == 2
+        cache.put("c", 3)
+        assert "b" not in cache and cache.get("c") == 3
+        # `in` checks do not touch the counters; only get() does.
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (2, 0, 1)
+
+    def test_capacity_one_repeated_key_never_evicts(self):
+        cache = LruCache(maxsize=1)
+        cache.put("a", 1)
+        for _ in range(5):
+            assert cache.get("a") == 1
+        assert cache.stats().hits == 5 and len(cache) == 1
+
+    def test_repeated_put_refreshes_recency(self):
+        cache = LruCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)      # refresh "a"; "b" becomes LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 10 and cache.get("c") == 3
+
+    def test_eviction_order_under_sustained_pressure(self):
+        cache = LruCache(maxsize=3)
+        for i in range(10):
+            cache.put(i, i)
+        # Only the three most recent survive, oldest-first eviction.
+        assert [k for k in (7, 8, 9) if k in cache] == [7, 8, 9]
+        assert all(k not in cache for k in range(7))
+
+    def test_hit_miss_counters_under_pressure(self):
+        cached = CachedNormalizer(maxsize=1)
+        cached("id=1")       # miss
+        cached("id=1")       # hit
+        cached("id=2")       # miss, evicts id=1
+        cached("id=1")       # miss again (was evicted)
+        stats = cached.stats()
+        assert (stats.hits, stats.misses) == (1, 3)
+        assert stats.size == 1 and stats.maxsize == 1
+        assert stats.hit_rate == pytest.approx(0.25)
