@@ -1,0 +1,104 @@
+"""CI guard: the fused matching engine must not regress against baseline.
+
+The committed ``benchmarks/results/BENCH_matching.json`` is the baseline
+ledger entry for the fused single-pass matcher.  This guard re-measures
+the same configuration fresh (canonical small detector, seeded fuzz
+corpus — no bench-scale training required) and fails when:
+
+1. the fresh run's verdicts are not bit-identical to the legacy path, or
+2. the fresh speedup falls below 85% of the committed baseline speedup
+   (a >15% regression of the fast path relative to the reference loop —
+   a ratio of ratios, so it is insensitive to the runner's absolute
+   speed).
+
+When the baseline artifact does not exist in HEAD (first run on a fresh
+branch), the guard records what it measured and passes: there is nothing
+to regress against yet.
+
+Usage: ``PYTHONPATH=src python scripts/ci_bench_guard.py``
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+BASELINE_PATH = "benchmarks/results/BENCH_matching.json"
+ALLOWED_FRACTION = 0.85
+
+
+def committed_baseline() -> dict | None:
+    """The baseline artifact as committed in HEAD, or None if absent."""
+    result = subprocess.run(
+        ["git", "show", f"HEAD:{BASELINE_PATH}"],
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        return None
+    try:
+        return json.loads(result.stdout)
+    except json.JSONDecodeError as error:
+        raise AssertionError(
+            f"committed {BASELINE_PATH} is not valid JSON: {error}"
+        ) from error
+
+
+def fresh_measurement() -> dict:
+    """Benchmark the canonical small detector on the seeded fuzz corpus."""
+    from repro.conformance import generate_corpus, train_default_detector
+    from repro.match import bench_fused_matching
+
+    detector = train_default_detector(2012)
+    payloads = generate_corpus(seed=2012, budget="small")
+    result = bench_fused_matching(
+        detector.signature_set, payloads, repeats=5
+    )
+    return json.loads(result.to_json())
+
+
+def check(baseline: dict | None, fresh: dict) -> str:
+    """The guard's verdict line; raises AssertionError on regression."""
+    if not fresh["identical"]:
+        raise AssertionError(
+            "fused verdicts diverged from the legacy path"
+        )
+    if fresh["speedup"] < 1.0:
+        raise AssertionError(
+            f"fused path is slower than legacy "
+            f"(speedup {fresh['speedup']:.2f}x)"
+        )
+    if baseline is None:
+        return (
+            f"bench guard OK (no committed {BASELINE_PATH} baseline): "
+            f"fresh speedup {fresh['speedup']:.2f}x, verdicts identical"
+        )
+    floor = ALLOWED_FRACTION * float(baseline["speedup"])
+    if fresh["speedup"] < floor:
+        raise AssertionError(
+            f"fused speedup regressed >15%: fresh {fresh['speedup']:.2f}x "
+            f"< floor {floor:.2f}x "
+            f"(baseline {baseline['speedup']:.2f}x)"
+        )
+    return (
+        f"bench guard OK: fresh speedup {fresh['speedup']:.2f}x "
+        f">= floor {floor:.2f}x "
+        f"(baseline {baseline['speedup']:.2f}x), verdicts identical"
+    )
+
+
+def main() -> int:
+    """Run the guard; returns a process exit code."""
+    try:
+        baseline = committed_baseline()
+        fresh = fresh_measurement()
+        print(check(baseline, fresh))
+    except Exception as error:  # noqa: BLE001 - CI wants any failure loud
+        print(f"bench guard FAILED: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ Commands:
     loadgen  replay attack+benign traffic against a gateway
     obs      observability: dump /metrics, validate run manifests
     conform  differential conformance: oracle runs, golden corpora
+    match    fused matching engine: benchmark it, explain its plan
 
 Shared options (``--seed``, ``--workers``, ``-s/--signatures``) are
 declared once as parent parsers, so their spelling and defaults are
@@ -30,6 +31,7 @@ commands:
   loadgen  replay attack+benign traffic at a gateway, report throughput
   obs      dump a gateway's /metrics or validate a run manifest
   conform  run the differential oracle, record/diff golden corpora
+  match    benchmark the fused matching engine or explain its plan
 
 run `repro <command> --help` for per-command options.
 """
@@ -468,6 +470,62 @@ def _cmd_conform_diff(args: argparse.Namespace) -> int:
     return 6
 
 
+def _cmd_match_bench(args: argparse.Namespace) -> int:
+    from repro.conformance import generate_corpus
+    from repro.match import bench_fused_matching, fused_enabled
+
+    if not fused_enabled():
+        print(
+            "repro match: fused engine is disabled (REPRO_FUSED=0); "
+            "the bench would time the legacy path against itself"
+        )
+        return 2
+    detector, source = _conform_detector(args)
+    payloads = generate_corpus(seed=args.seed, budget=args.budget)
+    print(
+        f"repro match: {len(payloads)} payloads "
+        f"(budget={args.budget}, seed={args.seed}), detector {source}"
+    )
+    result = bench_fused_matching(
+        detector.signature_set, payloads, repeats=args.repeats
+    )
+    print(
+        f"  legacy  {result.legacy_us_per_request:8.1f} us/req\n"
+        f"  fused   {result.fused_us_per_request:8.1f} us/req "
+        f"(p50 {result.fused_p50_us:.1f}, p95 {result.fused_p95_us:.1f})\n"
+        f"  speedup {result.speedup:8.2f}x over "
+        f"{result.signatures} signatures / {result.patterns} patterns\n"
+        f"  verdicts identical: {result.identical}"
+    )
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(result.to_json() + "\n")
+        print(f"wrote {args.json}")
+    return 0 if result.identical else 7
+
+
+def _cmd_match_explain(args: argparse.Namespace) -> int:
+    from repro.match import fused_enabled, matcher_for_patterns
+
+    detector, source = _conform_detector(args)
+    signature_set = detector.signature_set
+    index_of: dict[str, int] = {}
+    for signature in signature_set.signatures:
+        for definition in signature.features:
+            if definition.pattern not in index_of:
+                index_of[definition.pattern] = len(index_of)
+    matcher = matcher_for_patterns(tuple(index_of))
+    state = "on" if fused_enabled() else "off (REPRO_FUSED=0)"
+    print(f"repro match: detector {source}, fused engine {state}")
+    print(matcher.describe())
+    if args.patterns:
+        for plan in matcher.plans:
+            detail = plan.literal or ",".join(plan.factors)
+            suffix = f"  [{detail}]" if detail else ""
+            print(f"  {plan.kind:>9}  {plan.pattern}{suffix}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -682,6 +740,36 @@ def build_parser() -> argparse.ArgumentParser:
         "golden", help="path to a recorded golden .jsonl corpus",
     )
     conform_diff.set_defaults(func=_cmd_conform_diff)
+
+    match = sub.add_parser(
+        "match",
+        help="fused matching engine: benchmark and plan inspection",
+    )
+    match_sub = match.add_subparsers(dest="match_command", required=True)
+    match_bench = match_sub.add_parser(
+        "bench",
+        help="time fused vs legacy serial matching on a fuzz corpus",
+        parents=[conform_options, budget_option],
+    )
+    match_bench.add_argument(
+        "--repeats", type=int, default=5,
+        help="timed passes per engine; best is kept (default: 5)",
+    )
+    match_bench.add_argument(
+        "--json", default=None,
+        help="also write the machine-readable result to this path",
+    )
+    match_bench.set_defaults(func=_cmd_match_bench)
+    match_explain = match_sub.add_parser(
+        "explain",
+        help="print the fused engine's compiled plan census",
+        parents=[conform_options],
+    )
+    match_explain.add_argument(
+        "--patterns", action="store_true",
+        help="also list every pattern with its planned tier",
+    )
+    match_explain.set_defaults(func=_cmd_match_explain)
     return parser
 
 

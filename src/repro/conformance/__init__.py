@@ -31,6 +31,7 @@ from repro.conformance.paths import (
     DetectorPath,
     EngineRunPath,
     GatewayPath,
+    LegacySerialPath,
     SerialPath,
     default_paths,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "GatewayPath",
     "GoldenCorpus",
     "GoldenError",
+    "LegacySerialPath",
     "Oracle",
     "SerialPath",
     "Verdict",

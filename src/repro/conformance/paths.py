@@ -29,6 +29,7 @@ __all__ = [
     "DetectorPath",
     "EngineRunPath",
     "GatewayPath",
+    "LegacySerialPath",
     "SerialPath",
     "default_paths",
 ]
@@ -84,6 +85,29 @@ class SerialPath(DetectorPath):
         return [
             Verdict.from_detection(detector.inspect(p)) for p in payloads
         ]
+
+
+class LegacySerialPath(DetectorPath):
+    """The serial loop with the fused fast path forced off.
+
+    Every other path inherits whatever engine ``SignatureSet`` routes to
+    (the fused one, by default); this path pins the per-signature
+    reference loop, so any fused-vs-legacy disagreement — scores to the
+    last ulp, verdicts exactly — surfaces as a divergence against
+    ``serial`` instead of silently shifting every path together.
+    """
+
+    name = "serial-legacy"
+
+    def run(self, detector, payloads: list[str]) -> list[Verdict]:
+        """One ``inspect`` call per payload under ``fused_disabled()``."""
+        from repro.match import fused_disabled
+
+        with fused_disabled():
+            return [
+                Verdict.from_detection(detector.inspect(p))
+                for p in payloads
+            ]
 
 
 class EngineRunPath(DetectorPath):
@@ -268,7 +292,9 @@ def default_paths(
     cluster_workers: int = 4,
 ) -> list[DetectorPath]:
     """Every registered path, serial (the baseline) first."""
-    paths: list[DetectorPath] = [SerialPath(), EngineRunPath()]
+    paths: list[DetectorPath] = [
+        SerialPath(), LegacySerialPath(), EngineRunPath(),
+    ]
     paths.extend(BatchPath(workers=count) for count in worker_counts)
     paths.append(ClusterPath(workers=cluster_workers))
     if gateway:

@@ -17,8 +17,13 @@ import numpy as np
 
 from repro.features.definitions import FeatureCatalog
 from repro.learn.logistic import LogisticModel, sigmoid
+from repro.match import FusedSetEvaluator, fused_enabled
 from repro.normalize import Normalizer
 from repro.regexlib import compile_pattern
+
+# Sentinel cached when a set's features defeat the fused compiler; the
+# legacy loop then answers every evaluation without retrying the build.
+_UNFUSABLE = object()
 
 
 @dataclass
@@ -101,6 +106,35 @@ class SignatureSet:
     ) -> None:
         self.signatures = list(signatures)
         self.normalizer = normalizer if normalizer is not None else Normalizer()
+        self._fused = None
+
+    def _fused_evaluator(self):
+        """The set's fused evaluator, built lazily; ``_UNFUSABLE`` when
+        the fused compiler rejected the feature union (legacy loop runs
+        instead — slower, never wrong)."""
+        if self._fused is None:
+            try:
+                self._fused = FusedSetEvaluator(self.signatures)
+            except Exception:
+                self._fused = _UNFUSABLE
+        return self._fused
+
+    def warm(self) -> bool:
+        """Build the fused evaluator eagerly (the gateway publish path
+        calls this so the first request never pays compile cost).
+
+        Returns True when the set will take the fused fast path.
+        """
+        if not self.signatures:
+            return False
+        return self._fused_evaluator() is not _UNFUSABLE
+
+    def __getstate__(self) -> dict:
+        """Pickle without the fused evaluator; workers rebuild it lazily
+        from the process-wide matcher memo."""
+        state = dict(self.__dict__)
+        state["_fused"] = None
+        return state
 
     def __len__(self) -> int:
         return len(self.signatures)
@@ -114,6 +148,10 @@ class SignatureSet:
     def probabilities(self, payload: str) -> np.ndarray:
         """Per-signature probabilities for a raw payload."""
         normalized = self.normalizer(payload)
+        if fused_enabled() and self.signatures:
+            evaluator = self._fused_evaluator()
+            if evaluator is not _UNFUSABLE:
+                return np.array(evaluator.probabilities(normalized))
         return np.array(
             [s.probability(normalized) for s in self.signatures]
         )
@@ -131,9 +169,28 @@ class SignatureSet:
     def evaluate_normalized(
         self, normalized_payload: str
     ) -> tuple[float, list[int]]:
-        """:meth:`evaluate` for an already-normalized payload."""
+        """:meth:`evaluate` for an already-normalized payload.
+
+        Takes the fused single-pass engine (:mod:`repro.match`) when it
+        is enabled and the set compiled; otherwise the per-signature
+        reference loop runs.  Both paths produce bit-identical scores
+        and verdicts — the conformance oracle's ``serial-legacy`` path
+        holds them to that.
+        """
         score = 0.0
         fired: list[int] = []
+        if fused_enabled() and self.signatures:
+            evaluator = self._fused_evaluator()
+            if evaluator is not _UNFUSABLE:
+                for signature, probability in zip(
+                    self.signatures,
+                    evaluator.probabilities(normalized_payload),
+                ):
+                    if probability > score:
+                        score = probability
+                    if probability >= signature.threshold:
+                        fired.append(signature.bicluster_index)
+                return score, fired
         for signature in self.signatures:
             probability = signature.probability(normalized_payload)
             if probability > score:
@@ -200,4 +257,9 @@ class SignatureSet:
             )
             for s in self.signatures
         ]
-        return SignatureSet(replaced, normalizer=self.normalizer)
+        swept = SignatureSet(replaced, normalizer=self.normalizer)
+        # Probabilities are independent of thresholds and the sweep keeps
+        # features/models/order, so the fused evaluator carries over —
+        # a 100-point ROC sweep compiles the catalog exactly once.
+        swept._fused = self._fused
+        return swept

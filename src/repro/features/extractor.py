@@ -12,10 +12,15 @@ import numpy as np
 
 from repro.features.definitions import FeatureCatalog, build_catalog
 from repro.features.matrix import FeatureMatrix
+from repro.match import fused_enabled, matcher_for_patterns
 from repro.normalize import Normalizer
 from repro.obs import trace
 from repro.obs.registry import get_registry
 from repro.regexlib import compile_pattern
+
+# Cached when the catalog defeats the fused compiler; the reference loop
+# then answers every extraction without retrying the build.
+_UNFUSABLE = object()
 
 
 class FeatureExtractor:
@@ -33,10 +38,40 @@ class FeatureExtractor:
         self.catalog = catalog if catalog is not None else build_catalog()
         self.normalizer = normalizer if normalizer is not None else Normalizer()
         self._compiled = [compile_pattern(d.pattern) for d in self.catalog]
+        self._fused = None
+
+    def _fused_matcher(self):
+        """The catalog's fused matcher, built lazily; ``_UNFUSABLE``
+        when the catalog cannot be fused (the reference loop runs)."""
+        if self._fused is None:
+            try:
+                self._fused = matcher_for_patterns(
+                    tuple(d.pattern for d in self.catalog)
+                )
+            except Exception:
+                self._fused = _UNFUSABLE
+        return self._fused
+
+    def __getstate__(self) -> dict:
+        """Pickle without the fused matcher; worker processes rebuild it
+        lazily from their own matcher memo."""
+        state = dict(self.__dict__)
+        state["_fused"] = None
+        return state
 
     def extract(self, payload: str) -> np.ndarray:
-        """Count vector for one payload (normalization included)."""
+        """Count vector for one payload (normalization included).
+
+        Runs the fused single-pass engine (:mod:`repro.match`) when
+        enabled, falling back to the per-feature reference loop; the two
+        produce identical counts (the conformance extraction oracle
+        checks this).
+        """
         normalized = self.normalizer(payload)
+        if fused_enabled():
+            matcher = self._fused_matcher()
+            if matcher is not _UNFUSABLE:
+                return matcher.count_vector(normalized).astype(np.int32)
         counts = np.zeros(len(self.catalog), dtype=np.int32)
         for column, compiled in enumerate(self._compiled):
             counts[column] = sum(1 for _ in compiled.finditer(normalized))
@@ -110,6 +145,13 @@ class FeatureExtractor:
             "Payloads run through feature extraction.",
         ).inc(matrix.counts.shape[0])
         totals = matrix.counts.sum(axis=0)
+        if len(totals) != len(matrix.catalog):
+            # zip() over mismatched lengths would silently truncate the
+            # per-feature series instead of surfacing the bad matrix.
+            raise ValueError(
+                f"count matrix is {len(totals)} columns wide but its "
+                f"catalog defines {len(matrix.catalog)} features"
+            )
         total_matches = int(totals.sum())
         registry.counter(
             "repro_features_matches_total",

@@ -20,6 +20,17 @@ from repro.learn.pcg import pcg
 
 def sigmoid(z: np.ndarray | float) -> np.ndarray | float:
     """Numerically stable sigmoid ``1 / (1 + e^{-z})``."""
+    if isinstance(z, (float, int)):
+        # Scalar fast path — the IDS engines call this once per
+        # signature per request, where the array branch's mask plumbing
+        # costs more than the exponential.  np.exp on a float64 scalar
+        # runs the same ufunc inner loop as the array branch, so the
+        # result is bit-identical.
+        value = np.float64(z)
+        if value >= 0:
+            return float(1.0 / (1.0 + np.exp(-value)))
+        exp_z = np.exp(value)
+        return float(exp_z / (1.0 + exp_z))
     z = np.asarray(z, dtype=np.float64)
     out = np.empty_like(z)
     positive = z >= 0

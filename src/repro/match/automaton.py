@@ -1,0 +1,159 @@
+"""Merged multi-pattern NFA with lazy subset determinization.
+
+Patterns that carry no usable literal factor still need a cheap presence
+gate before the engine pays for an exact ``finditer``.  Each such
+pattern's Thompson NFA (built by :mod:`repro.regexlib.nfa`) is copied
+into one shared state arena via :class:`~repro.regexlib.nfa.NfaFragment`
+renumbering, a super-start state ε-fans out to every pattern's start, and
+accepting states are tagged with their pattern's identity.  One subset
+simulation of the merged machine then decides, for the whole group at
+once, which patterns occur anywhere in the payload.
+
+Determinization is lazy: transitions are computed on first use and cached
+per ``(dfa_state, character)``, so the DFA only materializes the state
+space real traffic exercises.  The super-start is re-injected into every
+step, which makes the run an *unanchored* search exactly like
+``NfaMatcher.search``.  A state budget guards against pathological
+blow-up — exceeding it raises :class:`DfaBudgetError` and the engine
+falls back to per-pattern ``finditer``, trading speed, never answers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.regexlib.nfa import NfaMatcher
+
+_MAX_DFA_STATES = 10_000
+
+
+class DfaBudgetError(RuntimeError):
+    """Raised when lazy determinization exceeds its state budget."""
+
+
+class UnmergeablePatternError(ValueError):
+    """Raised for patterns the merged automaton cannot host.
+
+    Boundary guards (``\\b``/``\\B``) need positional context that the
+    character-keyed transition cache cannot carry.
+    """
+
+
+class MergedAutomaton:
+    """A union automaton answering "which patterns occur?" in one pass.
+
+    Attributes:
+        tagged_patterns: the ``(tag, pattern)`` pairs hosted, in input
+            order; tags come back out of :meth:`present`.
+    """
+
+    def __init__(self, tagged_patterns: Sequence[tuple[int, str]]) -> None:
+        self.tagged_patterns = tuple(tagged_patterns)
+        epsilon: list[list[int]] = [[]]
+        charsets: list = [None]
+        targets: list[int] = [-1]
+        accept_tags: dict[int, int] = {}
+        for tag, pattern in self.tagged_patterns:
+            fragment = NfaMatcher(pattern).fragment()
+            if fragment.has_guards:
+                raise UnmergeablePatternError(
+                    f"{pattern!r} uses \\b/\\B guards"
+                )
+            offset = len(charsets)
+            for state in range(len(fragment.charsets)):
+                epsilon.append(
+                    [t + offset for t in fragment.epsilon[state]]
+                )
+                charsets.append(fragment.charsets[state])
+                target = fragment.targets[state]
+                targets.append(target + offset if target >= 0 else -1)
+            epsilon[0].append(fragment.start + offset)
+            accept_tags[fragment.accept + offset] = tag
+        self._epsilon = epsilon
+        self._charsets = charsets
+        self._targets = targets
+        self._accept_tags = accept_tags
+        self._tag_total = len({tag for tag, _ in self.tagged_patterns})
+        initial = frozenset(self._closure({0}))
+        self._sets: list[frozenset[int]] = [initial]
+        self._ids: dict[frozenset[int], int] = {initial: 0}
+        self._rows: list[dict[str, int]] = [{}]
+        self._state_tags: list[frozenset[int]] = [self._tags_of(initial)]
+
+    def _closure(self, states: set[int]) -> set[int]:
+        stack = list(states)
+        seen = set(states)
+        epsilon = self._epsilon
+        while stack:
+            state = stack.pop()
+            for nxt in epsilon[state]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def _tags_of(self, states: frozenset[int]) -> frozenset[int]:
+        accept_tags = self._accept_tags
+        return frozenset(
+            accept_tags[s] for s in states if s in accept_tags
+        )
+
+    def _step(self, state_id: int, ch: str) -> int:
+        moved = {0}
+        charsets = self._charsets
+        targets = self._targets
+        for state in self._sets[state_id]:
+            charset = charsets[state]
+            if charset is not None and charset.matches(ch):
+                moved.add(targets[state])
+        key = frozenset(self._closure(moved))
+        found = self._ids.get(key)
+        if found is None:
+            if len(self._sets) >= _MAX_DFA_STATES:
+                raise DfaBudgetError(
+                    f"merged DFA exceeded {_MAX_DFA_STATES} states"
+                )
+            found = len(self._sets)
+            self._sets.append(key)
+            self._rows.append({})
+            self._state_tags.append(self._tags_of(key))
+            self._ids[key] = found
+        self._rows[state_id][ch] = found
+        return found
+
+    def present(self, text: str) -> set[int]:
+        """Tags of every hosted pattern occurring anywhere in *text*.
+
+        Raises:
+            DfaBudgetError: when determinization blows the state budget;
+                the caller must fall back to per-pattern matching.
+        """
+        found: set[int] = set()
+        rows = self._rows
+        state_tags = self._state_tags
+        state = 0
+        for ch in text:
+            nxt = rows[state].get(ch)
+            if nxt is None:
+                nxt = self._step(state, ch)
+            state = nxt
+            tags = state_tags[state]
+            if tags and not tags <= found:
+                found |= tags
+                if len(found) == self._tag_total:
+                    break
+        return found
+
+    @property
+    def dfa_states(self) -> int:
+        """Materialized DFA state count (grows lazily with traffic)."""
+        return len(self._sets)
+
+    @property
+    def nfa_states(self) -> int:
+        """Size of the merged NFA state arena (including super-start)."""
+        return len(self._charsets)
+
+    def __reduce__(self):
+        """Pickle as a rebuild recipe; the lazy DFA re-warms per process."""
+        return (MergedAutomaton, (self.tagged_patterns,))

@@ -1,0 +1,160 @@
+"""Fused-versus-legacy serial matching benchmark.
+
+One signature set, one payload mix, two engines: the fused single-pass
+path and the per-signature reference loop (forced via
+:func:`repro.match.fused_disabled`).  Aggregate µs/request comes from the
+best of several whole-trace passes (robust to scheduler noise); the
+percentile columns come from one instrumented per-request pass with the
+measured ``perf_counter`` overhead subtracted, mirroring the discipline
+of :func:`repro.parallel.batch.bench_batch_matching`.
+
+The result serializes to the machine-readable
+``benchmarks/results/BENCH_matching.json`` artifact that CI's
+``scripts/ci_bench_guard.py`` compares against the committed baseline —
+the first entry of the ROADMAP's bench-trajectory ledger.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FusedMatchBench:
+    """One fused-versus-legacy serial matching measurement.
+
+    Attributes:
+        requests: payloads per timed pass.
+        signatures: signature count of the measured set.
+        patterns: distinct feature patterns the fused engine compiled.
+        legacy_us_per_request: reference-loop mean µs per request.
+        fused_us_per_request: fused-path mean µs per request.
+        speedup: ``legacy / fused``.
+        fused_p50_us: median fused per-request latency.
+        fused_p95_us: 95th-percentile fused per-request latency.
+        identical: every verdict (score bits and fired tuple) matched
+            between the two engines.
+    """
+
+    requests: int
+    signatures: int
+    patterns: int
+    legacy_us_per_request: float
+    fused_us_per_request: float
+    speedup: float
+    fused_p50_us: float
+    fused_p95_us: float
+    identical: bool
+
+    def to_json(self) -> str:
+        """The ``BENCH_matching.json`` artifact body."""
+        return json.dumps(
+            {
+                "bench": "serial_matching",
+                "requests": self.requests,
+                "signatures": self.signatures,
+                "patterns": self.patterns,
+                "legacy_us_per_request": round(
+                    self.legacy_us_per_request, 3
+                ),
+                "fused_us_per_request": round(
+                    self.fused_us_per_request, 3
+                ),
+                "speedup": round(self.speedup, 3),
+                "fused_p50_us": round(self.fused_p50_us, 3),
+                "fused_p95_us": round(self.fused_p95_us, 3),
+                "identical": self.identical,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def _best_pass_seconds(
+    signature_set, normalized: list[str], repeats: int
+) -> float:
+    best = float("inf")
+    evaluate = signature_set.evaluate_normalized
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for payload in normalized:
+            evaluate(payload)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def bench_fused_matching(
+    signature_set,
+    payloads: Sequence[str],
+    *,
+    repeats: int = 5,
+) -> FusedMatchBench:
+    """Measure ``evaluate_normalized`` with and without the fused engine.
+
+    Both engines see identical pre-normalized inputs (normalization cost
+    is the same fixed prologue either way and is excluded, exactly like
+    the exp4 matching bench).  Verdict parity is checked on every
+    payload before any timing.
+    """
+    # Deferred: repro.parallel reaches back through the detector stack
+    # into repro.match, so a module-level import would be circular.
+    from repro.match import fused_disabled
+    from repro.parallel.timing import timer_overhead
+
+    normalized = [signature_set.normalizer(p) for p in payloads]
+    signature_set.warm()
+
+    fused_verdicts = [
+        signature_set.evaluate_normalized(n) for n in normalized
+    ]
+    with fused_disabled():
+        legacy_verdicts = [
+            signature_set.evaluate_normalized(n) for n in normalized
+        ]
+    identical = fused_verdicts == legacy_verdicts
+
+    fused_total = _best_pass_seconds(signature_set, normalized, repeats)
+    with fused_disabled():
+        legacy_total = _best_pass_seconds(
+            signature_set, normalized, repeats
+        )
+
+    overhead = timer_overhead()
+    samples = []
+    evaluate = signature_set.evaluate_normalized
+    for payload in normalized:
+        start = time.perf_counter()
+        evaluate(payload)
+        samples.append(
+            max(time.perf_counter() - start - overhead, 0.0)
+        )
+    samples.sort()
+    count = len(samples)
+    p50 = samples[count // 2] if count else 0.0
+    p95 = samples[min(count - 1, int(count * 0.95))] if count else 0.0
+
+    n = max(count, 1)
+    fused_us = fused_total / n * 1e6
+    legacy_us = legacy_total / n * 1e6
+    evaluator = signature_set._fused_evaluator()
+    patterns = (
+        len(evaluator.matcher.patterns)
+        if evaluator is not None and hasattr(evaluator, "matcher")
+        else 0
+    )
+    return FusedMatchBench(
+        requests=count,
+        signatures=len(signature_set),
+        patterns=patterns,
+        legacy_us_per_request=legacy_us,
+        fused_us_per_request=fused_us,
+        speedup=legacy_us / fused_us if fused_us > 0 else 1.0,
+        fused_p50_us=p50 * 1e6,
+        fused_p95_us=p95 * 1e6,
+        identical=identical,
+    )

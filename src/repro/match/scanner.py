@@ -1,0 +1,170 @@
+"""Shared single-pass token scanning for literal-derived features.
+
+The catalog is dominated by literal shapes — reserved words behind
+``\\b…\\b`` guards plus punctuation fragments — and the legacy path paid
+one ``finditer`` traversal per feature for them.  Here one compiled scan
+over the case-folded payload indexes *every* occurrence of *every*
+multi-character vocabulary token:
+
+The scan pattern is a zero-width lookahead alternation
+``(?=(tok1|tok2|…))`` with tokens ordered longest first.  At each payload
+position the regex engine therefore reports the longest vocabulary token
+matching there; any other token matching at the same position is
+necessarily a prefix of the reported one, so a precomputed prefix closure
+recovers the complete per-token occurrence lists exactly.  This is the
+Aho–Corasick output-closure construction with CPython's C regex loop as
+the scanning automaton.  Single-character tokens bypass the automaton
+entirely — ``str.count``/``in`` are C-speed and exact.
+
+Everything here assumes ASCII text: ``str.lower()`` agrees with
+``re.IGNORECASE``'s simple case folding only there, which is why the
+engine routes non-ASCII payloads around the scanner altogether.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+
+def _is_word_char(ch: str) -> bool:
+    """ASCII ``\\w`` membership; the empty string is a non-word edge."""
+    return bool(ch) and (ch.isalnum() or ch == "_")
+
+
+class ScanResult:
+    """Occurrence index of one scanned payload.
+
+    Attributes:
+        lowered: the case-folded payload text that was scanned.
+    """
+
+    __slots__ = ("lowered", "_hits")
+
+    def __init__(self, lowered: str, hits: dict[str, list[int]]) -> None:
+        self.lowered = lowered
+        self._hits = hits
+
+    def positions(self, token: str) -> list[int]:
+        """Ascending start offsets of every occurrence of *token*."""
+        if len(token) == 1:
+            out: list[int] = []
+            find = self.lowered.find
+            position = find(token)
+            while position != -1:
+                out.append(position)
+                position = find(token, position + 1)
+            return out
+        return self._hits.get(token, [])
+
+    def present(self, token: str) -> bool:
+        """True when *token* occurs at least once."""
+        if len(token) == 1:
+            return token in self.lowered
+        return token in self._hits
+
+    def count(self, token: str) -> int:
+        """Non-overlapping occurrences of *token*.
+
+        Exactly ``sum(1 for _ in re.finditer(re.escape(token), text,
+        re.IGNORECASE))``: occurrences are taken left to right, and one
+        starting inside the previous accepted occurrence is skipped.
+        """
+        if len(token) == 1:
+            return self.lowered.count(token)
+        positions = self._hits.get(token)
+        if not positions:
+            return 0
+        length = len(token)
+        taken = 0
+        end = 0
+        for position in positions:
+            if position >= end:
+                taken += 1
+                end = position + length
+        return taken
+
+    def count_word(self, token: str) -> int:
+        """Non-overlapping occurrences of ``\\b<token>\\b``.
+
+        The boundary filter is generic over the token's edge characters:
+        a ``\\b`` between positions holds when exactly one side is a word
+        character, so a rejected (boundary-less) occurrence does not
+        advance the non-overlap cursor — mirroring ``finditer``, which
+        never matched there at all.
+        """
+        positions = self.positions(token)
+        if not positions:
+            return 0
+        lowered = self.lowered
+        size = len(lowered)
+        length = len(token)
+        first_is_word = _is_word_char(token[0])
+        last_is_word = _is_word_char(token[-1])
+        taken = 0
+        end = 0
+        for position in positions:
+            if position < end:
+                continue
+            before = lowered[position - 1] if position > 0 else ""
+            if _is_word_char(before) == first_is_word:
+                continue
+            tail = position + length
+            after = lowered[tail] if tail < size else ""
+            if _is_word_char(after) == last_is_word:
+                continue
+            taken += 1
+            end = tail
+        return taken
+
+
+class TokenScanner:
+    """One compiled scan shared by every literal-derived feature.
+
+    Attributes:
+        vocabulary: the full token set the scanner indexes.
+    """
+
+    def __init__(self, tokens: Iterable[str]) -> None:
+        vocabulary = set(tokens)
+        for token in vocabulary:
+            if not token:
+                raise ValueError("empty token in scanner vocabulary")
+            if not token.isascii() or token != token.lower():
+                raise ValueError(
+                    f"scanner tokens must be lowercase ASCII: {token!r}"
+                )
+        self.vocabulary = frozenset(vocabulary)
+        multi = sorted(
+            (t for t in vocabulary if len(t) > 1),
+            key=lambda t: (-len(t), t),
+        )
+        self._closure = {
+            token: tuple(u for u in multi if token.startswith(u))
+            for token in multi
+        }
+        if multi:
+            alternation = "|".join(re.escape(t) for t in multi)
+            self._finditer = re.compile(f"(?=({alternation}))").finditer
+        else:
+            self._finditer = None
+
+    def scan(self, lowered: str) -> ScanResult:
+        """Index every multi-character token occurrence in *lowered*.
+
+        *lowered* must already be case-folded ASCII (the engine lowers
+        the normalized payload once for all tokens).
+        """
+        hits: dict[str, list[int]] = {}
+        finditer = self._finditer
+        if finditer is not None:
+            closure = self._closure
+            for match in finditer(lowered):
+                start = match.start()
+                for token in closure[match.group(1)]:
+                    bucket = hits.get(token)
+                    if bucket is None:
+                        hits[token] = [start]
+                    else:
+                        bucket.append(start)
+        return ScanResult(lowered, hits)

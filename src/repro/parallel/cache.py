@@ -21,6 +21,9 @@ from typing import Any
 from repro.normalize import Normalizer
 from repro.obs.registry import get_registry
 
+# CachedNormalizer's miss marker; never visible to callers.
+_MISS = object()
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -69,12 +72,18 @@ class LruCache:
 
     _MISSING = object()
 
-    def get(self, key: Any) -> Any:
-        """Value for *key*, or ``None`` on a miss (counters updated)."""
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Value for *key*, or *default* on a miss (counters updated).
+
+        ``None`` and other falsy values are legal cached values, not miss
+        markers: a caller that must tell a stored-``None`` hit apart from
+        a miss passes its own private sentinel as *default* and compares
+        with ``is``.
+        """
         value = self._entries.get(key, self._MISSING)
         if value is self._MISSING:
             self.misses += 1
-            return None
+            return default
         self.hits += 1
         self._entries.move_to_end(key)
         return value
@@ -152,8 +161,10 @@ class CachedNormalizer:
         )
 
     def __call__(self, text: str) -> str:
-        cached = self.cache.get(text)
-        if cached is not None:
+        # A sentinel default distinguishes a hit whose cached value is
+        # the empty string (or any falsy normalization) from a miss.
+        cached = self.cache.get(text, _MISS)
+        if cached is not _MISS:
             self._hits_counter.inc()
             return cached
         normalized = self.normalizer(text)

@@ -1,8 +1,18 @@
 """Regex utilities: structural deconstruction and the count_all matcher."""
 
-from repro.regexlib.nfa import CharSet, NfaMatcher, UnsupportedPatternError
+from repro.regexlib.nfa import (
+    CharSet,
+    NfaFragment,
+    NfaMatcher,
+    Node,
+    UnsupportedPatternError,
+    parse_pattern,
+)
 from repro.regexlib.ops import (
+    CompileCacheStats,
     PatternError,
+    compile_cache_clear,
+    compile_cache_stats,
     compile_pattern,
     count_all,
     matches,
@@ -28,11 +38,17 @@ __all__ = [
     "deconstruct",
     "literal_text",
     "PatternError",
+    "CompileCacheStats",
+    "compile_cache_clear",
+    "compile_cache_stats",
     "compile_pattern",
     "count_all",
     "matches",
     "validate",
     "NfaMatcher",
+    "NfaFragment",
+    "Node",
+    "parse_pattern",
     "CharSet",
     "UnsupportedPatternError",
     "lint_pattern",

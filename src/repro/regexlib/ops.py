@@ -5,31 +5,101 @@ two parameters, a regular expression and a string, and returned the number
 of times the regular expression was found in the string."  Every feature
 extraction and every pSigene signature evaluation goes through this
 function, so the compile cache matters for the performance experiment.
+
+The cache is an explicit process-wide memo keyed on ``(pattern,
+ignore_case)`` rather than ``functools.lru_cache``: keyword arguments
+make ``lru_cache`` key ``compile_pattern(p)`` and
+``compile_pattern(p, ignore_case=True)`` as *different* entries, and its
+counters cannot be asserted against in regression tests.  The memo is
+what keeps ``SignatureSet.with_threshold`` ROC sweeps from recompiling
+the whole catalog once per threshold point.
 """
 
 from __future__ import annotations
 
 import re
-from functools import lru_cache
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
 
 
 class PatternError(ValueError):
     """Raised when a feature pattern does not compile."""
 
 
-@lru_cache(maxsize=4096)
-def compile_pattern(pattern: str, *, ignore_case: bool = True) -> re.Pattern[str]:
-    """Compile and cache *pattern*.
+@dataclass(frozen=True)
+class CompileCacheStats:
+    """Counters for the process-wide pattern compile cache.
+
+    Attributes:
+        hits: compilations served from the memo.
+        misses: compilations that invoked ``re.compile`` successfully.
+        size: distinct ``(pattern, ignore_case)`` entries retained.
+        maxsize: retention capacity (least-recent entries evicted beyond
+            it).
+    """
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+
+_CACHE_MAXSIZE = 4096
+_cache: OrderedDict[tuple[str, bool], re.Pattern[str]] = OrderedDict()
+_cache_lock = threading.Lock()
+_cache_hits = 0
+_cache_misses = 0
+
+
+def compile_pattern(
+    pattern: str, *, ignore_case: bool = True
+) -> re.Pattern[str]:
+    """Compile *pattern*, memoized on ``(pattern, ignore_case)``.
 
     SQLi signatures are case-insensitive by convention (the ModSecurity CRS
     examples in the paper are "seven case insensitive groups"), so
     ``ignore_case`` defaults to true.
     """
+    global _cache_hits, _cache_misses
+    key = (pattern, ignore_case)
+    with _cache_lock:
+        cached = _cache.get(key)
+        if cached is not None:
+            _cache_hits += 1
+            _cache.move_to_end(key)
+            return cached
     flags = re.IGNORECASE if ignore_case else 0
     try:
-        return re.compile(pattern, flags)
+        compiled = re.compile(pattern, flags)
     except re.error as exc:
         raise PatternError(f"cannot compile {pattern!r}: {exc}") from exc
+    with _cache_lock:
+        _cache_misses += 1
+        _cache[key] = compiled
+        if len(_cache) > _CACHE_MAXSIZE:
+            _cache.popitem(last=False)
+    return compiled
+
+
+def compile_cache_stats() -> CompileCacheStats:
+    """Snapshot of the compile memo's counters."""
+    with _cache_lock:
+        return CompileCacheStats(
+            hits=_cache_hits,
+            misses=_cache_misses,
+            size=len(_cache),
+            maxsize=_CACHE_MAXSIZE,
+        )
+
+
+def compile_cache_clear() -> None:
+    """Drop every memoized pattern and reset the counters (tests)."""
+    global _cache_hits, _cache_misses
+    with _cache_lock:
+        _cache.clear()
+        _cache_hits = 0
+        _cache_misses = 0
 
 
 def count_all(pattern: str, text: str, *, ignore_case: bool = True) -> int:

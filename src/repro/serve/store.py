@@ -33,6 +33,14 @@ class StoreError(ValueError):
     """Raised when a swap cannot be performed; the old version survives."""
 
 
+def _warm_detector(detector: Detector) -> None:
+    """Eagerly build the fused fast path for *detector*, if it has one."""
+    signature_set = getattr(detector, "signature_set", None)
+    warm = getattr(signature_set, "warm", None)
+    if callable(warm):
+        warm()
+
+
 @dataclass(frozen=True)
 class StoreVersion:
     """One immutable published generation of the mounted detector.
@@ -74,6 +82,7 @@ class SignatureStore:
         self.telemetry = telemetry
         self._factory = detector_factory
         self._swap_lock = threading.Lock()
+        _warm_detector(detector)
         self._current = StoreVersion(
             version=1, detector=detector, source=source
         )
@@ -121,7 +130,14 @@ class SignatureStore:
         return StoreError(message)
 
     def swap_detector(self, detector: Detector, *, source: str) -> StoreVersion:
-        """Publish ``detector`` as the next generation."""
+        """Publish ``detector`` as the next generation.
+
+        The detector's fused matching plan is compiled *before* the
+        version pointer moves, so the first request against the new
+        generation never pays compile cost (copy-on-write includes the
+        fast path, not just the parse).
+        """
+        _warm_detector(detector)
         with self._swap_lock:
             published = StoreVersion(
                 version=self._current.version + 1,

@@ -182,6 +182,37 @@ class TestPathRegistry:
         assert names.index("serial") < names.index("gateway")
         assert {"batch-w1", "batch-w2", "batch-w8"} <= set(names)
 
+    def test_legacy_serial_path_is_registered(self):
+        # The fused-vs-legacy differential must run on every oracle
+        # invocation, right after the ground-truth path.
+        names = [p.name for p in default_paths()]
+        assert names[1] == "serial-legacy"
+
+
+class TestLegacySerialPath:
+    def test_agrees_with_fused_serial(self, small_signatures):
+        from repro.conformance import LegacySerialPath
+
+        detector = PSigeneDetector(small_signatures)
+        fused = SerialPath().run(detector, PAYLOADS)
+        legacy = LegacySerialPath().run(detector, PAYLOADS)
+        assert fused == legacy
+
+    def test_runs_with_fused_disabled(self):
+        from repro.conformance import LegacySerialPath
+        from repro.match import fused_enabled
+
+        class Probe:
+            name = "probe"
+
+            def inspect(self, payload):
+                states.append(fused_enabled())
+                return toy_detector().inspect(payload)
+
+        states: list[bool] = []
+        LegacySerialPath().run(Probe(), ["x"])
+        assert states == [False]
+
     def test_cluster_path_requires_a_signature_set(self, small_signatures):
         path = ClusterPath()
         assert not path.supports(toy_detector())

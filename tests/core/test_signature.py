@@ -162,6 +162,79 @@ class TestSignatureSet:
         assert SignatureSet([]).evaluate("1' union select 1") == (0.0, [])
 
 
+class TestEvaluateNormalizedEdges:
+    def _tie_signature(self, threshold):
+        """Zero model: probability is exactly sigmoid(0) = 0.5 always."""
+        catalog = build_catalog()
+        features = catalog.subset([0, 1])
+        return GeneralizedSignature(
+            bicluster_index=1,
+            features=features,
+            model=LogisticModel(np.zeros(3)),
+            threshold=threshold,
+            bicluster_feature_count=10,
+            training_samples=100,
+        )
+
+    def test_empty_set(self):
+        assert SignatureSet([]).evaluate_normalized("payload") == (
+            0.0, []
+        )
+
+    def test_empty_set_does_not_warm(self):
+        assert SignatureSet([]).warm() is False
+
+    def test_all_below_threshold(self):
+        signatures = SignatureSet([self._tie_signature(0.99)])
+        score, fired = signatures.evaluate_normalized("id=1")
+        assert score == 0.5
+        assert fired == []
+
+    def test_probability_exactly_at_threshold_fires(self):
+        # Alerting is >=, not >: a probability equal to the threshold
+        # must fire, on the fused and the legacy path alike.
+        from repro.match import fused_disabled
+
+        signatures = SignatureSet([self._tie_signature(0.5)])
+        score, fired = signatures.evaluate_normalized("anything")
+        assert (score, fired) == (0.5, [1])
+        with fused_disabled():
+            assert signatures.evaluate_normalized("anything") == (
+                0.5, [1]
+            )
+
+    def test_fused_agrees_with_legacy_over_fuzz_corpus(
+        self, small_signatures
+    ):
+        from repro.conformance import generate_corpus
+        from repro.match import fused_disabled
+
+        payloads = generate_corpus(seed=97, budget="small")
+        normalized = [small_signatures.normalizer(p) for p in payloads]
+        fused = [
+            small_signatures.evaluate_normalized(n) for n in normalized
+        ]
+        with fused_disabled():
+            legacy = [
+                small_signatures.evaluate_normalized(n)
+                for n in normalized
+            ]
+        assert fused == legacy
+
+    def test_threshold_sweep_compiles_nothing_new(self, small_signatures):
+        # The with_threshold ROC sweep reuses both the compile memo and
+        # the fused evaluator: after one evaluation, sweeping thresholds
+        # must not invoke re.compile again.
+        from repro.regexlib import compile_cache_stats
+
+        small_signatures.evaluate_normalized("1' union select 1")
+        before = compile_cache_stats().misses
+        for threshold in (0.1, 0.5, 0.9, 0.99):
+            swept = small_signatures.with_threshold(threshold)
+            swept.evaluate_normalized("1' union select 1")
+        assert compile_cache_stats().misses == before
+
+
 class TestTrainedSignatures:
     """Against the session-scoped trained pipeline."""
 

@@ -100,3 +100,32 @@ class TestWithCatalog:
     def test_shares_normalizer(self, extractor):
         subset = extractor.catalog.subset([0])
         assert extractor.with_catalog(subset).normalizer is extractor.normalizer
+
+
+class _StubSpan:
+    def set(self, **fields):
+        pass
+
+
+class _StubMatrix:
+    """A count matrix whose shape disagrees with its catalog.
+
+    FeatureMatrix validates its own shape at construction, so driving
+    the metrics-recording guard requires bypassing it.
+    """
+
+    def __init__(self, columns, catalog):
+        self.counts = np.zeros((2, columns), dtype=np.int32)
+        self.catalog = catalog
+
+
+class TestRecordMetrics:
+    def test_mismatched_matrix_rejected(self, extractor):
+        catalog = extractor.catalog
+        bad = _StubMatrix(len(catalog) - 1, catalog)
+        with pytest.raises(ValueError, match="columns wide"):
+            extractor._record_metrics(bad, _StubSpan())
+
+    def test_well_shaped_matrix_accepted(self, extractor):
+        matrix = extractor.extract_many(["id=1' union select 1"])
+        extractor._record_metrics(matrix, _StubSpan())

@@ -1,0 +1,79 @@
+"""Merged automaton: presence must agree with ``re.search`` everywhere."""
+
+import pickle
+import random
+import re
+import string
+
+import pytest
+
+from repro.match.automaton import (
+    MergedAutomaton,
+    UnmergeablePatternError,
+)
+
+PATTERNS = [
+    r"[0-9][a-f]",
+    r"=\s*\(",
+    r"[^a-z0-9]{3}",
+    r"%[0-9a-f][0-9a-f]",
+    r"(x|y)z+",
+]
+
+
+def reference_present(pattern: str, text: str) -> bool:
+    return re.search(pattern, text, re.IGNORECASE) is not None
+
+
+class TestMergedAutomaton:
+    def test_rejects_boundary_patterns(self):
+        with pytest.raises(UnmergeablePatternError):
+            MergedAutomaton([(0, r"\bx\b")])
+
+    def test_single_pattern_presence(self):
+        automaton = MergedAutomaton([(7, r"[0-9][a-f]")])
+        assert automaton.present("payload 3f here") == {7}
+        assert automaton.present("no digits") == set()
+
+    def test_empty_text(self):
+        automaton = MergedAutomaton(list(enumerate(PATTERNS)))
+        assert automaton.present("") == set()
+
+    def test_unanchored_search(self):
+        automaton = MergedAutomaton([(0, r"zq")])
+        assert automaton.present("prefix zq suffix") == {0}
+        assert automaton.present("z q") == set()
+
+    def test_case_insensitive(self):
+        automaton = MergedAutomaton([(0, r"(x|y)z+")])
+        assert automaton.present("XZ") == {0}
+
+    def test_differential_against_re_search(self):
+        automaton = MergedAutomaton(list(enumerate(PATTERNS)))
+        rng = random.Random(2012)
+        alphabet = string.ascii_letters + string.digits + "%=() '-;"
+        for _ in range(300):
+            text = "".join(
+                rng.choice(alphabet)
+                for _ in range(rng.randrange(0, 40))
+            )
+            expected = {
+                i for i, p in enumerate(PATTERNS)
+                if reference_present(p, text)
+            }
+            assert automaton.present(text) == expected, text
+
+    def test_lazy_dfa_grows_with_traffic(self):
+        automaton = MergedAutomaton(list(enumerate(PATTERNS)))
+        before = automaton.dfa_states
+        automaton.present("1a %3f =( !!!")
+        assert automaton.dfa_states > before
+
+    def test_pickle_roundtrip_rebuilds(self):
+        automaton = MergedAutomaton(list(enumerate(PATTERNS)))
+        automaton.present("warm the cache 3f")
+        clone = pickle.loads(pickle.dumps(automaton))
+        assert clone.tagged_patterns == automaton.tagged_patterns
+        assert clone.present("payload 3f") == automaton.present(
+            "payload 3f"
+        )

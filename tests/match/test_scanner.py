@@ -1,0 +1,104 @@
+"""Token scanner: counts must replay ``re.finditer`` exactly."""
+
+import re
+
+import pytest
+
+from repro.match.scanner import ScanResult, TokenScanner
+
+
+def reference_count(token: str, text: str) -> int:
+    return sum(
+        1 for _ in re.finditer(re.escape(token), text, re.IGNORECASE)
+    )
+
+
+def reference_word_count(token: str, text: str) -> int:
+    return sum(1 for _ in re.finditer(
+        rf"\b{re.escape(token)}\b", text, re.IGNORECASE
+    ))
+
+
+class TestTokenScanner:
+    def test_rejects_empty_token(self):
+        with pytest.raises(ValueError):
+            TokenScanner([""])
+
+    def test_rejects_uppercase_token(self):
+        with pytest.raises(ValueError):
+            TokenScanner(["Union"])
+
+    def test_rejects_non_ascii_token(self):
+        with pytest.raises(ValueError):
+            TokenScanner(["sélect"])
+
+    def test_empty_vocabulary_scans(self):
+        result = TokenScanner([]).scan("anything")
+        assert isinstance(result, ScanResult)
+        assert not result.present("x" * 2)
+
+    def test_positions_are_all_occurrences(self):
+        scanner = TokenScanner(["ab"])
+        assert scanner.scan("abab xab").positions("ab") == [0, 2, 6]
+
+    def test_shadowed_prefix_still_counted(self):
+        # "un" matches at position 0 where the longer "union" wins the
+        # alternation; the prefix closure must recover it.
+        scanner = TokenScanner(["union", "un"])
+        result = scanner.scan("union")
+        assert result.positions("union") == [0]
+        assert result.positions("un") == [0]
+
+    def test_single_char_token_uses_str_count(self):
+        scanner = TokenScanner(["'"])
+        result = scanner.scan("a'b''c")
+        assert result.count("'") == 3
+        assert result.positions("'") == [1, 3, 4]
+        assert result.present("'")
+
+    def test_nonoverlap_discipline(self):
+        # "aa" in "aaaa": finditer takes 0 and 2, skips 1 and 3.
+        scanner = TokenScanner(["aa"])
+        assert scanner.scan("aaaa").count("aa") == 2
+        assert reference_count("aa", "aaaa") == 2
+
+    def test_count_word_boundaries(self):
+        scanner = TokenScanner(["or"])
+        result = scanner.scan("or for order or")
+        assert result.count_word("or") == reference_word_count(
+            "or", "or for order or"
+        )
+
+    def test_count_word_rejected_position_does_not_advance(self):
+        # In "oror" the occurrence at 0 fails the trailing boundary; the
+        # one at 2 must still be eligible (finditer never consumed 0).
+        scanner = TokenScanner(["or"])
+        text = "oror "
+        assert scanner.scan(text).count_word("or") == (
+            reference_word_count("or", text)
+        )
+
+    def test_punctuation_edge_tokens(self):
+        # A token starting with non-word chars flips the boundary sense.
+        scanner = TokenScanner(["--"])
+        for text in ("a--b", "--", "a -- b", "----"):
+            assert scanner.scan(text).count_word("--") == (
+                reference_word_count("--", text)
+            ), text
+
+    @pytest.mark.parametrize("token", ["select", "'", "1=1", "--", "or"])
+    def test_counts_match_reference_on_corpus(self, token):
+        scanner = TokenScanner(["select", "'", "1=1", "--", "or"])
+        payloads = [
+            "1' or '1'='1", "select * from t -- comment",
+            "ORDER BY 1--", "union all select null,null",
+            "x" * 50, "", "or or or", "1=1=1=1", "---- --",
+        ]
+        for payload in payloads:
+            result = scanner.scan(payload.lower())
+            assert result.count(token) == reference_count(
+                token, payload
+            ), (token, payload)
+            assert result.count_word(token) == reference_word_count(
+                token, payload
+            ), (token, payload)

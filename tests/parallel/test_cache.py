@@ -44,6 +44,24 @@ class TestLruCache:
         with pytest.raises(ValueError):
             LruCache(maxsize=-1)
 
+    def test_get_returns_caller_default_on_miss(self):
+        cache = LruCache(maxsize=4)
+        sentinel = object()
+        assert cache.get("absent", sentinel) is sentinel
+        assert cache.get("absent", 0) == 0
+
+    def test_falsy_cached_values_are_hits(self):
+        # None, "", and 0 are legitimate cached values; a sentinel
+        # default must distinguish them from a miss.
+        cache = LruCache(maxsize=4)
+        sentinel = object()
+        for key, value in (("n", None), ("e", ""), ("z", 0)):
+            cache.put(key, value)
+            assert cache.get(key, sentinel) is not sentinel
+            assert cache.get(key, sentinel) == value
+        stats = cache.stats()
+        assert stats.misses == 0
+
 
 class TestCachedNormalizer:
     def test_identical_to_plain_normalizer(self):
@@ -78,6 +96,17 @@ class TestCachedNormalizer:
 
     def test_names_delegate(self):
         assert CachedNormalizer().names() == Normalizer().names()
+
+    def test_empty_normalized_form_is_cached(self):
+        # A payload normalizing to "" must hit the cache on repeat —
+        # with a None-based miss test the falsy result re-normalized
+        # (and recounted as a miss) every time.
+        cached = CachedNormalizer()
+        payload = ""
+        assert cached(payload) == Normalizer()(payload)
+        cached(payload)
+        stats = cached.stats()
+        assert stats.hits == 1 and stats.misses == 1
 
     def test_pickle_drops_entries_keeps_config(self):
         cached = CachedNormalizer(maxsize=77)

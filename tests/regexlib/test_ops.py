@@ -4,6 +4,8 @@ import pytest
 
 from repro.regexlib import (
     PatternError,
+    compile_cache_clear,
+    compile_cache_stats,
     compile_pattern,
     count_all,
     matches,
@@ -83,3 +85,35 @@ class TestCompileCache:
         ci = compile_pattern("flagtest", ignore_case=True)
         cs = compile_pattern("flagtest", ignore_case=False)
         assert ci is not cs
+
+    def test_default_and_explicit_flag_share_one_entry(self):
+        # The memo keys on the flag's value, not its spelling: passing
+        # ignore_case=True explicitly must hit the default's entry.
+        compile_cache_clear()
+        compile_pattern("keyed-once")
+        before = compile_cache_stats()
+        compile_pattern("keyed-once", ignore_case=True)
+        after = compile_cache_stats()
+        assert after.misses == before.misses
+        assert after.hits == before.hits + 1
+        assert after.size == before.size
+
+    def test_stats_counters_move(self):
+        compile_cache_clear()
+        start = compile_cache_stats()
+        assert (start.hits, start.misses, start.size) == (0, 0, 0)
+        compile_pattern("stats-probe")
+        compile_pattern("stats-probe")
+        stats = compile_cache_stats()
+        assert stats.misses == 1
+        assert stats.hits == 1
+        assert stats.size == 1
+        assert stats.maxsize >= stats.size
+
+    def test_failed_compile_not_counted_as_miss(self):
+        compile_cache_clear()
+        with pytest.raises(PatternError):
+            compile_pattern("(unclosed")
+        stats = compile_cache_stats()
+        assert stats.misses == 0
+        assert stats.size == 0

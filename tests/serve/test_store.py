@@ -36,6 +36,26 @@ class TestStaticStore:
         assert store.current().detector.name == "toy2"
 
 
+class TestWarmOnPublish:
+    def test_mounting_compiles_the_fused_plan(self, small_signatures):
+        # Publishing includes the fast path: the first request against a
+        # freshly mounted detector must not pay fused-compile cost.
+        detector = PSigeneDetector(small_signatures)
+        detector.signature_set._fused = None
+        SignatureStore(detector)
+        assert detector.signature_set._fused is not None
+
+    def test_swap_compiles_before_publish(self, small_signatures):
+        store = SignatureStore(toy_detector())
+        replacement = PSigeneDetector(small_signatures)
+        replacement.signature_set._fused = None
+        store.swap_detector(replacement, source="test")
+        assert replacement.signature_set._fused is not None
+
+    def test_detectors_without_signature_sets_are_fine(self):
+        assert SignatureStore(toy_detector()).version == 1
+
+
 class TestSignatureSwap:
     def test_from_file_mounts_psigene(self, small_signatures, tmp_path):
         path = tmp_path / "signatures.json"
