@@ -1,9 +1,11 @@
-"""CI guard: the fused matching engine must not regress against baseline.
+"""CI guard: serving-path performance must not regress against baseline.
 
-The committed ``benchmarks/results/BENCH_matching.json`` is the baseline
-ledger entry for the fused single-pass matcher.  This guard re-measures
-the same configuration fresh (canonical small detector, seeded fuzz
-corpus — no bench-scale training required) and fails when:
+Two committed artifacts under ``benchmarks/results/`` are the baseline
+ledger the guard holds the tree to:
+
+``BENCH_matching.json`` — the fused single-pass matcher.  The guard
+re-measures the same configuration fresh (canonical small detector,
+seeded fuzz corpus — no bench-scale training required) and fails when:
 
 1. the fresh run's verdicts are not bit-identical to the legacy path, or
 2. the fresh speedup falls below 85% of the committed baseline speedup
@@ -11,9 +13,16 @@ corpus — no bench-scale training required) and fails when:
    a ratio of ratios, so it is insensitive to the runner's absolute
    speed).
 
-When the baseline artifact does not exist in HEAD (first run on a fresh
-branch), the guard records what it measured and passes: there is nothing
-to regress against yet.
+``BENCH_serving.json`` — the sharded fleet (DESIGN.md §15).  The
+committed artifact must clear the acceptance bars (modeled speedup
+>= 2.5x at 4 shards, offline parity), and a fresh 2-shard live probe
+must still serve with bit-exact parity and retain at least half of
+single-shard aggregate capacity (multi-process coordination overhead
+has not blown up).
+
+When a baseline artifact does not exist in HEAD (first run on a fresh
+branch), that guard section records what it measured and passes: there
+is nothing to regress against yet.
 
 Usage: ``PYTHONPATH=src python scripts/ci_bench_guard.py``
 """
@@ -25,13 +34,17 @@ import subprocess
 import sys
 
 BASELINE_PATH = "benchmarks/results/BENCH_matching.json"
+SERVING_BASELINE_PATH = "benchmarks/results/BENCH_serving.json"
 ALLOWED_FRACTION = 0.85
+MIN_MODELED_SPEEDUP_AT_4 = 2.5
+MIN_PROBE_EFFICIENCY = 0.5
+PROBE_PAYLOAD_COUNT = 400
 
 
-def committed_baseline() -> dict | None:
+def committed_baseline(path: str = BASELINE_PATH) -> dict | None:
     """The baseline artifact as committed in HEAD, or None if absent."""
     result = subprocess.run(
-        ["git", "show", f"HEAD:{BASELINE_PATH}"],
+        ["git", "show", f"HEAD:{path}"],
         capture_output=True,
         text=True,
     )
@@ -41,7 +54,7 @@ def committed_baseline() -> dict | None:
         return json.loads(result.stdout)
     except json.JSONDecodeError as error:
         raise AssertionError(
-            f"committed {BASELINE_PATH} is not valid JSON: {error}"
+            f"committed {path} is not valid JSON: {error}"
         ) from error
 
 
@@ -88,12 +101,91 @@ def check(baseline: dict | None, fresh: dict) -> str:
     )
 
 
+def serving_probe() -> dict:
+    """A small live 2-shard fleet run: parity and retained capacity.
+
+    Closed-loop over a slice of the deterministic replay trace, one
+    shard then two, on the same host.  Returns measured throughputs and
+    the parity verdict — cheap enough for every CI run, live enough to
+    catch a fleet that no longer serves or diverges from the offline
+    engine.
+    """
+    import asyncio
+
+    from repro.conformance import train_default_detector
+    from repro.serve import build_load_trace, run_fleet_loadgen
+
+    detector = train_default_detector(2012)
+    trace = build_load_trace(seed=7, n_benign=300, n_vulnerabilities=6)
+    payloads = trace.payloads()[:PROBE_PAYLOAD_COUNT]
+    reports = {}
+    for shards in (1, 2):
+        reports[shards] = asyncio.run(run_fleet_loadgen(
+            detector,
+            payloads,
+            shards=shards,
+            queue_bound=max(64, len(payloads)),
+            policy="block",
+            workers=2,
+            connections=4,
+            window=16,
+        ))
+    return {
+        "requests": len(payloads),
+        "c1_rps": reports[1].throughput_rps,
+        "c2_rps": reports[2].throughput_rps,
+        "parity_ok": all(
+            r.parity is not None and r.parity.ok
+            and r.completed == r.requests and r.errors == 0
+            for r in reports.values()
+        ),
+    }
+
+
+def check_serving(baseline: dict | None, probe: dict) -> str:
+    """Serving guard verdict; raises AssertionError on regression."""
+    if not probe["parity_ok"]:
+        raise AssertionError(
+            "fleet probe lost parity with the offline engine"
+        )
+    efficiency = probe["c2_rps"] / probe["c1_rps"]
+    if efficiency < MIN_PROBE_EFFICIENCY:
+        raise AssertionError(
+            f"2-shard fleet retains only {efficiency:.2f} of "
+            f"single-shard capacity (floor {MIN_PROBE_EFFICIENCY}): "
+            f"shard coordination overhead regressed"
+        )
+    if baseline is None:
+        return (
+            f"serving guard OK (no committed {SERVING_BASELINE_PATH} "
+            f"baseline): probe efficiency {efficiency:.2f}, parity OK"
+        )
+    modeled = float(baseline.get("modeled_speedup_at_4", 0.0))
+    if modeled < MIN_MODELED_SPEEDUP_AT_4:
+        raise AssertionError(
+            f"committed {SERVING_BASELINE_PATH} modeled_speedup_at_4 "
+            f"{modeled:.2f}x < {MIN_MODELED_SPEEDUP_AT_4}x bar"
+        )
+    if not baseline.get("parity_ok", False):
+        raise AssertionError(
+            f"committed {SERVING_BASELINE_PATH} records parity_ok=false"
+        )
+    return (
+        f"serving guard OK: baseline modeled speedup {modeled:.2f}x "
+        f">= {MIN_MODELED_SPEEDUP_AT_4}x at 4 shards, "
+        f"probe efficiency {efficiency:.2f}, parity OK"
+    )
+
+
 def main() -> int:
-    """Run the guard; returns a process exit code."""
+    """Run both guards; returns a process exit code."""
     try:
         baseline = committed_baseline()
         fresh = fresh_measurement()
         print(check(baseline, fresh))
+        serving = committed_baseline(SERVING_BASELINE_PATH)
+        probe = serving_probe()
+        print(check_serving(serving, probe))
     except Exception as error:  # noqa: BLE001 - CI wants any failure loud
         print(f"bench guard FAILED: {error}", file=sys.stderr)
         return 1

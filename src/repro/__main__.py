@@ -5,8 +5,9 @@ Commands:
     score    score payloads (args or stdin) against a signature file
     crawl    run phase 1 alone and print crawl statistics
     eval     small-scale Table V (accuracy comparison of all detectors)
-    serve    run the online detection gateway (TCP/HTTP, hot reload)
-    loadgen  replay attack+benign traffic against a gateway
+    serve    run the online detection gateway (TCP/HTTP, hot reload);
+             ``--shards N`` runs a supervised multi-process fleet
+    loadgen  replay attack+benign traffic against a gateway or fleet
     obs      observability: dump /metrics, validate run manifests
     conform  differential conformance: oracle runs, golden corpora
     match    fused matching engine: benchmark it, explain its plan
@@ -27,8 +28,8 @@ commands:
   score    score payloads (args or stdin) against a signature file
   crawl    run phase 1 alone and print crawl statistics
   eval     run the small-scale Table V accuracy comparison
-  serve    run the online detection gateway (line TCP + HTTP control)
-  loadgen  replay attack+benign traffic at a gateway, report throughput
+  serve    run the online detection gateway (--shards N for a fleet)
+  loadgen  replay traffic at a gateway or fleet, report throughput
   obs      dump a gateway's /metrics or validate a run manifest
   conform  run the differential oracle, record/diff golden corpora
   match    benchmark the fused matching engine or explain its plan
@@ -210,12 +211,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import DetectionGateway, GatewayConfig, SignatureStore
 
     detector, reload_path = _build_detector(args.detector, args.signatures)
+    source = f"file:{reload_path}" if reload_path is not None else "static"
+    if args.shards > 1:
+        from repro.serve import FleetConfig, FleetSupervisor
+
+        supervisor = FleetSupervisor(
+            detector,
+            FleetConfig(
+                shards=args.shards,
+                host=args.host,
+                port=args.port,
+                control_port=args.control_port,
+                queue_bound=args.queue_bound,
+                policy=args.policy,
+                workers=args.serve_workers,
+                max_inflight_per_connection=args.max_inflight,
+                signature_path=reload_path,
+            ),
+            source=source,
+        )
+        try:
+            asyncio.run(supervisor.serve_forever())
+        except KeyboardInterrupt:
+            print("repro.serve.fleet: draining and shutting down")
+        return 0
     store = SignatureStore(
         detector,
         path=reload_path,
-        source=(
-            f"file:{reload_path}" if reload_path is not None else "static"
-        ),
+        source=source,
     )
     gateway = DetectionGateway(store, GatewayConfig(
         host=args.host,
@@ -250,13 +273,33 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     )
 
     detector, _ = _build_detector(args.detector, args.signatures)
-    store = SignatureStore(detector)
     trace = build_load_trace(
         seed=args.seed,
         n_benign=args.benign,
         n_vulnerabilities=args.vulnerabilities,
     )
     payloads = trace.payloads()[: args.requests] or trace.payloads()
+    if args.shards > 1:
+        from repro.serve import format_fleet_report, run_fleet_loadgen
+
+        fleet_report = asyncio.run(run_fleet_loadgen(
+            detector,
+            payloads,
+            shards=args.shards,
+            queue_bound=args.queue_bound,
+            policy=args.policy,
+            workers=args.serve_workers,
+            connections=args.connections,
+            window=args.window,
+            rate=args.rate,
+            slo_ms=args.slo_ms,
+            check_parity=args.check_parity,
+        ))
+        print(format_fleet_report(fleet_report))
+        if fleet_report.parity is not None and not fleet_report.parity.ok:
+            return 4
+        return 0
+    store = SignatureStore(detector)
     report = asyncio.run(run_loadgen(
         store,
         payloads,
@@ -607,8 +650,10 @@ def build_parser() -> argparse.ArgumentParser:
             help="admission queue capacity (default: 1024)",
         )
         command.add_argument(
-            "--policy", choices=("block", "shed"), default="block",
-            help="full-queue behaviour (default: block)",
+            "--policy", choices=("block", "shed", "cost"),
+            default="block",
+            help="full-queue behaviour (default: block); 'cost' sheds "
+                 "expensive payloads first once the queue is congested",
         )
         command.add_argument(
             "--serve-workers", type=int, default=4,
@@ -628,6 +673,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-inflight", type=int, default=64,
         help="pipelining window per connection (default: 64)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes sharing the data port; >1 runs the "
+             "supervised fleet (default: 1, single process)",
+    )
+    serve.add_argument(
+        "--control-port", type=int, default=0,
+        help="fleet control-plane HTTP port; 0 picks an ephemeral one "
+             "(fleet mode only, default: 0)",
     )
     serve.set_defaults(func=_cmd_serve)
 
@@ -660,6 +715,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--check-parity", action=argparse.BooleanOptionalAction,
         default=True,
         help="diff responses against the offline engine (default: on)",
+    )
+    loadgen.add_argument(
+        "--shards", type=int, default=1,
+        help="replay against a fleet of this many shard processes "
+             "(default: 1, single in-process gateway)",
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=None,
+        help="open-loop offered rate in req/s (fleet mode only; "
+             "default: closed-loop capacity measurement)",
+    )
+    loadgen.add_argument(
+        "--slo-ms", type=float, default=50.0,
+        help="latency objective for SLO attainment (default: 50ms)",
     )
     loadgen.set_defaults(func=_cmd_loadgen)
 

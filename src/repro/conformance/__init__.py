@@ -33,6 +33,7 @@ from repro.conformance.paths import (
     GatewayPath,
     LegacySerialPath,
     SerialPath,
+    ShardedGatewayPath,
     default_paths,
 )
 from repro.conformance.verdict import (
@@ -59,6 +60,7 @@ __all__ = [
     "LegacySerialPath",
     "Oracle",
     "SerialPath",
+    "ShardedGatewayPath",
     "Verdict",
     "default_paths",
     "default_training_config",

@@ -31,6 +31,7 @@ __all__ = [
     "GatewayPath",
     "LegacySerialPath",
     "SerialPath",
+    "ShardedGatewayPath",
     "default_paths",
 ]
 
@@ -285,10 +286,116 @@ class GatewayPath(DetectorPath):
         return verdicts
 
 
+class ShardedGatewayPath(DetectorPath):
+    """A live multi-process fleet round-trip on one shared TCP port.
+
+    The payloads travel through everything the fleet adds on top of the
+    single-process gateway — ``SO_REUSEPORT`` (or pre-fork) connection
+    balancing, per-shard admission queues, per-shard store generations —
+    so any divergence from the serial baseline is a real data-plane
+    defect, not a simulation artifact.  Queue bounds are sized to the
+    payload count under ``block`` policy: nothing sheds, a missing
+    verdict is a conformance failure.
+
+    With ``midstream_reload`` the oracle's replay races a full
+    two-phase fleet reload: the *same* signature set is re-deployed as
+    generation 2 while payloads are in flight, so every verdict must
+    still match the serial baseline bit-for-bit no matter which
+    generation answered it — the atomicity claim, tested from the
+    outside.
+    """
+
+    def __init__(
+        self,
+        *,
+        shards: int = 2,
+        connections: int = 4,
+        window: int = 32,
+        workers: int = 2,
+        midstream_reload: bool = False,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.connections = connections
+        self.window = window
+        self.workers = workers
+        self.midstream_reload = midstream_reload
+        suffix = "-reload" if midstream_reload else ""
+        self.name = f"fleet-s{shards}{suffix}"
+
+    def supports(self, detector) -> bool:
+        """Needs fork (detector inheritance); the reload variant also
+        needs a serializable :class:`SignatureSet` to re-deploy."""
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return False
+        if not self.midstream_reload:
+            return True
+        return isinstance(
+            getattr(detector, "signature_set", None), SignatureSet
+        )
+
+    def run(self, detector, payloads: list[str]) -> list[Verdict]:
+        """Replay *payloads* against a live fleet and decode."""
+        from repro.serve.loadgen import replay
+        from repro.serve.supervisor import FleetConfig, FleetSupervisor
+
+        async def _roundtrip() -> list[dict | None]:
+            supervisor = FleetSupervisor(detector, FleetConfig(
+                shards=self.shards,
+                queue_bound=max(64, len(payloads)),
+                policy="block",
+                workers=self.workers,
+            ))
+            host, port = await supervisor.start()
+            try:
+                replay_task = asyncio.get_running_loop().create_task(
+                    replay(
+                        host, port, payloads,
+                        connections=self.connections, window=self.window,
+                    )
+                )
+                if self.midstream_reload:
+                    from repro.core.serialize import signature_set_to_json
+
+                    # Let some payloads land on generation 1, then flip
+                    # the whole fleet mid-stream.
+                    await asyncio.sleep(0.05)
+                    await supervisor.reload_json(
+                        signature_set_to_json(detector.signature_set),
+                        source="conformance-midstream",
+                    )
+                responses, _latencies, _duration = await replay_task
+            finally:
+                await supervisor.stop()
+            return responses
+
+        responses = asyncio.run(_roundtrip())
+        verdicts: list[Verdict] = []
+        for index, response in enumerate(responses):
+            if response is None or response.get("shed") or (
+                "error" in response
+            ):
+                raise ConformanceError(
+                    f"fleet gave no verdict for payload {index}: "
+                    f"{response!r}"
+                )
+            verdicts.append(Verdict(
+                alert=bool(response.get("alert")),
+                score=float(response.get("score", 0.0)),
+                fired=tuple(int(s) for s in response.get("matched", [])),
+            ))
+        return verdicts
+
+
 def default_paths(
     *,
     worker_counts: tuple[int, ...] = DEFAULT_WORKER_COUNTS,
     gateway: bool = True,
+    fleet: bool = True,
+    fleet_shards: int = 2,
     cluster_workers: int = 4,
 ) -> list[DetectorPath]:
     """Every registered path, serial (the baseline) first."""
@@ -299,4 +406,9 @@ def default_paths(
     paths.append(ClusterPath(workers=cluster_workers))
     if gateway:
         paths.append(GatewayPath())
+    if fleet:
+        paths.append(ShardedGatewayPath(shards=fleet_shards))
+        paths.append(
+            ShardedGatewayPath(shards=fleet_shards, midstream_reload=True)
+        )
     return paths

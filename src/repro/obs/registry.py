@@ -273,6 +273,52 @@ class Histogram:
             "max_ms": self.max * 1e3,
         }
 
+    def state(self) -> dict[str, Any]:
+        """Portable snapshot of this histogram for cross-process merging.
+
+        The fleet supervisor ships shard histograms over a pipe as plain
+        dicts and folds them together with :meth:`merge_state`; bucket
+        geometry (``low``/``growth``/bucket count) travels with the
+        counts so a mismatched merge fails loudly instead of silently
+        misbinning.
+        """
+        with self._lock:
+            return {
+                "low": self._edges[0],
+                "growth": math.exp(self._log_growth),
+                "counts": list(self._counts),
+                "count": self.count,
+                "total": self.total,
+                "max": self.max,
+            }
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Raises:
+            ValueError: when the bucket geometry differs — merging
+                histograms binned on different edges has no meaning.
+        """
+        counts = state["counts"]
+        if (
+            len(counts) != len(self._counts)
+            or abs(state["low"] - self._edges[0]) > 1e-12
+            or abs(math.log(state["growth"]) - self._log_growth) > 1e-12
+        ):
+            raise ValueError(
+                "histogram geometry mismatch: cannot merge "
+                f"{len(counts)} buckets (low={state['low']}, "
+                f"growth={state['growth']}) into {len(self._counts)} "
+                f"(low={self._edges[0]})"
+            )
+        with self._lock:
+            for index, bucket_count in enumerate(counts):
+                self._counts[index] += int(bucket_count)
+            self.count += int(state["count"])
+            self.total += float(state["total"])
+            if float(state["max"]) > self.max:
+                self.max = float(state["max"])
+
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         """Prometheus-style ``(upper_edge, cumulative_count)`` pairs.
 

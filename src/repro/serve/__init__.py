@@ -6,10 +6,15 @@ surface for the reproduction.  ``repro serve`` mounts a detector behind
 a line-delimited TCP data plane plus an HTTP control plane
 (``/healthz``, ``/stats``, ``/metrics``, ``/reload``, ``/inspect``),
 with a versioned
-hot-swappable signature store, bounded admission queues with block/shed
-backpressure, and live telemetry.  ``repro loadgen`` replays
-scanner/benign traffic against it and checks alert parity with the
-offline engine.  See DESIGN.md §11.
+hot-swappable signature store, bounded admission queues with
+block/shed/cost backpressure, and live telemetry.  ``repro serve
+--shards N`` scales the same data plane across N worker processes on
+one shared port under a supervising control plane
+(:mod:`repro.serve.supervisor`) with atomic two-phase fleet reloads.
+``repro loadgen`` replays scanner/benign traffic against either —
+closed-loop for capacity, open-loop at a fixed offered rate for
+overload behaviour — and checks alert parity with the offline engine.
+See DESIGN.md §11 and §15.
 """
 
 from repro.serve.admission import (
@@ -18,32 +23,57 @@ from repro.serve.admission import (
     QueueClosed,
     Shed,
 )
+from repro.serve.fleet import (
+    PROBE_PAYLOADS,
+    ShardBoot,
+    reuseport_available,
+)
 from repro.serve.gateway import DetectionGateway, GatewayConfig
 from repro.serve.loadgen import (
+    FleetLoadReport,
     LoadReport,
     build_load_trace,
+    format_fleet_report,
     format_report,
+    open_loop_replay,
     replay,
+    run_fleet_loadgen,
     run_loadgen,
 )
 from repro.serve.store import SignatureStore, StoreError, StoreVersion
-from repro.serve.telemetry import LatencyHistogram, Telemetry
+from repro.serve.supervisor import FleetConfig, FleetError, FleetSupervisor
+from repro.serve.telemetry import (
+    LatencyHistogram,
+    Telemetry,
+    merge_raw_states,
+)
 
 __all__ = [
     "AdmissionController",
     "BackpressurePolicy",
     "DetectionGateway",
+    "FleetConfig",
+    "FleetError",
+    "FleetLoadReport",
+    "FleetSupervisor",
     "GatewayConfig",
     "LatencyHistogram",
     "LoadReport",
+    "PROBE_PAYLOADS",
     "QueueClosed",
     "Shed",
+    "ShardBoot",
     "SignatureStore",
     "StoreError",
     "StoreVersion",
     "Telemetry",
     "build_load_trace",
+    "format_fleet_report",
     "format_report",
+    "merge_raw_states",
+    "open_loop_replay",
     "replay",
+    "reuseport_available",
+    "run_fleet_loadgen",
     "run_loadgen",
 ]

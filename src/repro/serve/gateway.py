@@ -25,10 +25,14 @@ from __future__ import annotations
 
 import asyncio
 import json
+import socket
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.serve.admission import (
+    DEFAULT_COST_THRESHOLD,
+    DEFAULT_HIGH_WATER,
     AdmissionController,
     BackpressurePolicy,
     QueueClosed,
@@ -63,6 +67,17 @@ class GatewayConfig:
         workers: detector worker coroutines.
         max_inflight_per_connection: pipelining window per connection.
         drain_timeout: seconds to wait for queued work at shutdown.
+        cost_fn: prices a payload for the ``cost`` admission policy
+            (default: UTF-8 byte length — matching time scales with
+            payload size; a family-aware deployment can price attack
+            shapes higher).
+        cost_threshold: ``cost`` policy shed threshold.
+        high_water: queue-depth fraction where cost shedding begins.
+        allow_reload: accept ``POST /reload`` on this gateway's own
+            control plane.  Fleet shards set this False — their reloads
+            arrive only through the supervisor's two-phase protocol, so
+            a client reaching one shard's data port can never split the
+            fleet across generations.
     """
 
     host: str = "127.0.0.1"
@@ -72,6 +87,10 @@ class GatewayConfig:
     workers: int = 4
     max_inflight_per_connection: int = 64
     drain_timeout: float = 10.0
+    cost_fn: Callable[[str], float] | None = None
+    cost_threshold: float = DEFAULT_COST_THRESHOLD
+    high_water: float = DEFAULT_HIGH_WATER
+    allow_reload: bool = True
 
 
 @dataclass
@@ -110,7 +129,10 @@ class DetectionGateway:
             queue_bound=self.config.queue_bound,
             policy=self.config.policy,
             telemetry=self.telemetry,
+            cost_threshold=self.config.cost_threshold,
+            high_water=self.config.high_water,
         )
+        self._cost_fn = self.config.cost_fn or _default_cost
         # Live-state gauges: evaluated at scrape time, so /metrics shows
         # the instantaneous queue depth and deployed signature generation
         # without the data plane pushing updates anywhere.
@@ -132,8 +154,17 @@ class DetectionGateway:
 
     # -- lifecycle -----------------------------------------------------
 
-    async def start(self) -> tuple[str, int]:
-        """Bind, spawn workers, and return the bound ``(host, port)``."""
+    async def start(
+        self, *, sock: socket.socket | None = None
+    ) -> tuple[str, int]:
+        """Bind, spawn workers, and return the bound ``(host, port)``.
+
+        Args:
+            sock: an already-bound listening socket to serve on instead
+                of binding ``config.host:port`` — how fleet shards share
+                one port (their own ``SO_REUSEPORT`` socket, or a
+                fork-inherited listener).
+        """
         if self._server is not None:
             raise RuntimeError("gateway already started")
         loop = asyncio.get_running_loop()
@@ -144,10 +175,16 @@ class DetectionGateway:
         # Stream limit above MAX_LINE_BYTES so our own oversized-line
         # handling (answer an error, keep the connection) gets to run
         # before asyncio's reader gives up.
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port,
-            limit=4 * MAX_LINE_BYTES,
-        )
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=sock,
+                limit=4 * MAX_LINE_BYTES,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port,
+                limit=4 * MAX_LINE_BYTES,
+            )
         sockname = self._server.sockets[0].getsockname()
         return sockname[0], sockname[1]
 
@@ -194,7 +231,7 @@ class DetectionGateway:
             admitted_at=time.perf_counter(),
         )
         try:
-            await self.admission.submit(job)
+            await self.admission.submit(job, cost=self._cost_fn(payload))
         except Shed as exc:
             future.set_result(encode_shed(str(exc)))
         except QueueClosed as exc:
@@ -364,6 +401,13 @@ class DetectionGateway:
                 **self.telemetry.snapshot(),
             }
         if path == "/reload" and method == "POST":
+            if not self.config.allow_reload:
+                return 403, {
+                    "error": "reload is fleet-managed on this shard; "
+                             "POST /reload to the supervisor control "
+                             "plane instead",
+                    "version": self.store.version,
+                }
             try:
                 if message.body.strip():
                     published = self.store.swap_json(message.body)
@@ -372,6 +416,8 @@ class DetectionGateway:
             except StoreError as exc:
                 return 400, {
                     "error": str(exc),
+                    "reason": exc.reason,
+                    "rejected": True,
                     "version": self.store.version,
                 }
             return 200, {
@@ -389,6 +435,11 @@ class DetectionGateway:
         if path in ("/healthz", "/stats", "/metrics", "/reload", "/inspect"):
             return 405, {"error": f"{method} not allowed on {path}"}
         return 404, {"error": f"no route {path}"}
+
+
+def _default_cost(payload: str) -> float:
+    """Default request price: the payload's UTF-8 byte length."""
+    return float(len(payload.encode("utf-8", errors="replace")))
 
 
 def _done(data: bytes) -> asyncio.Future:

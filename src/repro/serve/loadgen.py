@@ -28,10 +28,14 @@ from repro.serve.protocol import decode_response
 from repro.serve.store import SignatureStore
 
 __all__ = [
+    "FleetLoadReport",
     "LoadReport",
     "build_load_trace",
+    "format_fleet_report",
     "format_report",
+    "open_loop_replay",
     "replay",
+    "run_fleet_loadgen",
     "run_loadgen",
 ]
 
@@ -264,6 +268,290 @@ async def run_loadgen(
         latency_ms=_percentiles_ms(latencies),
         parity=parity,
     )
+
+
+async def open_loop_replay(
+    host: str,
+    port: int,
+    payloads: list[str],
+    *,
+    rate: float,
+    connections: int = 8,
+) -> tuple[list[dict | None], np.ndarray, float]:
+    """Offer ``payloads`` at a fixed ``rate`` regardless of responses.
+
+    The closed-loop :func:`replay` slows down when the server does —
+    it can never overload anything, so it measures *capacity*.  The
+    open-loop generator models independent clients: payload ``i`` is
+    sent at ``t0 + i/rate`` (dealt round-robin over ``connections``)
+    whether or not earlier responses arrived, which is how real traffic
+    behaves and the only way to observe shedding and queueing delay at
+    offered loads above capacity.
+
+    Response lines are stored raw and decoded after the run so client
+    CPU spent on JSON never distorts the offered schedule.
+
+    Returns ``(responses, latencies_s, duration_s)`` shaped exactly
+    like :func:`replay`.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    responses: list[dict | None] = [None] * len(payloads)
+    latencies = np.zeros(len(payloads), dtype=np.float64)
+    lanes: list[list[int]] = [[] for _ in range(max(1, connections))]
+    for index in range(len(payloads)):
+        lanes[index % len(lanes)].append(index)
+    raw: list[bytes | None] = [None] * len(payloads)
+    started = time.perf_counter()
+    finished_at = started
+
+    async def _drive(lane: list[int]) -> None:
+        nonlocal finished_at
+        reader, writer = await asyncio.open_connection(host, port)
+        sent_at = np.zeros(len(lane), dtype=np.float64)
+
+        async def collect() -> None:
+            nonlocal finished_at
+            for position, index in enumerate(lane):
+                line = await reader.readline()
+                if not line:
+                    return
+                now = time.perf_counter()
+                latencies[index] = now - sent_at[position]
+                raw[index] = line
+                if now > finished_at:
+                    finished_at = now
+
+        collector = asyncio.get_running_loop().create_task(collect())
+        try:
+            for position, index in enumerate(lane):
+                delay = started + index / rate - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                sent_at[position] = time.perf_counter()
+                writer.write(
+                    payloads[index].encode("utf-8", errors="replace")
+                    + b"\n"
+                )
+                await writer.drain()
+            await collector
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            collector.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    await asyncio.gather(*(_drive(lane) for lane in lanes if lane))
+    for index, line in enumerate(raw):
+        if line is None:
+            continue
+        try:
+            responses[index] = decode_response(line)
+        except ValueError:
+            responses[index] = {"error": "undecodable response"}
+    return responses, latencies, max(finished_at - started, 1e-9)
+
+
+@dataclass
+class FleetLoadReport:
+    """One replay against a sharded fleet, with per-shard attribution.
+
+    Attributes:
+        detector: detector name on the serving side.
+        shards: shard process count.
+        queue_bound: per-shard admission queue capacity.
+        policy: per-shard backpressure policy.
+        offered_rps: open-loop offered rate (None for closed-loop runs).
+        requests: payloads offered.
+        completed: payloads answered with a verdict.
+        shed: payloads refused by admission control.
+        errors: undecodable or error responses.
+        alerts: verdicts that alerted.
+        duration_s: wall-clock of the replay.
+        throughput_rps: answered (verdict or shed) responses per second.
+        slo_ms: the latency objective judged against.
+        slo_attainment: fraction of *offered* payloads answered with a
+            verdict within ``slo_ms`` — a shed or missing response is an
+            SLO miss, so attainment cannot be gamed by shedding.
+        latency_ms: client-observed percentiles over serviced requests.
+        per_shard: ``{shard_id: {"inspected": n, "shed": n, ...}}``
+            pulled from the supervisor after the replay — the kernel's
+            connection balancing made visible.
+        parity: diff against the offline engine (None when skipped).
+    """
+
+    detector: str
+    shards: int
+    queue_bound: int
+    policy: str
+    offered_rps: float | None
+    requests: int
+    completed: int
+    shed: int
+    errors: int
+    alerts: int
+    duration_s: float
+    throughput_rps: float
+    slo_ms: float
+    slo_attainment: float
+    latency_ms: dict[str, float] = field(default_factory=dict)
+    per_shard: dict[str, dict] = field(default_factory=dict)
+    parity: ParityReport | None = None
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered payloads refused."""
+        return self.shed / self.requests if self.requests else 0.0
+
+    @property
+    def serviced_rps(self) -> float:
+        """Verdict-carrying responses per second."""
+        return self.completed / self.duration_s if self.duration_s else 0.0
+
+
+def _slo_attainment(
+    responses: list[dict | None],
+    latencies: np.ndarray,
+    slo_ms: float,
+) -> float:
+    """Fraction of offered payloads serviced within the objective."""
+    if not responses:
+        return 0.0
+    within = 0
+    for index, response in enumerate(responses):
+        if response is None or response.get("shed") or "error" in response:
+            continue
+        if latencies[index] * 1e3 <= slo_ms:
+            within += 1
+    return within / len(responses)
+
+
+async def run_fleet_loadgen(
+    detector,
+    payloads: list[str],
+    *,
+    shards: int = 2,
+    queue_bound: int = 1024,
+    policy: str = "block",
+    workers: int = 4,
+    connections: int = 8,
+    window: int = 32,
+    rate: float | None = None,
+    slo_ms: float = 50.0,
+    check_parity: bool = True,
+) -> FleetLoadReport:
+    """Spawn a fleet, replay (closed- or open-loop), and summarize.
+
+    With ``rate`` set the open-loop generator offers that many requests
+    per second fleet-wide; without it the closed-loop :func:`replay`
+    measures capacity.  Per-shard counters come from the supervisor's
+    merged telemetry, pulled *before* shutdown.
+    """
+    from repro.serve.supervisor import FleetConfig, FleetSupervisor
+
+    supervisor = FleetSupervisor(detector, FleetConfig(
+        shards=shards,
+        queue_bound=queue_bound,
+        policy=policy,
+        workers=workers,
+    ))
+    host, port = await supervisor.start()
+    try:
+        if rate is None:
+            responses, latencies, duration = await replay(
+                host, port, payloads,
+                connections=connections, window=window,
+            )
+        else:
+            responses, latencies, duration = await open_loop_replay(
+                host, port, payloads, rate=rate, connections=connections,
+            )
+        stats = await supervisor.stats()
+    finally:
+        await supervisor.stop()
+    parity = None
+    if check_parity:
+        parity = parity_of_responses(
+            offline_detections(detector, payloads), responses,
+        )
+    shed = sum(1 for r in responses if r and r.get("shed"))
+    errors = sum(
+        1 for r in responses
+        if r is not None and "error" in r and not r.get("shed")
+    )
+    completed = sum(
+        1 for r in responses
+        if r is not None and not r.get("shed") and "error" not in r
+    )
+    answered = sum(1 for r in responses if r is not None)
+    serviced_latencies = np.array([
+        latencies[i] for i, r in enumerate(responses)
+        if r is not None and not r.get("shed") and "error" not in r
+    ])
+    return FleetLoadReport(
+        detector=stats["store"]["detector"],
+        shards=shards,
+        queue_bound=queue_bound,
+        policy=policy,
+        offered_rps=rate,
+        requests=len(payloads),
+        completed=completed,
+        shed=shed,
+        errors=errors,
+        alerts=sum(
+            1 for r in responses if r is not None and r.get("alert")
+        ),
+        duration_s=duration,
+        throughput_rps=answered / duration if duration > 0 else 0.0,
+        slo_ms=slo_ms,
+        slo_attainment=_slo_attainment(responses, latencies, slo_ms),
+        latency_ms=_percentiles_ms(serviced_latencies),
+        per_shard={
+            shard_id: dict(info["counters"])
+            for shard_id, info in stats["shards"].items()
+        },
+        parity=parity,
+    )
+
+
+def format_fleet_report(report: FleetLoadReport) -> str:
+    """Multi-line human-readable rendering of one fleet replay."""
+    offered = (
+        f"offered={report.offered_rps:,.0f} req/s (open loop)"
+        if report.offered_rps is not None
+        else "closed loop"
+    )
+    lines = [
+        f"detector={report.detector} shards={report.shards} "
+        f"queue={report.queue_bound}/shard policy={report.policy} "
+        f"{offered}",
+        f"  requests={report.requests} completed={report.completed} "
+        f"shed={report.shed} ({report.shed_rate:.1%}) "
+        f"errors={report.errors} alerts={report.alerts}",
+        f"  duration={report.duration_s:.3f}s "
+        f"throughput={report.throughput_rps:,.0f} req/s "
+        f"(serviced {report.serviced_rps:,.0f}/s)",
+        f"  slo<= {report.slo_ms:g}ms attainment="
+        f"{report.slo_attainment:.1%}",
+        "  latency p50={p50_ms:.3f}ms p95={p95_ms:.3f}ms "
+        "p99={p99_ms:.3f}ms mean={mean_ms:.3f}ms max={max_ms:.3f}ms"
+        .format(**report.latency_ms),
+    ]
+    for shard_id in sorted(report.per_shard):
+        counters = report.per_shard[shard_id]
+        lines.append(
+            f"  shard {shard_id}: inspected={counters.get('inspected', 0)} "
+            f"alerted={counters.get('alerted', 0)} "
+            f"shed={counters.get('shed', 0)} "
+            f"connections={counters.get('connections', 0)}"
+        )
+    if report.parity is not None:
+        lines.append(f"  {report.parity.summary()}")
+    return "\n".join(lines)
 
 
 def format_report(report: LoadReport) -> str:

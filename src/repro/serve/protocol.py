@@ -168,8 +168,10 @@ async def read_http_message(
 _STATUS_TEXT = {
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
+    502: "Bad Gateway",
     503: "Service Unavailable",
 }
 

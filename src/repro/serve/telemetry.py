@@ -28,7 +28,11 @@ from typing import Any
 
 from repro.obs.registry import Counter, Histogram, MetricsRegistry
 
-__all__ = ["LatencyHistogram", "Telemetry"]
+__all__ = [
+    "LatencyHistogram",
+    "Telemetry",
+    "merge_raw_states",
+]
 
 
 class LatencyHistogram(Histogram):
@@ -130,6 +134,29 @@ class Telemetry:
         """Current value of counter ``name`` (0 if never incremented)."""
         return int(self._counter(name).value)
 
+    def raw_state(self) -> dict[str, Any]:
+        """Portable dump for cross-process aggregation.
+
+        Counters ship as plain ints and histograms as
+        :meth:`~repro.obs.registry.Histogram.state` dicts, so a fleet
+        shard can pipe its whole telemetry to the supervisor as one
+        picklable object and the supervisor can rebuild merged
+        percentiles without sharing any memory.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                name: int(counter.value)
+                for name, counter in counters.items()
+            },
+            "histograms": {
+                name: histogram.state()
+                for name, histogram in histograms.items()
+            },
+        }
+
     def snapshot(self) -> dict[str, Any]:
         """Point-in-time copy of every counter and histogram summary."""
         with self._lock:
@@ -151,3 +178,25 @@ class Telemetry:
                 if histogram.count or name == "service"
             },
         }
+
+
+def merge_raw_states(states: list[dict[str, Any]]) -> dict[str, Any]:
+    """Fold per-shard :meth:`Telemetry.raw_state` dumps into fleet totals.
+
+    Returns ``{"counters": {name: sum}, "histograms": {name: Histogram}}``
+    — counters summed across shards, histograms rebuilt (default serving
+    geometry) with every shard's buckets merged, ready for percentile
+    queries or exposition.
+    """
+    counters: dict[str, int] = {}
+    histograms: dict[str, Histogram] = {}
+    for state in states:
+        for name, value in state.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, hist_state in state.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                merged = Histogram(f"repro_{name}_seconds")
+                histograms[name] = merged
+            merged.merge_state(hist_state)
+    return {"counters": counters, "histograms": histograms}

@@ -94,3 +94,72 @@ class TestDrain:
             assert controller.closed
 
         run(scenario())
+
+
+class TestCostPolicy:
+    def test_invalid_high_water(self):
+        with pytest.raises(ValueError):
+            AdmissionController(policy="cost", high_water=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(policy="cost", high_water=1.5)
+
+    def test_expensive_shed_only_past_high_water(self):
+        async def scenario():
+            telemetry = Telemetry()
+            controller = AdmissionController(
+                queue_bound=4,
+                policy="cost",
+                telemetry=telemetry,
+                cost_threshold=100.0,
+                high_water=0.5,
+            )
+            # Below high water (depth 0, 1 < 2): expensive admitted.
+            await controller.submit("big-0", cost=500.0)
+            await controller.submit("big-1", cost=500.0)
+            # At high water: the next expensive request is priced out.
+            with pytest.raises(Shed):
+                await controller.submit("big-2", cost=500.0)
+            assert telemetry.counter("shed") == 1
+            assert telemetry.counter("shed_cost") == 1
+            assert controller.depth == 2
+
+        run(scenario())
+
+    def test_cheap_admitted_until_actually_full(self):
+        async def scenario():
+            telemetry = Telemetry()
+            controller = AdmissionController(
+                queue_bound=2,
+                policy="cost",
+                telemetry=telemetry,
+                cost_threshold=100.0,
+                high_water=0.5,
+            )
+            await controller.submit("cheap-0", cost=10.0)
+            await controller.submit("cheap-1", cost=10.0)
+            # Queue genuinely full: cheap requests shed too, but as a
+            # plain full-queue shed, not a cost shed.
+            with pytest.raises(Shed):
+                await controller.submit("cheap-2", cost=10.0)
+            assert telemetry.counter("shed") == 1
+            assert telemetry.counter("shed_cost") == 0
+
+        run(scenario())
+
+    def test_unpriced_requests_are_never_cost_shed(self):
+        async def scenario():
+            telemetry = Telemetry()
+            controller = AdmissionController(
+                queue_bound=4,
+                policy="cost",
+                telemetry=telemetry,
+                cost_threshold=100.0,
+                high_water=0.25,
+            )
+            for index in range(4):
+                await controller.submit(f"unpriced-{index}", cost=None)
+            with pytest.raises(Shed):
+                await controller.submit("unpriced-4", cost=None)
+            assert telemetry.counter("shed_cost") == 0
+
+        run(scenario())

@@ -125,3 +125,114 @@ class TestSignatureSwap:
             "id=1' union select 1,2,3-- -"
         ).alert
         assert store.current().version == 2
+
+
+class _ExplodingWarmSet:
+    """Stand-in signature set whose fused plan cannot compile."""
+
+    def warm(self):
+        raise RuntimeError("fused plan exploded")
+
+
+class _ExplodingWarmDetector:
+    name = "exploding"
+
+    def __init__(self):
+        self.signature_set = _ExplodingWarmSet()
+
+    def inspect(self, payload):  # pragma: no cover - never reached
+        raise AssertionError("rejected detector must never serve")
+
+
+class TestWarmRejection:
+    def test_swap_rejects_candidate_that_fails_to_warm(self):
+        telemetry = Telemetry()
+        store = SignatureStore(toy_detector(), telemetry=telemetry)
+        before = store.current()
+        with pytest.raises(StoreError) as excinfo:
+            store.swap_detector(_ExplodingWarmDetector(), source="test")
+        assert excinfo.value.reason == "warm"
+        assert store.current() is before
+        assert telemetry.counter("reload_rejected") == 1
+        assert telemetry.counter("reloads") == 0
+
+    def test_stage_rejects_candidate_that_fails_to_warm(self):
+        telemetry = Telemetry()
+        store = SignatureStore(toy_detector(), telemetry=telemetry)
+        with pytest.raises(StoreError) as excinfo:
+            store.stage_detector(
+                _ExplodingWarmDetector(), generation=2, source="test"
+            )
+        assert excinfo.value.reason == "warm"
+        assert telemetry.counter("reload_rejected") == 1
+        # Nothing staged: a later commit of that generation must fail.
+        with pytest.raises(StoreError):
+            store.commit_staged(2)
+        assert store.version == 1
+
+
+class TestTwoPhaseStaging:
+    def test_stage_then_commit_publishes(self, small_signatures):
+        store = SignatureStore(PSigeneDetector(small_signatures))
+        store.stage_json(
+            signature_set_to_json(small_signatures),
+            generation=2,
+            source="fleet",
+        )
+        # Staging alone publishes nothing.
+        assert store.version == 1
+        published = store.commit_staged(2)
+        assert published.version == 2
+        assert published.source == "fleet"
+        assert store.version == 2
+
+    def test_stage_stale_generation_rejected(self):
+        store = SignatureStore(toy_detector())
+        with pytest.raises(StoreError) as excinfo:
+            store.stage_detector(
+                toy_detector("toy2"), generation=1, source="test"
+            )
+        assert excinfo.value.reason == "stage"
+        assert store.version == 1
+
+    def test_commit_without_stage_rejected(self):
+        store = SignatureStore(toy_detector())
+        with pytest.raises(StoreError) as excinfo:
+            store.commit_staged(5)
+        assert excinfo.value.reason == "stage"
+        assert store.version == 1
+
+    def test_stage_bad_json_rejects_without_staging(self):
+        telemetry = Telemetry()
+        store = SignatureStore(toy_detector(), telemetry=telemetry)
+        for body in ("{not json", "[]"):
+            with pytest.raises(StoreError) as excinfo:
+                store.stage_json(body, generation=2, source="test")
+            assert excinfo.value.reason == "parse"
+        assert telemetry.counter("reload_rejected") == 2
+        with pytest.raises(StoreError):
+            store.commit_staged(2)
+
+    def test_abort_staged_drops_candidate(self, small_signatures):
+        store = SignatureStore(PSigeneDetector(small_signatures))
+        store.stage_json(
+            signature_set_to_json(small_signatures), generation=2
+        )
+        store.abort_staged(2)
+        with pytest.raises(StoreError):
+            store.commit_staged(2)
+        assert store.version == 1
+        # Aborting a never-staged generation is a no-op.
+        store.abort_staged(7)
+        store.abort_staged()
+
+    def test_initial_version_for_respawned_shard(self):
+        # A respawned fleet shard mounts the fleet's current generation.
+        store = SignatureStore(toy_detector(), initial_version=4)
+        assert store.version == 4
+        with pytest.raises(StoreError):
+            store.stage_detector(
+                toy_detector("toy2"), generation=4, source="test"
+            )
+        store.stage_detector(toy_detector("toy2"), generation=5, source="t")
+        assert store.commit_staged(5).version == 5
