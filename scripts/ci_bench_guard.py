@@ -20,6 +20,16 @@ must still serve with bit-exact parity and retain at least half of
 single-shard aggregate capacity (multi-process coordination overhead
 has not blown up).
 
+``BENCH_canary.json`` — the closed canary loop (DESIGN.md §16).  The
+committed artifact must record one round promoted through the
+two-phase fleet reload with zero conformance divergences and one
+injected FPR-budget violation rejected with the incumbent provably
+unchanged.  The guard then replays both committed rounds through the
+*current* gate implementation: the deltas the bench measured must
+still produce the same promote/reject decisions, so gate-semantics
+drift against the committed ledger fails CI even before the live
+canary smoke step runs.
+
 When a baseline artifact does not exist in HEAD (first run on a fresh
 branch), that guard section records what it measured and passes: there
 is nothing to regress against yet.
@@ -35,6 +45,7 @@ import sys
 
 BASELINE_PATH = "benchmarks/results/BENCH_matching.json"
 SERVING_BASELINE_PATH = "benchmarks/results/BENCH_serving.json"
+CANARY_BASELINE_PATH = "benchmarks/results/BENCH_canary.json"
 ALLOWED_FRACTION = 0.85
 MIN_MODELED_SPEEDUP_AT_4 = 2.5
 MIN_PROBE_EFFICIENCY = 0.5
@@ -177,6 +188,123 @@ def check_serving(baseline: dict | None, probe: dict) -> str:
     )
 
 
+def _committed_shadow(payload: dict, *, generation: int):
+    """Rebuild a ShadowReport from one committed bench round."""
+    from repro.canary.shadow import ShadowReport
+
+    return ShadowReport(
+        mode="fleet",
+        generation=generation,
+        n_attacks=0,
+        n_benign=0,
+        incumbent_tpr=float(payload["incumbent_tpr"]),
+        candidate_tpr=float(payload["candidate_tpr"]),
+        incumbent_fpr=float(payload["incumbent_fpr"]),
+        candidate_fpr=float(payload["candidate_fpr"]),
+        verdict_flips=0,
+        divergences=[],
+    )
+
+
+def check_canary(baseline: dict | None) -> str:
+    """Canary guard verdict; raises AssertionError on any broken bar.
+
+    Validates the committed artifact's acceptance bars, then replays
+    the committed deltas through the current gate: the decisions must
+    reproduce.  Churn is held at zero for the replay — the committed
+    reject reason is the FPR budget, never churn, so the replay
+    isolates the budget arithmetic.
+    """
+    if baseline is None:
+        return (
+            f"canary guard OK (no committed {CANARY_BASELINE_PATH} "
+            f"baseline): nothing to validate yet"
+        )
+    from repro.canary.gate import (
+        ChurnReport,
+        GatePolicy,
+        SignatureChurn,
+        evaluate_gate,
+    )
+
+    promote = baseline["promote"]
+    reject = baseline["reject"]
+    policy = GatePolicy(**baseline["policy"])
+    if promote["outcome"] != "promoted" or promote["reasons"]:
+        raise AssertionError(
+            f"committed {CANARY_BASELINE_PATH} promote round did not "
+            f"promote cleanly: {promote['outcome']} "
+            f"{promote['reasons']}"
+        )
+    if promote["divergences"] != 0:
+        raise AssertionError(
+            f"committed {CANARY_BASELINE_PATH} promote round saw "
+            f"{promote['divergences']} live-path divergences"
+        )
+    if promote["generation_after"] != promote["generation_before"] + 1:
+        raise AssertionError(
+            f"committed {CANARY_BASELINE_PATH} promote round did not "
+            f"advance exactly one generation"
+        )
+    if reject["outcome"] != "rejected" or (
+        "fpr_budget" not in reject["reasons"]
+    ):
+        raise AssertionError(
+            f"committed {CANARY_BASELINE_PATH} reject round is not an "
+            f"FPR-budget rejection: {reject['outcome']} "
+            f"{reject['reasons']}"
+        )
+    if not reject["incumbent_unchanged"]:
+        raise AssertionError(
+            f"committed {CANARY_BASELINE_PATH} records the rejection "
+            f"mutating the incumbent"
+        )
+    if reject["generation_after"] != reject["generation_before"]:
+        raise AssertionError(
+            f"committed {CANARY_BASELINE_PATH} reject round moved the "
+            f"live generation"
+        )
+
+    zero_churn = ChurnReport(
+        entries=[SignatureChurn(0, "unchanged", 0.0, 0.0)],
+        incumbent_size=1,
+        candidate_size=1,
+    )
+    replayed_promote = evaluate_gate(
+        _committed_shadow(
+            promote, generation=promote["generation_after"]
+        ),
+        zero_churn,
+        policy,
+    )
+    if not replayed_promote.promoted:
+        raise AssertionError(
+            f"gate semantics drifted: committed promote deltas now "
+            f"reject with {replayed_promote.reasons}"
+        )
+    replayed_reject = evaluate_gate(
+        _committed_shadow(
+            reject, generation=reject["generation_before"]
+        ),
+        zero_churn,
+        policy,
+    )
+    if replayed_reject.promoted or (
+        "fpr_budget" not in replayed_reject.reasons
+    ):
+        raise AssertionError(
+            f"gate semantics drifted: committed reject deltas now "
+            f"decide {replayed_reject.reasons or ['promote']}"
+        )
+    return (
+        f"canary guard OK: promote gen "
+        f"{promote['generation_before']}->{promote['generation_after']} "
+        f"with 0 divergences, reject held at fpr "
+        f"{reject['candidate_fpr']:.4f} > budget "
+        f"{policy.fpr_budget}, gate replay reproduces both decisions"
+    )
+
+
 def main() -> int:
     """Run both guards; returns a process exit code."""
     try:
@@ -186,6 +314,7 @@ def main() -> int:
         serving = committed_baseline(SERVING_BASELINE_PATH)
         probe = serving_probe()
         print(check_serving(serving, probe))
+        print(check_canary(committed_baseline(CANARY_BASELINE_PATH)))
     except Exception as error:  # noqa: BLE001 - CI wants any failure loud
         print(f"bench guard FAILED: {error}", file=sys.stderr)
         return 1

@@ -11,6 +11,8 @@ Commands:
     obs      observability: dump /metrics, validate run manifests
     conform  differential conformance: oracle runs, golden corpora
     match    fused matching engine: benchmark it, explain its plan
+    canary   closed-loop continual learning: run a shadow-scored,
+             gate-promoted retraining round; inspect the history
 
 Shared options (``--seed``, ``--workers``, ``-s/--signatures``) are
 declared once as parent parsers, so their spelling and defaults are
@@ -33,6 +35,7 @@ commands:
   obs      dump a gateway's /metrics or validate a run manifest
   conform  run the differential oracle, record/diff golden corpora
   match    benchmark the fused matching engine or explain its plan
+  canary   run one continual-learning round, or inspect its history
 
 run `repro <command> --help` for per-command options.
 """
@@ -569,6 +572,167 @@ def _cmd_match_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_canary_round(completed) -> None:
+    shadow = completed.decision.shadow
+    churn = completed.decision.churn
+    print(
+        f"round {completed.index}: {completed.outcome.upper()} "
+        f"({completed.mode}, strategy={completed.strategy}, "
+        f"gen {completed.generation_before} -> "
+        f"{completed.generation_after})"
+    )
+    print(
+        f"  tpr {shadow.incumbent_tpr:.4f} -> {shadow.candidate_tpr:.4f} "
+        f"(delta {shadow.tpr_delta:+.4f}); "
+        f"fpr {shadow.incumbent_fpr:.4f} -> {shadow.candidate_fpr:.4f} "
+        f"(delta {shadow.fpr_delta:+.4f})"
+    )
+    print(
+        f"  churn {churn.churn_fraction:.3f} "
+        f"({churn.n_changed} changed, {churn.n_added} added, "
+        f"{churn.n_removed} removed); "
+        f"divergences {len(shadow.divergences)}; "
+        f"drift out-of-cluster {completed.drift['out_of_cluster_rate']}"
+    )
+    if completed.decision.reasons:
+        print(f"  rejected: {', '.join(completed.decision.reasons)}")
+    walls = ", ".join(
+        f"{stage}={seconds * 1000:.0f}ms"
+        for stage, seconds in completed.stage_wall_s.items()
+    )
+    print(f"  stage walls: {walls}")
+
+
+def _cmd_canary_run(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.canary import (
+        CanaryConfig,
+        CanaryLoop,
+        GatePolicy,
+        TrainingState,
+    )
+    from repro.ids import PSigeneDetector
+    from repro.serve.store import SignatureStore
+
+    print(
+        f"repro canary: training the incumbent "
+        f"(canonical small pipeline, seed={args.seed})"
+    )
+    state = TrainingState.train(args.seed)
+    config = CanaryConfig(
+        fresh_attacks=args.fresh,
+        benign_replay=args.benign,
+        shift=args.shift,
+        seed=args.seed,
+        drift_threshold=args.drift_threshold,
+        refresh_strategy=args.strategy,
+        policy=GatePolicy(
+            fpr_budget=args.fpr_budget,
+            tpr_tolerance=args.tpr_tolerance,
+            max_churn_fraction=args.max_churn,
+        ),
+        runs_dir=args.runs_dir or None,
+    )
+    sabotage = None
+    if args.inject_fpr:
+        # CI's forced-reject round: a candidate that alerts on nearly
+        # everything must blow the FPR budget and be turned away with
+        # the incumbent provably untouched.
+        sabotage = lambda s: s.with_threshold(0.05)  # noqa: E731
+    if args.shards > 0:
+        from repro.serve import FleetConfig, FleetSupervisor
+
+        async def fleet_round():
+            supervisor = FleetSupervisor(
+                PSigeneDetector(state.signature_set),
+                FleetConfig(shards=args.shards),
+                source="canary:incumbent",
+            )
+            loop = CanaryLoop(state, supervisor.store, config=config)
+            await supervisor.start()
+            try:
+                return await loop.run_round_fleet(
+                    supervisor, sabotage=sabotage
+                )
+            finally:
+                await supervisor.stop()
+
+        completed = asyncio.run(fleet_round())
+    else:
+        store = SignatureStore(
+            PSigeneDetector(state.signature_set), source="canary:incumbent"
+        )
+        loop = CanaryLoop(state, store, config=config)
+        completed = loop.run_round(sabotage=sabotage)
+    _print_canary_round(completed)
+    if args.expect and args.expect != (
+        "promote" if completed.promoted else "reject"
+    ):
+        print(
+            f"repro canary: expected --expect {args.expect} but the "
+            f"round was {completed.outcome}"
+        )
+        return 9
+    return 0 if completed.promoted else 8
+
+
+def _cmd_canary_status(args: argparse.Namespace) -> int:
+    from repro.canary import HistoryError, read_history
+
+    try:
+        rounds = read_history(args.runs_dir)
+    except HistoryError as error:
+        raise SystemExit(f"repro: {error}") from None
+    if not rounds:
+        print(f"repro canary: no history under {args.runs_dir!r}")
+        return 0
+    promoted = sum(1 for r in rounds if r["outcome"] == "promoted")
+    last = rounds[-1]
+    print(
+        f"{len(rounds)} round(s): {promoted} promoted, "
+        f"{len(rounds) - promoted} rejected"
+    )
+    print(
+        f"last: {last['outcome']} ({last['mode']}, "
+        f"strategy={last['strategy']}, gen {last['generation_before']} "
+        f"-> {last['generation_after']})"
+        + (f", reasons: {', '.join(last['reasons'])}"
+           if last["reasons"] else "")
+    )
+    return 0
+
+
+def _cmd_canary_history(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.canary import HistoryError, read_history
+
+    try:
+        rounds = read_history(args.runs_dir)
+    except HistoryError as error:
+        raise SystemExit(f"repro: {error}") from None
+    if args.json:
+        print(json.dumps(rounds, indent=2, sort_keys=True))
+        return 0
+    if not rounds:
+        print(f"repro canary: no history under {args.runs_dir!r}")
+        return 0
+    for record in rounds:
+        gate = record["gate"]["shadow"]
+        line = (
+            f"round {record['round']}: {record['outcome']} "
+            f"({record['mode']}, {record['strategy']}, "
+            f"gen {record['generation_before']} -> "
+            f"{record['generation_after']}, "
+            f"tpr {gate['tpr_delta']:+.4f}, fpr {gate['fpr_delta']:+.4f})"
+        )
+        if record["reasons"]:
+            line += f" [{', '.join(record['reasons'])}]"
+        print(line)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -839,6 +1003,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="also list every pattern with its planned tier",
     )
     match_explain.set_defaults(func=_cmd_match_explain)
+
+    canary = sub.add_parser(
+        "canary",
+        help="closed-loop continual learning (shadow-score + gate)",
+    )
+    canary_sub = canary.add_subparsers(dest="canary_command", required=True)
+    canary_run = canary_sub.add_parser(
+        "run",
+        help="one full ingest -> refresh -> shadow -> gate round; "
+             "exit 0 promoted, 8 rejected, 9 --expect mismatch",
+        parents=[seed_options],
+    )
+    canary_run.add_argument(
+        "--fresh", type=int, default=200,
+        help="fresh drifted attacks to ingest (default: 200)",
+    )
+    canary_run.add_argument(
+        "--benign", type=int, default=400,
+        help="benign payloads for FPR replay (default: 400)",
+    )
+    canary_run.add_argument(
+        "--shift", type=float, default=3.0,
+        help="drift magnitude of the fresh attack mix (default: 3.0)",
+    )
+    canary_run.add_argument(
+        "--strategy", choices=("auto", "warm", "rebicluster"),
+        default="auto",
+        help="refresh strategy (default: auto — escalate on drift)",
+    )
+    canary_run.add_argument(
+        "--drift-threshold", type=float, default=0.5,
+        help="out-of-cluster rate at which auto re-biclusters "
+             "(default: 0.5)",
+    )
+    canary_run.add_argument(
+        "--fpr-budget", type=float, default=0.01,
+        help="max candidate FPR on benign replay (default: 0.01)",
+    )
+    canary_run.add_argument(
+        "--tpr-tolerance", type=float, default=0.0,
+        help="allowed TPR regression on fresh attacks (default: 0.0)",
+    )
+    canary_run.add_argument(
+        "--max-churn", type=float, default=1.0,
+        help="max fraction of signatures changed/added/removed "
+             "(default: 1.0)",
+    )
+    canary_run.add_argument(
+        "--shards", type=int, default=0,
+        help="run against a live N-shard fleet instead of an "
+             "in-process store (default: 0 = store)",
+    )
+    canary_run.add_argument(
+        "--inject-fpr", action="store_true",
+        help="sabotage the candidate's threshold so it alerts on "
+             "benign traffic — the gate must reject it (CI smoke)",
+    )
+    canary_run.add_argument(
+        "--expect", choices=("promote", "reject"), default=None,
+        help="fail with exit 9 unless the round ends this way",
+    )
+    canary_run.add_argument(
+        "--runs-dir", default="runs",
+        help="promotion-history directory ('' disables; default: runs)",
+    )
+    canary_run.set_defaults(func=_cmd_canary_run)
+    canary_status = canary_sub.add_parser(
+        "status", help="summarize the promotion history",
+    )
+    canary_status.add_argument("--runs-dir", default="runs")
+    canary_status.set_defaults(func=_cmd_canary_status)
+    canary_history = canary_sub.add_parser(
+        "history", help="list every recorded round",
+    )
+    canary_history.add_argument("--runs-dir", default="runs")
+    canary_history.add_argument(
+        "--json", action="store_true",
+        help="print the raw manifest records as JSON",
+    )
+    canary_history.set_defaults(func=_cmd_canary_history)
     return parser
 
 

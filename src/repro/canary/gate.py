@@ -1,0 +1,270 @@
+"""Promotion gate: decide candidate vs. incumbent from measured deltas.
+
+The gate is deliberately dumb — every input is something the shadow
+stage *measured* (TPR on labeled fresh attacks, FPR on benign replay,
+live-path divergences) or something computed structurally from the two
+signature sets (per-signature churn).  No heuristics, no model-of-the-
+model: a candidate promotes iff it clears every budget, and a rejection
+names each budget it blew in a machine-readable reason list, so the
+history manifest explains *why* without replaying the round.
+
+Checks, in reason order:
+
+- ``conformance`` — the shadow pass saw live verdicts diverge from the
+  pre-stage baseline.  Staging must never perturb serving; if it did,
+  nothing else about the round can be trusted.
+- ``fpr_budget`` — the candidate's alert rate on benign replay exceeds
+  the absolute budget.  pSigene's headline trade (90.52% detection at
+  0.037% FP, Table VII) only holds if regeneration cannot quietly spend
+  more false positives than the operator agreed to.
+- ``tpr_regression`` — the candidate detects *fewer* of the fresh
+  attacks than the incumbent, beyond tolerance.  A refresh that loses
+  ground on exactly the traffic that motivated it is worse than no-op.
+- ``churn`` — the fraction of incumbent signatures changed, added, or
+  removed exceeds the cap.  Large churn is not forbidden forever — the
+  operator can raise the cap for a planned re-bicluster — but it never
+  rides in silently on a routine warm refresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.canary.shadow import ShadowReport
+from repro.core.signature import SignatureSet
+
+__all__ = [
+    "ChurnReport",
+    "GateDecision",
+    "GatePolicy",
+    "SignatureChurn",
+    "evaluate_gate",
+    "signature_churn",
+]
+
+#: Θ movement below this L2 norm counts as "unchanged" — refits of an
+#: already-converged model jitter at machine precision.
+THETA_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class GatePolicy:
+    """Budgets a candidate must clear to promote.
+
+    Attributes:
+        fpr_budget: maximum candidate alert rate on benign replay
+            (absolute, not a delta — the budget is an operator promise).
+        tpr_tolerance: detection regression allowed on fresh attacks
+            before ``tpr_regression`` fires (0.0 = any loss rejects).
+        max_churn_fraction: maximum fraction of signatures changed,
+            added, or removed relative to the incumbent set size.
+        require_zero_divergences: reject when the shadow pass saw the
+            live path diverge from its pre-stage baseline.
+    """
+
+    fpr_budget: float = 0.01
+    tpr_tolerance: float = 0.0
+    max_churn_fraction: float = 1.0
+    require_zero_divergences: bool = True
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for round records."""
+        return {
+            "fpr_budget": self.fpr_budget,
+            "tpr_tolerance": self.tpr_tolerance,
+            "max_churn_fraction": self.max_churn_fraction,
+            "require_zero_divergences": self.require_zero_divergences,
+        }
+
+
+@dataclass(frozen=True)
+class SignatureChurn:
+    """How one signature moved between incumbent and candidate.
+
+    Attributes:
+        bicluster_index: paper-style 1-based signature number.
+        status: ``unchanged``, ``changed``, ``added``, or ``removed``.
+        theta_delta: L2 norm of the Θ movement, when both sides exist
+            and share a feature dimension; None otherwise (a re-bicluster
+            reshapes feature subsets, making Θ vectors incomparable).
+        threshold_delta: candidate threshold minus incumbent threshold,
+            when both sides exist.
+    """
+
+    bicluster_index: int
+    status: str
+    theta_delta: float | None = None
+    threshold_delta: float | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (one churn entry in the gate block)."""
+        return {
+            "bicluster_index": self.bicluster_index,
+            "status": self.status,
+            "theta_delta": (
+                None if self.theta_delta is None
+                else round(self.theta_delta, 9)
+            ),
+            "threshold_delta": (
+                None if self.threshold_delta is None
+                else round(self.threshold_delta, 9)
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class ChurnReport:
+    """Per-signature diff of the candidate against the incumbent."""
+
+    entries: list[SignatureChurn] = field(default_factory=list)
+    incumbent_size: int = 0
+    candidate_size: int = 0
+
+    def _count(self, status: str) -> int:
+        return sum(1 for e in self.entries if e.status == status)
+
+    @property
+    def n_changed(self) -> int:
+        """Signatures present on both sides whose Θ or threshold moved."""
+        return self._count("changed")
+
+    @property
+    def n_added(self) -> int:
+        """Signatures only the candidate has."""
+        return self._count("added")
+
+    @property
+    def n_removed(self) -> int:
+        """Incumbent signatures the candidate dropped."""
+        return self._count("removed")
+
+    @property
+    def churn_fraction(self) -> float:
+        """(changed + added + removed) / incumbent set size."""
+        if not self.incumbent_size:
+            return 1.0 if (self.n_added or self.n_removed) else 0.0
+        return (
+            self.n_changed + self.n_added + self.n_removed
+        ) / self.incumbent_size
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for round records."""
+        return {
+            "incumbent_size": self.incumbent_size,
+            "candidate_size": self.candidate_size,
+            "changed": self.n_changed,
+            "added": self.n_added,
+            "removed": self.n_removed,
+            "churn_fraction": round(self.churn_fraction, 6),
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+
+def signature_churn(
+    incumbent: SignatureSet, candidate: SignatureSet
+) -> ChurnReport:
+    """Diff *candidate* against *incumbent*, matched by bicluster index.
+
+    A warm refresh keeps indices and feature subsets stable, so matched
+    signatures get a real Θ L2 delta.  A re-bicluster may renumber and
+    reshape everything; signatures whose feature dimensions no longer
+    line up report ``theta_delta=None`` but still count as changed when
+    their thresholds or dimensions differ.
+    """
+    old = {s.bicluster_index: s for s in incumbent.signatures}
+    new = {s.bicluster_index: s for s in candidate.signatures}
+    entries: list[SignatureChurn] = []
+    for index in sorted(old.keys() | new.keys()):
+        a, b = old.get(index), new.get(index)
+        if a is None:
+            entries.append(SignatureChurn(index, "added"))
+            continue
+        if b is None:
+            entries.append(SignatureChurn(index, "removed"))
+            continue
+        theta_a = np.asarray(a.model.theta, dtype=np.float64)
+        theta_b = np.asarray(b.model.theta, dtype=np.float64)
+        threshold_delta = float(b.threshold - a.threshold)
+        if theta_a.shape == theta_b.shape:
+            theta_delta = float(np.linalg.norm(theta_b - theta_a))
+            moved = (
+                theta_delta > THETA_EPSILON
+                or abs(threshold_delta) > THETA_EPSILON
+            )
+            entries.append(SignatureChurn(
+                index,
+                "changed" if moved else "unchanged",
+                theta_delta=theta_delta,
+                threshold_delta=threshold_delta,
+            ))
+        else:
+            entries.append(SignatureChurn(
+                index, "changed", threshold_delta=threshold_delta
+            ))
+    return ChurnReport(
+        entries=entries,
+        incumbent_size=len(incumbent.signatures),
+        candidate_size=len(candidate.signatures),
+    )
+
+
+@dataclass(frozen=True)
+class GateDecision:
+    """The gate's verdict on one round.
+
+    Attributes:
+        promoted: True iff every check cleared.
+        reasons: machine-readable rejection reasons, empty on promote —
+            any of ``conformance``, ``fpr_budget``, ``tpr_regression``,
+            ``churn``.
+        shadow: the measured deltas the decision rests on.
+        churn: the structural diff the decision rests on.
+        policy: the budgets in force.
+    """
+
+    promoted: bool
+    reasons: list[str]
+    shadow: ShadowReport
+    churn: ChurnReport
+    policy: GatePolicy
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (one history line's ``gate`` block)."""
+        return {
+            "promoted": self.promoted,
+            "reasons": list(self.reasons),
+            "shadow": self.shadow.to_dict(),
+            "churn": self.churn.to_dict(),
+            "policy": self.policy.to_dict(),
+        }
+
+
+def evaluate_gate(
+    shadow: ShadowReport,
+    churn: ChurnReport,
+    policy: GatePolicy | None = None,
+) -> GateDecision:
+    """Apply *policy* to the measured round; collect every failed check.
+
+    All checks always run — a rejection record naming every blown budget
+    is worth more to the operator than the first one found.
+    """
+    policy = policy or GatePolicy()
+    reasons: list[str] = []
+    if policy.require_zero_divergences and shadow.divergences:
+        reasons.append("conformance")
+    if shadow.candidate_fpr > policy.fpr_budget:
+        reasons.append("fpr_budget")
+    if shadow.tpr_delta < -policy.tpr_tolerance:
+        reasons.append("tpr_regression")
+    if churn.churn_fraction > policy.max_churn_fraction:
+        reasons.append("churn")
+    return GateDecision(
+        promoted=not reasons,
+        reasons=reasons,
+        shadow=shadow,
+        churn=churn,
+        policy=policy,
+    )

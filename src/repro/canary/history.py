@@ -1,0 +1,131 @@
+"""Promotion-history manifest: every round leaves an auditable record.
+
+The canary loop's output is not just a (possibly) new signature set —
+it is a decision, and decisions need provenance.  Each completed round
+appends one JSON line to ``runs/canary/history.jsonl``: outcome,
+rejection reasons, refresh strategy, drift signal, the full gate block
+(shadow deltas, churn, policy), generation numbers before/after, and
+per-stage wall times.  ``repro canary history`` reads it back;
+``repro canary status`` summarizes the tail.
+
+Records are validated on write *and* on read — a manifest that can be
+appended to but not trusted is no manifest.  The schema is versioned so
+a future shape change can migrate instead of guess.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "HistoryError",
+    "append_round",
+    "history_path",
+    "read_history",
+    "validate_round",
+]
+
+#: Manifest schema version stamped on every round record.
+HISTORY_SCHEMA = 1
+
+#: Keys every round record must carry.
+_REQUIRED = (
+    "schema",
+    "round",
+    "outcome",
+    "strategy",
+    "generation_before",
+    "generation_after",
+    "reasons",
+    "gate",
+    "stage_wall_s",
+)
+
+#: Outcomes a round may record.
+_OUTCOMES = ("promoted", "rejected")
+
+
+class HistoryError(ValueError):
+    """Raised on an invalid round record or a corrupt manifest."""
+
+
+def history_path(runs_dir: str = "runs") -> str:
+    """The manifest path under *runs_dir* (``runs/canary/history.jsonl``)."""
+    return os.path.join(runs_dir, "canary", "history.jsonl")
+
+
+def validate_round(record: dict) -> None:
+    """Check one round record's shape.
+
+    Raises:
+        HistoryError: a required key is missing, the schema version is
+            unknown, the outcome is not ``promoted``/``rejected``, or a
+            rejection carries no reasons (an unexplained rejection is a
+            bug in the gate, not a record to keep).
+    """
+    if not isinstance(record, dict):
+        raise HistoryError(f"round record must be a dict, got {type(record)}")
+    missing = [key for key in _REQUIRED if key not in record]
+    if missing:
+        raise HistoryError(f"round record missing keys: {missing}")
+    if record["schema"] != HISTORY_SCHEMA:
+        raise HistoryError(
+            f"unknown history schema {record['schema']!r} "
+            f"(this build writes {HISTORY_SCHEMA})"
+        )
+    if record["outcome"] not in _OUTCOMES:
+        raise HistoryError(
+            f"outcome must be one of {_OUTCOMES}, got {record['outcome']!r}"
+        )
+    if record["outcome"] == "rejected" and not record["reasons"]:
+        raise HistoryError("a rejected round must name its reasons")
+    if record["outcome"] == "promoted" and record["reasons"]:
+        raise HistoryError(
+            "a promoted round must not carry rejection reasons"
+        )
+
+
+def append_round(record: dict, *, runs_dir: str = "runs") -> str:
+    """Validate *record* and append it to the manifest.
+
+    Returns the manifest path written to.
+    """
+    validate_round(record)
+    path = history_path(runs_dir)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def read_history(runs_dir: str = "runs") -> list[dict]:
+    """Load and validate every round in the manifest, oldest first.
+
+    Returns an empty list when no manifest exists yet.
+
+    Raises:
+        HistoryError: a line is not valid JSON or fails round validation.
+    """
+    path = history_path(runs_dir)
+    if not os.path.exists(path):
+        return []
+    rounds: list[dict] = []
+    with open(path) as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise HistoryError(
+                    f"{path}:{number}: invalid JSON: {exc}"
+                ) from exc
+            try:
+                validate_round(record)
+            except HistoryError as exc:
+                raise HistoryError(f"{path}:{number}: {exc}") from exc
+            rounds.append(record)
+    return rounds

@@ -1,0 +1,254 @@
+"""Versioned corpus ledger: the canary loop's ingestion stage.
+
+Every retraining decision the loop makes is only as trustworthy as its
+record of *what* it trained on.  The ledger is that record: each ingest
+call becomes an immutable batch with a content hash (SHA-256 over the
+sorted payload digests, so batch identity is order-independent), a
+monotonically increasing ledger version, and added/duplicate counts —
+the same artifact-discipline a model-serving stack keeps for training
+data snapshots.
+
+Payloads are deduplicated per kind across the ledger's whole lifetime:
+a scanner replaying the same probe every round grows the pending set
+once, not every round.  Pending samples accumulate across *rejected*
+rounds (the next candidate trains on everything observed since the last
+promotion) and are consumed on promotion.
+
+With a ``path`` the ledger also appends each batch as a JSON line, so a
+restarted process can :meth:`CorpusLedger.load` the exact corpus state
+back — content hashes included, which makes tampering visible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["CorpusLedger", "IngestBatch", "LedgerError"]
+
+#: Kinds a ledger tracks; attacks feed refresh, benign feeds the FPR gate.
+KINDS = ("attack", "benign")
+
+
+class LedgerError(ValueError):
+    """Raised on invalid ingests or a corrupt persisted ledger."""
+
+
+def payload_digest(payload: str) -> str:
+    """Stable content hash of one payload (SHA-256 hex)."""
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def batch_digest(digests: Iterable[str]) -> str:
+    """Order-independent content hash of a batch of payload digests."""
+    joined = "\n".join(sorted(digests)).encode("ascii")
+    return hashlib.sha256(joined).hexdigest()
+
+
+@dataclass(frozen=True)
+class IngestBatch:
+    """One immutable ingestion record.
+
+    Attributes:
+        version: ledger version this batch produced (1-based, monotonic).
+        kind: ``attack`` or ``benign``.
+        source: provenance string (``corpus:union-extract``,
+            ``scanner:sqlmap``, ``operator``, ...).
+        offered: payloads offered to this ingest call.
+        added: payloads new to the ledger (survive dedup).
+        duplicates: payloads already known (dropped).
+        content_hash: order-independent SHA-256 over the *added*
+            payload digests — the batch's identity.
+    """
+
+    version: int
+    kind: str
+    source: str
+    offered: int
+    added: int
+    duplicates: int
+    content_hash: str
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (one history/journal line)."""
+        return {
+            "version": self.version,
+            "kind": self.kind,
+            "source": self.source,
+            "offered": self.offered,
+            "added": self.added,
+            "duplicates": self.duplicates,
+            "content_hash": self.content_hash,
+        }
+
+
+class CorpusLedger:
+    """Content-addressed, versioned store of observed traffic.
+
+    Args:
+        path: optional JSONL journal; every batch (with its payloads) is
+            appended so :meth:`load` can reconstruct the ledger.
+    """
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path
+        self.version = 0
+        self.batches: list[IngestBatch] = []
+        self._seen: dict[str, set[str]] = {kind: set() for kind in KINDS}
+        self._pending: dict[str, list[str]] = {kind: [] for kind in KINDS}
+        self._consumed: dict[str, int] = {kind: 0 for kind in KINDS}
+
+    # -- ingestion -----------------------------------------------------
+
+    def ingest(
+        self, payloads: Iterable[str], *, kind: str, source: str
+    ) -> IngestBatch:
+        """Fold *payloads* into the ledger as one versioned batch.
+
+        Raises:
+            LedgerError: unknown ``kind`` or an empty offered batch
+                (an empty ingest would mint a version that recorded
+                nothing — almost certainly a caller bug).
+        """
+        if kind not in KINDS:
+            raise LedgerError(
+                f"unknown ledger kind {kind!r}; expected one of {KINDS}"
+            )
+        offered = list(payloads)
+        if not offered:
+            raise LedgerError(
+                f"refusing to ingest an empty {kind} batch from {source!r}"
+            )
+        seen = self._seen[kind]
+        added: list[str] = []
+        added_digests: list[str] = []
+        for payload in offered:
+            digest = payload_digest(payload)
+            if digest in seen:
+                continue
+            seen.add(digest)
+            added.append(payload)
+            added_digests.append(digest)
+        self.version += 1
+        batch = IngestBatch(
+            version=self.version,
+            kind=kind,
+            source=source,
+            offered=len(offered),
+            added=len(added),
+            duplicates=len(offered) - len(added),
+            content_hash=batch_digest(added_digests),
+        )
+        self.batches.append(batch)
+        self._pending[kind].extend(added)
+        if self.path is not None:
+            self._journal(batch, added)
+        return batch
+
+    def _journal(self, batch: IngestBatch, payloads: list[str]) -> None:
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(
+                {**batch.to_dict(), "payloads": payloads}
+            ) + "\n")
+
+    # -- consumption ---------------------------------------------------
+
+    def pending(self, kind: str) -> list[str]:
+        """Samples ingested since the last promotion (a copy)."""
+        if kind not in KINDS:
+            raise LedgerError(f"unknown ledger kind {kind!r}")
+        return list(self._pending[kind])
+
+    def pending_counts(self) -> dict[str, int]:
+        """Pending sample count per kind."""
+        return {kind: len(queue) for kind, queue in self._pending.items()}
+
+    def mark_consumed(self) -> dict[str, int]:
+        """Clear every pending queue (called on promotion).
+
+        Returns the per-kind counts that were consumed.  Rejected rounds
+        do *not* consume: their samples stay pending so the next
+        candidate trains on everything observed since the last promote.
+        """
+        counts = self.pending_counts()
+        for kind in KINDS:
+            self._consumed[kind] += len(self._pending[kind])
+            self._pending[kind] = []
+        if self.path is not None and any(counts.values()):
+            with open(self.path, "a") as handle:
+                handle.write(json.dumps(
+                    {"event": "consume", "counts": counts}
+                ) + "\n")
+        return counts
+
+    @property
+    def consumed_counts(self) -> dict[str, int]:
+        """Total samples consumed by promotions, per kind."""
+        return dict(self._consumed)
+
+    # -- persistence ---------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "CorpusLedger":
+        """Reconstruct a ledger from its JSONL journal.
+
+        Raises:
+            LedgerError: malformed journal lines or a recorded batch
+                whose content hash does not match its payloads.
+        """
+        ledger = cls(path=None)
+        with open(path) as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise LedgerError(
+                        f"{path}:{number}: invalid JSON: {exc}"
+                    ) from exc
+                if record.get("event") == "consume":
+                    for kind, count in record.get("counts", {}).items():
+                        if kind in KINDS:
+                            ledger._consumed[kind] += int(count)
+                            ledger._pending[kind] = []
+                    continue
+                payloads = record.get("payloads")
+                kind = record.get("kind")
+                if kind not in KINDS or not isinstance(payloads, list):
+                    raise LedgerError(
+                        f"{path}:{number}: malformed ledger record"
+                    )
+                digests = [payload_digest(p) for p in payloads]
+                if batch_digest(digests) != record.get("content_hash"):
+                    raise LedgerError(
+                        f"{path}:{number}: content hash mismatch — the "
+                        "journal does not match its recorded payloads"
+                    )
+                ledger.version += 1
+                batch = IngestBatch(
+                    version=int(record["version"]),
+                    kind=kind,
+                    source=str(record.get("source", "")),
+                    offered=int(record["offered"]),
+                    added=int(record["added"]),
+                    duplicates=int(record["duplicates"]),
+                    content_hash=str(record["content_hash"]),
+                )
+                if batch.version != ledger.version:
+                    raise LedgerError(
+                        f"{path}:{number}: version {batch.version} out of "
+                        f"order (expected {ledger.version})"
+                    )
+                ledger.batches.append(batch)
+                ledger._seen[kind].update(digests)
+                ledger._pending[kind].extend(payloads)
+        ledger.path = path
+        return ledger

@@ -1,0 +1,249 @@
+"""Refresh stage: turn pending samples into a candidate signature set.
+
+Two regeneration paths, picked by a measured drift signal:
+
+- **warm** — the paper's incremental path
+  (:func:`repro.core.incremental.incremental_update`, ``strategy="warm"``):
+  cluster structure and per-signature feature subsets stay fixed, Θ is
+  refit from the old optimum.  Cheap, and right as long as fresh attacks
+  still land inside the trained biclusters.
+- **rebicluster** — the full phase 2–4 pipeline (extraction → pruning →
+  UPGMA biclustering → LR generalization) over the union of the original
+  corpus and the pending samples.  Expensive, and necessary exactly when
+  drift has pushed fresh traffic outside every bicluster's assignment
+  radius — the regime the ``ext_drift`` bench shows warm updates cannot
+  fully recover.
+
+:func:`measure_drift` quantifies that regime the same way the pipeline
+assigns rows (nearest-centroid distance in the biclusterer's transformed
+space, against each bicluster's radius), so the trigger and the training
+geometry can never disagree about what "outside" means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.incremental import incremental_update
+from repro.core.pipeline import PipelineResult, PSigenePipeline
+from repro.core.signature import SignatureSet
+from repro.corpus.grammar import AttackSample
+from repro.features.extractor import FeatureExtractor
+
+__all__ = [
+    "DriftSignal",
+    "RefreshOutcome",
+    "measure_drift",
+    "rebicluster_update",
+    "refresh_candidate",
+]
+
+#: Radius slack shared with ``PSigenePipeline._extend_biclusters`` — a
+#: row is "inside" a bicluster when its centroid distance is within
+#: 1.05x the cluster's assignment radius.
+RADIUS_SLACK = 1.05
+
+
+@dataclass(frozen=True)
+class DriftSignal:
+    """How far fresh traffic sits from the trained cluster structure.
+
+    Attributes:
+        n_samples: fresh payloads measured.
+        out_of_cluster: payloads outside every bicluster's assignment
+            radius (x :data:`RADIUS_SLACK`).
+        nearest_counts: in-radius payload counts per bicluster index.
+    """
+
+    n_samples: int
+    out_of_cluster: int
+    nearest_counts: dict[int, int]
+
+    @property
+    def out_of_cluster_rate(self) -> float:
+        """Fraction of fresh payloads no trained bicluster claims."""
+        if not self.n_samples:
+            return 0.0
+        return self.out_of_cluster / self.n_samples
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for round records."""
+        return {
+            "n_samples": self.n_samples,
+            "out_of_cluster": self.out_of_cluster,
+            "out_of_cluster_rate": round(self.out_of_cluster_rate, 6),
+        }
+
+
+def measure_drift(
+    pipeline: PSigenePipeline,
+    result: PipelineResult,
+    payloads: list[str],
+) -> DriftSignal:
+    """Score *payloads* against the trained bicluster geometry.
+
+    Centroids, radii, and distances live in the biclusterer's
+    transformed space — the space the dendrogram was built in — exactly
+    like the pipeline's own nearest-centroid row assignment.
+    """
+    active = [b for b in result.biclusters if not b.is_black_hole]
+    if not payloads or not active:
+        return DriftSignal(
+            n_samples=len(payloads), out_of_cluster=0, nearest_counts={}
+        )
+    transform = pipeline.config.biclusterer.transform_rows
+    quantile = pipeline.config.assignment_radius_quantile
+    training_space = transform(result.matrix.counts)
+    centroids: list[np.ndarray] = []
+    radii: list[float] = []
+    for bicluster in active:
+        block = training_space[bicluster.sample_indices]
+        centroid = block.mean(axis=0)
+        distances = np.linalg.norm(block - centroid, axis=1)
+        radius = float(np.quantile(distances, quantile)) if len(
+            distances
+        ) else 0.0
+        centroids.append(centroid)
+        radii.append(max(radius, 1e-9))
+    extractor = FeatureExtractor(
+        catalog=result.catalog, normalizer=pipeline.normalizer
+    )
+    fresh = transform(extractor.extract_many(
+        payloads,
+        sample_ids=[f"drift-{i:06d}" for i in range(len(payloads))],
+    ).counts)
+    centroid_matrix = np.vstack(centroids)
+    distance_matrix = np.linalg.norm(
+        fresh[:, None, :] - centroid_matrix[None, :, :], axis=2
+    )
+    nearest = distance_matrix.argmin(axis=1)
+    nearest_distance = distance_matrix[np.arange(len(payloads)), nearest]
+    radius_vector = np.array(radii)[nearest] * RADIUS_SLACK
+    inside = nearest_distance <= radius_vector
+    nearest_counts: dict[int, int] = {}
+    for position, ok in zip(nearest, inside):
+        if ok:
+            index = active[int(position)].index
+            nearest_counts[index] = nearest_counts.get(index, 0) + 1
+    return DriftSignal(
+        n_samples=len(payloads),
+        out_of_cluster=int((~inside).sum()),
+        nearest_counts=nearest_counts,
+    )
+
+
+def rebicluster_update(
+    pipeline: PSigenePipeline,
+    result: PipelineResult,
+    new_payloads: list[str],
+) -> PipelineResult:
+    """Full phase 2–4 retrain over the grown corpus.
+
+    The original crawl is reused (phase 1 does not rerun); the pending
+    payloads join it as ``canary`` samples, and extraction, pruning,
+    biclustering, and signature generalization all rerun from scratch —
+    new feature catalog, new cluster structure, new Θ.
+    """
+    samples = list(result.samples) + [
+        AttackSample(
+            sample_id=f"canary-{i:06d}", payload=payload, family="canary"
+        )
+        for i, payload in enumerate(new_payloads)
+    ]
+    matrix, pruning, benign, _extractor = pipeline.extract_features(samples)
+    biclustering, biclusters = pipeline.bicluster(matrix)
+    trainings, signature_set = pipeline.generalize(
+        biclusters, matrix, benign
+    )
+    return PipelineResult(
+        samples=samples,
+        matrix=matrix,
+        pruning=pruning,
+        benign_matrix=benign,
+        biclustering=biclustering,
+        biclusters=biclusters,
+        trainings=trainings,
+        signature_set=signature_set,
+        catalog=matrix.catalog,
+    )
+
+
+@dataclass(frozen=True)
+class RefreshOutcome:
+    """One refresh stage's product.
+
+    Attributes:
+        candidate: the candidate signature set (never yet published).
+        result: the training state behind the candidate — the old
+            result with a refit signature set (warm) or a brand-new
+            pipeline result (rebicluster).  Adopted only on promotion.
+        strategy: ``warm`` or ``rebicluster``.
+        drift: the measured drift signal that picked the strategy.
+        newton_iterations: optimizer work spent (0 for rebicluster —
+            its cost is the whole pipeline, not marginal Newton steps).
+    """
+
+    candidate: SignatureSet
+    result: PipelineResult
+    strategy: str
+    drift: DriftSignal
+    newton_iterations: int = 0
+
+
+def refresh_candidate(
+    pipeline: PSigenePipeline,
+    result: PipelineResult,
+    pending_attacks: list[str],
+    *,
+    drift_threshold: float = 0.5,
+    strategy: str = "auto",
+) -> RefreshOutcome:
+    """Produce a candidate signature set from the pending attacks.
+
+    Args:
+        pipeline: the training pipeline (config + normalizer reused).
+        result: the incumbent training state.
+        pending_attacks: attack payloads observed since the last promote.
+        drift_threshold: out-of-cluster rate at which ``auto`` escalates
+            from the warm path to a full re-bicluster.
+        strategy: ``auto`` (measure, then decide), ``warm``, or
+            ``rebicluster``.
+
+    Raises:
+        ValueError: unknown strategy, or no pending attacks to refresh
+            from (a candidate identical to the incumbent proves nothing).
+    """
+    if strategy not in ("auto", "warm", "rebicluster"):
+        raise ValueError(f"unknown refresh strategy {strategy!r}")
+    if not pending_attacks:
+        raise ValueError(
+            "refresh needs pending attack samples; ingest before refreshing"
+        )
+    drift = measure_drift(pipeline, result, pending_attacks)
+    chosen = strategy
+    if strategy == "auto":
+        chosen = (
+            "rebicluster"
+            if drift.out_of_cluster_rate > drift_threshold
+            else "warm"
+        )
+    if chosen == "rebicluster":
+        refreshed = rebicluster_update(pipeline, result, pending_attacks)
+        return RefreshOutcome(
+            candidate=refreshed.signature_set,
+            result=refreshed,
+            strategy="rebicluster",
+            drift=drift,
+        )
+    update = incremental_update(
+        pipeline, result, pending_attacks, strategy="warm"
+    )
+    return RefreshOutcome(
+        candidate=update.signature_set,
+        result=replace(result, signature_set=update.signature_set),
+        strategy="warm",
+        drift=drift,
+        newton_iterations=update.newton_iterations,
+    )

@@ -78,6 +78,7 @@ def incremental_update(
     extractor = FeatureExtractor(
         catalog=result.catalog, normalizer=pipeline.normalizer
     )
+    _check_catalog_alignment(result, extractor)
     new_matrix = extractor.extract_many(
         new_payloads,
         sample_ids=[f"inc-{i:06d}" for i in range(len(new_payloads))],
@@ -85,7 +86,11 @@ def incremental_update(
 
     active = [b for b in result.biclusters if not b.is_black_hole]
     if not active:
-        raise ValueError("no active biclusters to update")
+        raise ValueError(
+            "cold start: the warm state has no active biclusters to "
+            "grow — run the full pipeline (or a re-bicluster refresh) "
+            "before incremental training"
+        )
     transform = pipeline.config.biclusterer.transform_rows
     training_space = transform(result.matrix.counts)
     centroids = np.vstack([
@@ -139,6 +144,37 @@ def incremental_update(
     )
 
 
+def _check_catalog_alignment(
+    result: PipelineResult, extractor: FeatureExtractor
+) -> None:
+    """Reject a warm state whose catalog disagrees with its matrix.
+
+    The incremental paths stack fresh extraction columns directly onto
+    ``result.matrix.counts`` and index signature feature subsets by
+    catalog position.  If ``result.catalog`` (what the refreshed
+    extractor counts) and ``result.matrix.catalog`` (what the stored
+    columns mean) differ in count *or order*, every lookup silently
+    reads the wrong column — so mismatches must die loudly here.
+    """
+    stored = list(result.matrix.catalog)
+    refreshed = list(extractor.catalog)
+    if len(stored) != len(refreshed):
+        raise ValueError(
+            "warm state catalog mismatch: the training matrix has "
+            f"{len(stored)} feature columns but the refreshed extractor "
+            f"counts {len(refreshed)} — the result's catalog and matrix "
+            "come from different extractions"
+        )
+    for position, (a, b) in enumerate(zip(stored, refreshed)):
+        if a.pattern != b.pattern:
+            raise ValueError(
+                "warm state catalog mismatch: feature column "
+                f"{position} is {a.pattern!r} in the training matrix "
+                f"but {b.pattern!r} in the refreshed extractor — "
+                "column order diverged, refusing to mis-index"
+            )
+
+
 def _warm_update(
     pipeline: PSigenePipeline,
     result: PipelineResult,
@@ -169,6 +205,16 @@ def _warm_update(
         if bicluster is None:
             signatures.append(old)
             continue
+        missing = [
+            d.pattern for d in old.features
+            if d.pattern not in pattern_to_column
+        ]
+        if missing:
+            raise ValueError(
+                f"signature {old.bicluster_index} uses features absent "
+                f"from the warm state's catalog: {missing[:3]!r} — the "
+                "signature set and catalog come from different runs"
+            )
         columns = [
             pattern_to_column[d.pattern] for d in old.features
         ]

@@ -276,6 +276,18 @@ class SignatureStore:
             self._build(signature_set), generation=generation, source=source
         )
 
+    def get_staged(self, generation: int) -> StoreVersion | None:
+        """The staged (warmed, unpublished) candidate for ``generation``,
+        or None.  The canary loop mirrors shadow traffic to this
+        detector while the published version keeps answering."""
+        with self._swap_lock:
+            return self._staged.get(generation)
+
+    def staged_generations(self) -> tuple[int, ...]:
+        """Generation numbers currently staged, ascending."""
+        with self._swap_lock:
+            return tuple(sorted(self._staged))
+
     def commit_staged(self, generation: int) -> StoreVersion:
         """Atomically publish the previously staged ``generation``.
 

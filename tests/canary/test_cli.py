@@ -1,0 +1,117 @@
+"""``repro canary`` CLI tests: exit codes, history, status output."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.canary import TrainingState, read_history
+
+
+@pytest.fixture(autouse=True)
+def reuse_session_pipeline(monkeypatch, small_pipeline, small_result):
+    """``canary run`` trains the canonical config from scratch; tests
+    reuse the session-scoped training instead of paying it per test."""
+    monkeypatch.setattr(
+        TrainingState,
+        "train",
+        classmethod(lambda cls, seed=2012: cls(
+            pipeline=small_pipeline, result=small_result
+        )),
+    )
+
+
+def run_args(tmp_path, *extra):
+    return [
+        "canary", "run",
+        "--fresh", "60", "--benign", "120",
+        "--fpr-budget", "0.05", "--tpr-tolerance", "0.10",
+        "--max-churn", "2.0",
+        "--runs-dir", str(tmp_path),
+        *extra,
+    ]
+
+
+class TestCanaryRun:
+    def test_promote_round_exits_zero(self, tmp_path, capsys):
+        code = main(run_args(tmp_path, "--expect", "promote"))
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "PROMOTED" in out
+        assert "gen 1 -> 2" in out
+        assert "divergences 0" in out
+
+    def test_injected_fpr_round_exits_eight(self, tmp_path, capsys):
+        code = main(run_args(
+            tmp_path, "--inject-fpr", "--expect", "reject"
+        ))
+        out = capsys.readouterr().out
+        assert code == 8, out
+        assert "REJECTED" in out
+        assert "fpr_budget" in out
+
+    def test_expect_mismatch_exits_nine(self, tmp_path, capsys):
+        code = main(run_args(
+            tmp_path, "--inject-fpr", "--expect", "promote"
+        ))
+        assert code == 9
+        assert "expected --expect promote" in capsys.readouterr().out
+
+    def test_round_lands_in_manifest(self, tmp_path):
+        main(run_args(tmp_path))
+        rounds = read_history(str(tmp_path))
+        assert len(rounds) == 1
+        assert rounds[0]["outcome"] == "promoted"
+
+
+class TestCanaryStatusAndHistory:
+    def test_status_empty(self, tmp_path, capsys):
+        code = main(["canary", "status", "--runs-dir", str(tmp_path)])
+        assert code == 0
+        assert "no history" in capsys.readouterr().out
+
+    def test_status_summarizes(self, tmp_path, capsys):
+        main(run_args(tmp_path))
+        main(run_args(tmp_path, "--inject-fpr"))
+        capsys.readouterr()
+        code = main(["canary", "status", "--runs-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 round(s): 1 promoted, 1 rejected" in out
+        assert "fpr_budget" in out
+
+    def test_history_lists_rounds(self, tmp_path, capsys):
+        main(run_args(tmp_path))
+        main(run_args(tmp_path, "--inject-fpr"))
+        capsys.readouterr()
+        code = main(["canary", "history", "--runs-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        lines = [
+            line for line in out.splitlines()
+            if line.startswith("round ")
+        ]
+        assert len(lines) == 2
+        assert "promoted" in lines[0]
+        assert "[fpr_budget]" in lines[1]
+
+    def test_history_json(self, tmp_path, capsys):
+        import json
+
+        main(run_args(tmp_path))
+        capsys.readouterr()
+        code = main([
+            "canary", "history", "--runs-dir", str(tmp_path), "--json",
+        ])
+        records = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert records[0]["schema"] == 1
+
+    def test_corrupt_manifest_is_a_clean_error(self, tmp_path):
+        from repro.canary import history_path
+        import os
+
+        path = history_path(str(tmp_path))
+        os.makedirs(os.path.dirname(path))
+        with open(path, "w") as handle:
+            handle.write("{nope\n")
+        with pytest.raises(SystemExit, match="invalid JSON"):
+            main(["canary", "status", "--runs-dir", str(tmp_path)])

@@ -1,0 +1,230 @@
+"""Gate and history tests: churn accounting, budgets, manifest rules."""
+
+import pytest
+
+from repro.canary.gate import (
+    ChurnReport,
+    GatePolicy,
+    SignatureChurn,
+    evaluate_gate,
+    signature_churn,
+)
+from repro.canary.history import (
+    HISTORY_SCHEMA,
+    HistoryError,
+    append_round,
+    history_path,
+    read_history,
+    validate_round,
+)
+from repro.canary.refresh import refresh_candidate
+from repro.canary.shadow import ShadowReport
+from repro.conformance.verdict import Divergence
+
+
+def shadow_report(**overrides):
+    defaults = dict(
+        mode="store",
+        generation=2,
+        n_attacks=100,
+        n_benign=200,
+        incumbent_tpr=0.80,
+        candidate_tpr=0.90,
+        incumbent_fpr=0.0,
+        candidate_fpr=0.0,
+        verdict_flips=10,
+        divergences=[],
+    )
+    defaults.update(overrides)
+    return ShadowReport(**defaults)
+
+
+def round_record(**overrides):
+    record = {
+        "schema": HISTORY_SCHEMA,
+        "round": 0,
+        "outcome": "promoted",
+        "mode": "store",
+        "strategy": "warm",
+        "generation_before": 1,
+        "generation_after": 2,
+        "reasons": [],
+        "gate": {"promoted": True},
+        "stage_wall_s": {"ingest": 0.01},
+    }
+    record.update(overrides)
+    return record
+
+
+class TestSignatureChurn:
+    def test_identical_sets_have_zero_churn(self, small_signatures):
+        report = signature_churn(small_signatures, small_signatures)
+        assert report.churn_fraction == 0.0
+        assert report.n_changed == report.n_added == report.n_removed == 0
+        assert all(e.status == "unchanged" for e in report.entries)
+        assert all(e.theta_delta == 0.0 for e in report.entries)
+
+    def test_warm_refresh_reports_theta_movement(
+        self, small_pipeline, small_result
+    ):
+        outcome = refresh_candidate(
+            small_pipeline,
+            small_result,
+            [s.payload for s in small_result.samples[:25]],
+            strategy="warm",
+        )
+        report = signature_churn(
+            small_result.signature_set, outcome.candidate
+        )
+        # Warm keeps structure: nothing added or removed, Θ moves.
+        assert report.n_added == 0
+        assert report.n_removed == 0
+        assert report.n_changed > 0
+        changed = [e for e in report.entries if e.status == "changed"]
+        assert all(e.theta_delta is not None for e in changed)
+        assert all(e.theta_delta > 0 for e in changed)
+
+    def test_added_and_removed_accounting(self, small_signatures):
+        from repro.core.signature import SignatureSet
+
+        trimmed = SignatureSet(
+            list(small_signatures.signatures[:-1]),
+            normalizer=small_signatures.normalizer,
+        )
+        report = signature_churn(small_signatures, trimmed)
+        assert report.n_removed == 1
+        reverse = signature_churn(trimmed, small_signatures)
+        assert reverse.n_added == 1
+
+    def test_empty_incumbent_full_churn(self, small_signatures):
+        from repro.core.signature import SignatureSet
+
+        empty = SignatureSet([], normalizer=small_signatures.normalizer)
+        report = signature_churn(empty, small_signatures)
+        assert report.churn_fraction == 1.0
+
+
+class TestEvaluateGate:
+    def clean_churn(self):
+        return ChurnReport(
+            entries=[SignatureChurn(1, "unchanged", 0.0, 0.0)],
+            incumbent_size=1,
+            candidate_size=1,
+        )
+
+    def test_promotes_when_all_budgets_clear(self):
+        decision = evaluate_gate(shadow_report(), self.clean_churn())
+        assert decision.promoted
+        assert decision.reasons == []
+
+    def test_fpr_budget_rejection(self):
+        decision = evaluate_gate(
+            shadow_report(candidate_fpr=0.5), self.clean_churn(),
+            GatePolicy(fpr_budget=0.01),
+        )
+        assert not decision.promoted
+        assert decision.reasons == ["fpr_budget"]
+
+    def test_fpr_budget_boundary_is_inclusive(self):
+        decision = evaluate_gate(
+            shadow_report(candidate_fpr=0.01), self.clean_churn(),
+            GatePolicy(fpr_budget=0.01),
+        )
+        assert decision.promoted
+
+    def test_tpr_regression_rejection(self):
+        decision = evaluate_gate(
+            shadow_report(incumbent_tpr=0.9, candidate_tpr=0.7),
+            self.clean_churn(),
+            GatePolicy(tpr_tolerance=0.05),
+        )
+        assert decision.reasons == ["tpr_regression"]
+
+    def test_tpr_within_tolerance_promotes(self):
+        decision = evaluate_gate(
+            shadow_report(incumbent_tpr=0.9, candidate_tpr=0.87),
+            self.clean_churn(),
+            GatePolicy(tpr_tolerance=0.05),
+        )
+        assert decision.promoted
+
+    def test_conformance_divergence_rejects(self):
+        divergence = Divergence(
+            baseline="a", path="b", index=0, field="alert",
+            expected=True, observed=False, payload="id=1",
+        )
+        decision = evaluate_gate(
+            shadow_report(divergences=[divergence]), self.clean_churn()
+        )
+        assert "conformance" in decision.reasons
+
+    def test_churn_cap_rejects(self):
+        churn = ChurnReport(
+            entries=[
+                SignatureChurn(1, "changed", 2.0, 0.0),
+                SignatureChurn(2, "unchanged", 0.0, 0.0),
+            ],
+            incumbent_size=2,
+            candidate_size=2,
+        )
+        decision = evaluate_gate(
+            shadow_report(), churn, GatePolicy(max_churn_fraction=0.25)
+        )
+        assert decision.reasons == ["churn"]
+
+    def test_multiple_reasons_all_reported(self):
+        decision = evaluate_gate(
+            shadow_report(
+                candidate_fpr=0.9, incumbent_tpr=0.9, candidate_tpr=0.1
+            ),
+            self.clean_churn(),
+            GatePolicy(fpr_budget=0.01, tpr_tolerance=0.0),
+        )
+        assert decision.reasons == ["fpr_budget", "tpr_regression"]
+
+
+class TestHistory:
+    def test_append_and_read_round_trip(self, tmp_path):
+        runs = str(tmp_path)
+        append_round(round_record(), runs_dir=runs)
+        append_round(
+            round_record(
+                round=1, outcome="rejected", reasons=["fpr_budget"],
+                generation_after=1,
+            ),
+            runs_dir=runs,
+        )
+        rounds = read_history(runs)
+        assert [r["outcome"] for r in rounds] == ["promoted", "rejected"]
+        assert history_path(runs).endswith("canary/history.jsonl")
+
+    def test_read_missing_manifest_is_empty(self, tmp_path):
+        assert read_history(str(tmp_path / "nowhere")) == []
+
+    def test_missing_keys_rejected(self):
+        record = round_record()
+        del record["gate"]
+        with pytest.raises(HistoryError, match="missing keys"):
+            validate_round(record)
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(HistoryError, match="unknown history schema"):
+            validate_round(round_record(schema=99))
+
+    def test_rejection_must_name_reasons(self):
+        with pytest.raises(HistoryError, match="name its reasons"):
+            validate_round(round_record(outcome="rejected", reasons=[]))
+
+    def test_promotion_must_not_carry_reasons(self):
+        with pytest.raises(HistoryError, match="must not carry"):
+            validate_round(
+                round_record(outcome="promoted", reasons=["churn"])
+            )
+
+    def test_corrupt_manifest_line_raises(self, tmp_path):
+        runs = str(tmp_path)
+        append_round(round_record(), runs_dir=runs)
+        with open(history_path(runs), "a") as handle:
+            handle.write("{broken\n")
+        with pytest.raises(HistoryError, match="invalid JSON"):
+            read_history(runs)

@@ -1,0 +1,137 @@
+"""Corpus ledger tests: versioning, dedup, hashes, persistence."""
+
+import json
+
+import pytest
+
+from repro.canary.ledger import (
+    CorpusLedger,
+    LedgerError,
+    batch_digest,
+    payload_digest,
+)
+
+
+class TestIngest:
+    def test_versions_are_monotonic(self):
+        ledger = CorpusLedger()
+        a = ledger.ingest(["id=1"], kind="attack", source="t")
+        b = ledger.ingest(["q=x"], kind="benign", source="t")
+        assert (a.version, b.version) == (1, 2)
+        assert ledger.version == 2
+
+    def test_dedup_within_and_across_batches(self):
+        ledger = CorpusLedger()
+        first = ledger.ingest(
+            ["id=1", "id=1", "id=2"], kind="attack", source="t"
+        )
+        assert (first.offered, first.added, first.duplicates) == (3, 2, 1)
+        second = ledger.ingest(
+            ["id=2", "id=3"], kind="attack", source="t"
+        )
+        assert (second.added, second.duplicates) == (1, 1)
+        assert ledger.pending("attack") == ["id=1", "id=2", "id=3"]
+
+    def test_kinds_deduplicate_independently(self):
+        ledger = CorpusLedger()
+        ledger.ingest(["x=1"], kind="attack", source="t")
+        batch = ledger.ingest(["x=1"], kind="benign", source="t")
+        assert batch.added == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(LedgerError, match="unknown ledger kind"):
+            CorpusLedger().ingest(["p"], kind="mystery", source="t")
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(LedgerError, match="empty"):
+            CorpusLedger().ingest([], kind="attack", source="t")
+
+    def test_content_hash_is_order_independent(self):
+        forward = CorpusLedger().ingest(
+            ["a=1", "b=2"], kind="attack", source="t"
+        )
+        backward = CorpusLedger().ingest(
+            ["b=2", "a=1"], kind="attack", source="t"
+        )
+        assert forward.content_hash == backward.content_hash
+        assert forward.content_hash == batch_digest(
+            [payload_digest("a=1"), payload_digest("b=2")]
+        )
+
+
+class TestConsumption:
+    def test_mark_consumed_clears_pending(self):
+        ledger = CorpusLedger()
+        ledger.ingest(["id=1"], kind="attack", source="t")
+        ledger.ingest(["q=x"], kind="benign", source="t")
+        counts = ledger.mark_consumed()
+        assert counts == {"attack": 1, "benign": 1}
+        assert ledger.pending_counts() == {"attack": 0, "benign": 0}
+        assert ledger.consumed_counts == {"attack": 1, "benign": 1}
+
+    def test_pending_accumulates_until_consumed(self):
+        ledger = CorpusLedger()
+        ledger.ingest(["id=1"], kind="attack", source="t")
+        ledger.ingest(["id=2"], kind="attack", source="t")
+        assert ledger.pending("attack") == ["id=1", "id=2"]
+
+    def test_pending_returns_a_copy(self):
+        ledger = CorpusLedger()
+        ledger.ingest(["id=1"], kind="attack", source="t")
+        ledger.pending("attack").append("tampered")
+        assert ledger.pending("attack") == ["id=1"]
+
+
+class TestPersistence:
+    def test_journal_round_trip(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        ledger = CorpusLedger(path=path)
+        ledger.ingest(["id=1", "id=2"], kind="attack", source="t")
+        ledger.ingest(["q=x"], kind="benign", source="t")
+        loaded = CorpusLedger.load(path)
+        assert loaded.version == 2
+        assert loaded.pending("attack") == ["id=1", "id=2"]
+        assert loaded.pending("benign") == ["q=x"]
+        assert [b.content_hash for b in loaded.batches] == [
+            b.content_hash for b in ledger.batches
+        ]
+
+    def test_load_replays_consumption(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        ledger = CorpusLedger(path=path)
+        ledger.ingest(["id=1"], kind="attack", source="t")
+        ledger.mark_consumed()
+        ledger.ingest(["id=9"], kind="attack", source="t")
+        loaded = CorpusLedger.load(path)
+        # Promoted-consumed samples must not resurrect as pending.
+        assert loaded.pending("attack") == ["id=9"]
+        assert loaded.consumed_counts["attack"] == 1
+
+    def test_load_detects_tampering(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        ledger = CorpusLedger(path=path)
+        ledger.ingest(["id=1"], kind="attack", source="t")
+        lines = open(path).read().splitlines()
+        record = json.loads(lines[0])
+        record["payloads"] = ["id=1 union select 1"]
+        with open(path, "w") as handle:
+            handle.write(json.dumps(record) + "\n")
+        with pytest.raises(LedgerError, match="content hash mismatch"):
+            CorpusLedger.load(path)
+
+    def test_load_detects_version_gap(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        ledger = CorpusLedger(path=path)
+        ledger.ingest(["id=1"], kind="attack", source="t")
+        ledger.ingest(["id=2"], kind="attack", source="t")
+        lines = open(path).read().splitlines()
+        with open(path, "w") as handle:
+            handle.write(lines[1] + "\n")
+        with pytest.raises(LedgerError, match="out of order"):
+            CorpusLedger.load(path)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(LedgerError, match="invalid JSON"):
+            CorpusLedger.load(str(path))

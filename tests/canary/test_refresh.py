@@ -1,0 +1,107 @@
+"""Refresh-stage tests: drift measurement and strategy escalation."""
+
+import pytest
+
+from repro.canary.refresh import (
+    measure_drift,
+    rebicluster_update,
+    refresh_candidate,
+)
+from repro.eval.drift import drifted_families
+from repro.corpus.grammar import CorpusGenerator
+
+
+def fresh_payloads(count, *, shift, seed=11):
+    families = drifted_families(shift=shift, seed=seed)
+    generator = CorpusGenerator(seed=seed + 1000, families=families)
+    return [s.payload for s in generator.generate(count)]
+
+
+class TestMeasureDrift:
+    def test_training_payloads_are_mostly_in_cluster(
+        self, small_pipeline, small_result
+    ):
+        payloads = [s.payload for s in small_result.samples[:150]]
+        signal = measure_drift(small_pipeline, small_result, payloads)
+        assert signal.n_samples == 150
+        # The training rows were assigned to these clusters with the
+        # same geometry; the bulk must land back inside.
+        assert signal.out_of_cluster_rate < 0.5
+        assert sum(signal.nearest_counts.values()) == (
+            signal.n_samples - signal.out_of_cluster
+        )
+
+    def test_empty_payloads_report_zero(self, small_pipeline, small_result):
+        signal = measure_drift(small_pipeline, small_result, [])
+        assert signal.n_samples == 0
+        assert signal.out_of_cluster_rate == 0.0
+
+    def test_deterministic(self, small_pipeline, small_result):
+        payloads = fresh_payloads(60, shift=3.0)
+        first = measure_drift(small_pipeline, small_result, payloads)
+        second = measure_drift(small_pipeline, small_result, payloads)
+        assert first.out_of_cluster == second.out_of_cluster
+        assert first.nearest_counts == second.nearest_counts
+
+
+class TestRefreshCandidate:
+    def test_rejects_unknown_strategy(self, small_pipeline, small_result):
+        with pytest.raises(ValueError, match="unknown refresh strategy"):
+            refresh_candidate(
+                small_pipeline, small_result, ["id=1"], strategy="psychic"
+            )
+
+    def test_rejects_empty_pending(self, small_pipeline, small_result):
+        with pytest.raises(ValueError, match="pending attack samples"):
+            refresh_candidate(small_pipeline, small_result, [])
+
+    def test_auto_stays_warm_under_threshold(
+        self, small_pipeline, small_result
+    ):
+        payloads = fresh_payloads(40, shift=2.0)
+        outcome = refresh_candidate(
+            small_pipeline, small_result, payloads, drift_threshold=1.1
+        )
+        # A threshold above any possible rate forces the warm path.
+        assert outcome.strategy == "warm"
+        assert outcome.newton_iterations > 0
+        assert len(outcome.candidate) == len(small_result.signature_set)
+        # The warm path never mutates the incumbent result.
+        assert outcome.result is not small_result
+        assert small_result.signature_set is not outcome.candidate
+
+    def test_auto_escalates_over_threshold(
+        self, small_pipeline, small_result
+    ):
+        payloads = fresh_payloads(40, shift=4.0)
+        outcome = refresh_candidate(
+            small_pipeline, small_result, payloads, drift_threshold=-1.0
+        )
+        # A threshold below zero forces escalation regardless of drift.
+        assert outcome.strategy == "rebicluster"
+        assert len(outcome.result.samples) == (
+            len(small_result.samples) + len(payloads)
+        )
+
+    def test_warm_candidate_scores_payloads(
+        self, small_pipeline, small_result
+    ):
+        payloads = fresh_payloads(30, shift=2.0)
+        outcome = refresh_candidate(
+            small_pipeline, small_result, payloads, strategy="warm"
+        )
+        assert isinstance(outcome.candidate.matches(payloads[0]), bool)
+
+
+class TestRebiclusterUpdate:
+    def test_grows_corpus_and_retrains(self, small_pipeline, small_result):
+        payloads = fresh_payloads(30, shift=3.0)
+        refreshed = rebicluster_update(
+            small_pipeline, small_result, payloads
+        )
+        assert len(refreshed.samples) == len(small_result.samples) + 30
+        assert {s.family for s in refreshed.samples[-30:]} == {"canary"}
+        assert len(refreshed.signature_set) > 0
+        # A full retrain mints its own catalog and matrix.
+        assert refreshed.catalog is not small_result.catalog
+        assert refreshed.matrix.n_samples == len(refreshed.samples)

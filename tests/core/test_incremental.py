@@ -113,3 +113,97 @@ class TestWarmStrategy:
             update.signature_set, small_result.signature_set
         ):
             assert new.threshold == old.threshold
+
+
+class TestWarmStateValidation:
+    """Hardening: a warm state whose catalog disagrees with its matrix
+    (or whose signatures reference foreign features) must die loudly
+    instead of silently mis-indexing columns."""
+
+    FRESH = ["id=9' union select 1,2-- -"]
+
+    def test_catalog_count_mismatch_rejected(
+        self, small_pipeline, small_result
+    ):
+        from dataclasses import replace
+
+        from repro.features.definitions import FeatureCatalog
+
+        truncated = replace(
+            small_result,
+            catalog=FeatureCatalog(list(small_result.catalog)[:-1]),
+        )
+        with pytest.raises(ValueError, match="catalog mismatch"):
+            incremental_update(small_pipeline, truncated, self.FRESH)
+
+    def test_catalog_order_mismatch_rejected(
+        self, small_pipeline, small_result
+    ):
+        from dataclasses import replace
+
+        from repro.features.definitions import FeatureCatalog
+
+        shuffled = list(small_result.catalog)
+        shuffled[0], shuffled[1] = shuffled[1], shuffled[0]
+        reordered = replace(
+            small_result, catalog=FeatureCatalog(shuffled)
+        )
+        with pytest.raises(ValueError, match="order diverged"):
+            incremental_update(small_pipeline, reordered, self.FRESH)
+
+    def test_foreign_signature_features_rejected(
+        self, small_pipeline, small_result
+    ):
+        from dataclasses import replace
+
+        from repro.core.signature import SignatureSet
+        from repro.features.definitions import (
+            SOURCE_RESERVED,
+            FeatureCatalog,
+            FeatureDefinition,
+        )
+
+        old = small_result.signature_set.signatures[0]
+        alien = FeatureCatalog([
+            FeatureDefinition(
+                index=position,
+                pattern=rf"zzz-never-seen-{position}",
+                label=f"alien-{position}",
+                source=SOURCE_RESERVED,
+            )
+            for position in range(len(old.features))
+        ])
+        doctored = SignatureSet(
+            [replace(old, features=alien, _compiled=[])]
+            + list(small_result.signature_set.signatures[1:]),
+            normalizer=small_result.signature_set.normalizer,
+        )
+        state = replace(small_result, signature_set=doctored)
+        with pytest.raises(ValueError, match="absent from the warm"):
+            incremental_update(
+                small_pipeline, state, self.FRESH, strategy="warm"
+            )
+
+    def test_cold_start_without_biclusters_rejected(
+        self, small_pipeline, small_result
+    ):
+        from dataclasses import replace
+
+        cold = replace(
+            small_result,
+            biclusters=[
+                replace(b, is_black_hole=True)
+                for b in small_result.biclusters
+            ],
+        )
+        with pytest.raises(ValueError, match="cold start"):
+            incremental_update(small_pipeline, cold, self.FRESH)
+
+    def test_cold_start_empty_payloads_is_noop(
+        self, small_pipeline, small_result
+    ):
+        # The other cold-start edge: nothing to fold in is a no-op,
+        # not an error, even before any validation runs.
+        update = incremental_update(small_pipeline, small_result, [])
+        assert update.signature_set is small_result.signature_set
+        assert update.newton_iterations == 0

@@ -63,3 +63,64 @@ class TestDriftStudy:
         for round_ in rounds:
             assert 0.0 <= round_.tpr_before_update <= 1.0
             assert 0.0 <= round_.tpr_after_update <= 1.0
+
+
+class TestShiftBoundary:
+    """Threshold boundary cases around the shift >= 1.0 contract."""
+
+    def test_shift_exactly_one_is_accepted(self):
+        tilted = drifted_families(shift=1.0, seed=0)
+        assert len(tilted) == len(FAMILIES)
+
+    def test_shift_just_below_one_rejected(self):
+        with pytest.raises(ValueError, match="shift must be >= 1.0"):
+            drifted_families(shift=1.0 - 1e-9)
+
+    def test_shift_zero_and_negative_rejected(self):
+        for shift in (0.0, -3.0):
+            with pytest.raises(ValueError):
+                drifted_families(shift=shift)
+
+    def test_large_shift_still_valid_distribution(self):
+        tilted = drifted_families(shift=100.0, seed=3)
+        assert all(f.weight > 0 for f in tilted)
+        assert sum(f.weight for f in tilted) > 0
+
+
+class TestSeedDeterminism:
+    def test_drifted_families_seeds_are_independent(self):
+        # Different seeds tilt differently; the same seed never varies.
+        a = [f.weight for f in drifted_families(shift=3.0, seed=1)]
+        b = [f.weight for f in drifted_families(shift=3.0, seed=2)]
+        assert a != b
+
+    def test_drift_study_same_seed_identical_rounds(
+        self, small_pipeline, small_result
+    ):
+        kwargs = dict(
+            epochs=2, shift=3.0, samples_per_epoch=120, seed=77
+        )
+        first = drift_study(small_pipeline, small_result, **kwargs)
+        second = drift_study(small_pipeline, small_result, **kwargs)
+        assert [
+            (r.epoch, r.shift, r.tpr_before_update, r.tpr_after_update)
+            for r in first
+        ] == [
+            (r.epoch, r.shift, r.tpr_before_update, r.tpr_after_update)
+            for r in second
+        ]
+
+    def test_drift_study_seed_changes_traffic(
+        self, small_pipeline, small_result
+    ):
+        kwargs = dict(epochs=1, shift=3.0, samples_per_epoch=120)
+        first = drift_study(
+            small_pipeline, small_result, seed=10, **kwargs
+        )
+        second = drift_study(
+            small_pipeline, small_result, seed=11, **kwargs
+        )
+        assert (
+            first[0].tpr_before_update != second[0].tpr_before_update
+            or first[0].tpr_after_update != second[0].tpr_after_update
+        )

@@ -236,3 +236,86 @@ class TestTwoPhaseStaging:
             )
         store.stage_detector(toy_detector("toy2"), generation=5, source="t")
         assert store.commit_staged(5).version == 5
+
+
+class TestStagingEdgeCases:
+    """Staging edge cases the canary loop leans on: double-stage
+    replacement, deterministic misuse errors, and warm failures that
+    leave both the incumbent and other staged candidates untouched."""
+
+    def test_double_stage_replaces_cleanly(self, small_signatures):
+        store = SignatureStore(PSigeneDetector(small_signatures))
+        first = PSigeneDetector(small_signatures, name="first")
+        second = PSigeneDetector(small_signatures, name="second")
+        store.stage_detector(first, generation=2, source="shadow")
+        store.stage_detector(second, generation=2, source="reload")
+        # The re-stage replaced the candidate, not stacked beside it.
+        assert store.staged_generations() == (2,)
+        staged = store.get_staged(2)
+        assert staged.detector is second
+        assert staged.source == "reload"
+        assert store.commit_staged(2).detector is second
+
+    def test_get_staged_views(self, small_signatures):
+        store = SignatureStore(PSigeneDetector(small_signatures))
+        assert store.get_staged(2) is None
+        assert store.staged_generations() == ()
+        store.stage_json(
+            signature_set_to_json(small_signatures), generation=3
+        )
+        store.stage_json(
+            signature_set_to_json(small_signatures), generation=2
+        )
+        assert store.staged_generations() == (2, 3)
+        assert store.get_staged(3).version == 3
+
+    def test_commit_without_stage_raises_deterministically(self):
+        store = SignatureStore(toy_detector())
+        for _ in range(3):
+            with pytest.raises(StoreError) as excinfo:
+                store.commit_staged(2)
+            assert excinfo.value.reason == "stage"
+            assert store.version == 1
+
+    def test_repeated_abort_is_a_noop(self, small_signatures):
+        store = SignatureStore(PSigeneDetector(small_signatures))
+        store.stage_json(
+            signature_set_to_json(small_signatures), generation=2
+        )
+        store.abort_staged(2)
+        # Aborting again — and aborting everything — stays a no-op.
+        store.abort_staged(2)
+        store.abort_staged()
+        store.abort_staged()
+        assert store.version == 1
+        assert store.staged_generations() == ()
+
+    def test_failed_warm_during_stage_leaves_everything(
+        self, small_signatures
+    ):
+        """A candidate that blows up while warming must not disturb the
+        incumbent or a previously staged (healthy) candidate."""
+
+        class ExplodingSet:
+            def warm(self):
+                raise RuntimeError("boom during fused compile")
+
+        class ExplodingDetector:
+            name = "exploding"
+            signature_set = ExplodingSet()
+
+        store = SignatureStore(PSigeneDetector(small_signatures))
+        incumbent = store.current()
+        store.stage_json(
+            signature_set_to_json(small_signatures), generation=2
+        )
+        with pytest.raises(StoreError) as excinfo:
+            store.stage_detector(
+                ExplodingDetector(), generation=3, source="bad"
+            )
+        assert excinfo.value.reason == "warm"
+        assert store.current() is incumbent
+        assert store.version == 1
+        # The healthy candidate is still there and still commits.
+        assert store.staged_generations() == (2,)
+        assert store.commit_staged(2).version == 2
