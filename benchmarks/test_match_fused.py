@@ -26,7 +26,7 @@ def test_bench_fused_matching(benchmark, bench_context, record):
     nine, _ = bench_context.psigene_sets()
     requests = list(bench_context.datasets.sqlmap.requests[:600])
     requests += list(bench_context.datasets.benign.requests[:600])
-    payloads = [request.payload() for request in requests]
+    payloads = [request.flat_payload() for request in requests]
 
     def sweep():
         return bench_fused_matching(nine, payloads, repeats=5)

@@ -30,6 +30,18 @@ still produce the same promote/reject decisions, so gate-semantics
 drift against the committed ledger fails CI even before the live
 canary smoke step runs.
 
+``BENCH_surfaces.json`` — the multi-surface detection ledger
+(DESIGN.md §17).  Everything in it is deterministic from committed
+seeds, so the guard recomputes the exact bench configuration (per-
+family TPR/FPR through the full surface selection, the legacy
+extraction's blindness, the surface scanner's detectability, and the
+adversarial evasion search's survival rate) and requires the fresh
+numbers to be *identical* to the committed artifact — any drift means
+detector or extractor semantics changed without the ledger being
+re-recorded.  The committed artifact must also clear the bench's
+acceptance floors and keep the legacy-blind families at exactly zero
+legacy TPR.
+
 When a baseline artifact does not exist in HEAD (first run on a fresh
 branch), that guard section records what it measured and passes: there
 is nothing to regress against yet.
@@ -39,13 +51,16 @@ Usage: ``PYTHONPATH=src python scripts/ci_bench_guard.py``
 
 from __future__ import annotations
 
+import importlib.util
 import json
+import os
 import subprocess
 import sys
 
 BASELINE_PATH = "benchmarks/results/BENCH_matching.json"
 SERVING_BASELINE_PATH = "benchmarks/results/BENCH_serving.json"
 CANARY_BASELINE_PATH = "benchmarks/results/BENCH_canary.json"
+SURFACES_BASELINE_PATH = "benchmarks/results/BENCH_surfaces.json"
 ALLOWED_FRACTION = 0.85
 MIN_MODELED_SPEEDUP_AT_4 = 2.5
 MIN_PROBE_EFFICIENCY = 0.5
@@ -305,6 +320,77 @@ def check_canary(baseline: dict | None) -> str:
     )
 
 
+def _bench_surfaces_module():
+    """The surfaces bench module, loaded from its file.
+
+    The guard reuses the bench's own ``measure_surfaces`` and floors so
+    there is exactly one definition of the measured configuration — a
+    drifting copy here would make "identical to the artifact" vacuous.
+    """
+    path = os.path.join("benchmarks", "test_ext_surfaces.py")
+    spec = importlib.util.spec_from_file_location(
+        "_bench_ext_surfaces", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def surfaces_measurement() -> dict:
+    """Recompute the surface ledger in the bench's exact configuration."""
+    from repro.conformance import train_default_detector
+
+    bench = _bench_surfaces_module()
+    return bench.measure_surfaces(train_default_detector(bench.SEED))
+
+
+def check_surfaces(baseline: dict | None, fresh: dict) -> str:
+    """Surfaces guard verdict; raises AssertionError on any drift."""
+    bench = _bench_surfaces_module()
+    for family, floor in bench.TPR_FLOORS.items():
+        stats = fresh["families"][family]
+        if stats["tpr"] < floor:
+            raise AssertionError(
+                f"surface family {family} TPR {stats['tpr']:.3f} "
+                f"fell below its {floor:.2f} floor"
+            )
+        if stats["fpr"] > bench.FPR_CEILING:
+            raise AssertionError(
+                f"surface family {family} FPR {stats['fpr']:.4f} "
+                f"exceeds the {bench.FPR_CEILING} ceiling"
+            )
+    for family in bench.LEGACY_BLIND_FAMILIES:
+        if fresh["families"][family]["legacy_tpr"] != 0.0:
+            raise AssertionError(
+                f"legacy extraction now sees {family} traffic "
+                f"(legacy_tpr "
+                f"{fresh['families'][family]['legacy_tpr']:.3f}); "
+                f"the blindness measurement is broken"
+            )
+    survival = fresh["evasion"]["survival_rate"]
+    if baseline is None:
+        return (
+            f"surfaces guard OK (no committed {SURFACES_BASELINE_PATH} "
+            f"baseline): floors clear, evasion survival {survival:.3f}"
+        )
+    for section in ("families", "scanner", "evasion"):
+        if fresh[section] != baseline.get(section):
+            raise AssertionError(
+                f"surface ledger drifted in '{section}': fresh "
+                f"{json.dumps(fresh[section], sort_keys=True)[:300]} != "
+                f"committed "
+                f"{json.dumps(baseline.get(section), sort_keys=True)[:300]}"
+                f"; re-run benchmarks/test_ext_surfaces.py and commit "
+                f"{SURFACES_BASELINE_PATH}"
+            )
+    return (
+        f"surfaces guard OK: ledger identical to committed baseline, "
+        f"evasion survival {survival:.3f} "
+        f"({fresh['evasion']['evaded']}/{fresh['evasion']['attacked']} "
+        f"bases evaded), legacy-blind families hold at zero"
+    )
+
+
 def main() -> int:
     """Run both guards; returns a process exit code."""
     try:
@@ -315,6 +401,10 @@ def main() -> int:
         probe = serving_probe()
         print(check_serving(serving, probe))
         print(check_canary(committed_baseline(CANARY_BASELINE_PATH)))
+        print(check_surfaces(
+            committed_baseline(SURFACES_BASELINE_PATH),
+            surfaces_measurement(),
+        ))
     except Exception as error:  # noqa: BLE001 - CI wants any failure loud
         print(f"bench guard FAILED: {error}", file=sys.stderr)
         return 1

@@ -1,0 +1,87 @@
+"""CI lint: no internal caller of the deprecated ``payload()`` shim.
+
+``HttpRequest.payload()`` survives only as a deprecation shim over
+``surfaces()`` (DESIGN.md §17).  Internal code migrating back onto it
+would silently re-entrench the legacy query+form extraction — and its
+blind spots — so this lint walks every Python file in ``src``,
+``tests``, ``benchmarks`` and ``scripts`` and fails on any
+``<expr>.payload()`` call outside the two files allowed to touch it:
+the shim's own module and the test pinning its byte-identical output.
+
+The check is AST-based, not textual: docstrings and comments may (and
+do) mention ``payload()`` freely; only actual call sites count.
+
+Usage: ``python scripts/ci_payload_lint.py``
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+LINT_ROOTS = ("src", "tests", "benchmarks", "scripts")
+ALLOWED_FILES = frozenset({
+    os.path.join("src", "repro", "http", "request.py"),
+    os.path.join("tests", "http", "test_request.py"),
+})
+DEPRECATED_ATTR = "payload"
+
+
+def payload_calls(path: str) -> list[int]:
+    """Line numbers of ``<expr>.payload()`` calls in one Python file."""
+    with open(path, "rb") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    return [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == DEPRECATED_ATTR
+    ]
+
+
+def lint(repo_root: str = ".") -> list[str]:
+    """All violations as ``path:line`` strings, sorted."""
+    violations = []
+    checked = 0
+    for root in LINT_ROOTS:
+        for dirpath, dirnames, filenames in os.walk(
+            os.path.join(repo_root, root)
+        ):
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                relative = os.path.relpath(path, repo_root)
+                checked += 1
+                if relative in ALLOWED_FILES:
+                    continue
+                violations.extend(
+                    f"{relative}:{line}" for line in payload_calls(path)
+                )
+    if not checked:
+        raise AssertionError("payload lint walked zero Python files")
+    return sorted(violations)
+
+
+def main() -> int:
+    """Run the lint; returns a process exit code."""
+    violations = lint()
+    if violations:
+        print(
+            "payload lint FAILED: deprecated HttpRequest.payload() "
+            "called outside the shim and its pinning test — use "
+            "surfaces()/flat_payload() instead:",
+            file=sys.stderr,
+        )
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print("payload lint OK: no internal callers of the deprecated shim")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -129,6 +129,38 @@ def _cmd_score(args: argparse.Namespace) -> int:
     payloads = args.payloads or [
         line.rstrip("\r\n") for line in sys.stdin if line.strip()
     ]
+    from repro.surfaces import LEGACY_SURFACES, parse_surfaces
+
+    try:
+        surfaces = parse_surfaces(args.surfaces)
+    except ValueError as error:
+        raise SystemExit(f"repro: {error}") from None
+    if surfaces != LEGACY_SURFACES:
+        # Surface-aware scoring: each payload becomes a query-only
+        # request scored through the surface extractor, so selections
+        # like --surfaces all report per-surface attribution.
+        from repro.http import HttpRequest
+        from repro.ids import PSigeneDetector
+
+        detector = PSigeneDetector(signature_set)
+        exit_code = 0
+        for payload in payloads:
+            detection = detector.inspect_request(
+                HttpRequest(query=payload), surfaces
+            )
+            if detection.alert:
+                attributed = ",".join(
+                    s.value for s in detection.alerting_surfaces
+                )
+                print(
+                    f"[ALERT] p={detection.score:0.4f} "
+                    f"surfaces={attributed} "
+                    f"signatures={detection.matched_sids}  {payload}"
+                )
+                exit_code = 3
+            else:
+                print(f"[pass ] p={detection.score:0.4f}  {payload}")
+        return exit_code
     if args.workers > 1:
         from repro.http import HttpRequest, Trace
         from repro.ids import PSigeneDetector, SignatureEngine
@@ -213,6 +245,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import DetectionGateway, GatewayConfig, SignatureStore
 
+    from repro.surfaces import parse_surfaces
+
+    try:
+        surfaces = parse_surfaces(args.surfaces)
+    except ValueError as error:
+        raise SystemExit(f"repro: {error}") from None
     detector, reload_path = _build_detector(args.detector, args.signatures)
     source = f"file:{reload_path}" if reload_path is not None else "static"
     if args.shards > 1:
@@ -230,6 +268,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 workers=args.serve_workers,
                 max_inflight_per_connection=args.max_inflight,
                 signature_path=reload_path,
+                surfaces=args.surfaces,
             ),
             source=source,
         )
@@ -250,6 +289,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         policy=args.policy,
         workers=args.serve_workers,
         max_inflight_per_connection=args.max_inflight,
+        surfaces=surfaces,
     ))
 
     async def _serve() -> None:
@@ -275,6 +315,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         run_loadgen,
     )
 
+    from repro.surfaces import LEGACY_SURFACES, parse_surfaces
+
+    try:
+        surfaces = parse_surfaces(args.surfaces)
+    except ValueError as error:
+        raise SystemExit(f"repro: {error}") from None
+    framed = args.framed or surfaces != LEGACY_SURFACES
     detector, _ = _build_detector(args.detector, args.signatures)
     trace = build_load_trace(
         seed=args.seed,
@@ -282,6 +329,30 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         n_vulnerabilities=args.vulnerabilities,
     )
     payloads = trace.payloads()[: args.requests] or trace.payloads()
+    if framed:
+        if args.shards > 1:
+            raise SystemExit(
+                "repro: --framed/--surfaces loadgen drives a single "
+                "gateway; drop --shards"
+            )
+        from repro.serve.loadgen import run_framed_loadgen
+
+        requests = trace.requests[: args.requests] or trace.requests
+        report = asyncio.run(run_framed_loadgen(
+            SignatureStore(detector),
+            requests,
+            surfaces=surfaces,
+            queue_bound=args.queue_bound,
+            policy=args.policy,
+            workers=args.serve_workers,
+            connections=args.connections,
+            window=args.window,
+            check_parity=args.check_parity,
+        ))
+        print(format_report(report))
+        if report.parity is not None and not report.parity.ok:
+            return 4
+        return 0
     if args.shards > 1:
         from repro.serve import format_fleet_report, run_fleet_loadgen
 
@@ -420,7 +491,24 @@ def _cmd_conform_run(args: argparse.Namespace) -> int:
         f"repro conform: {len(payloads)} payloads "
         f"(budget={args.budget}, seed={args.seed}), detector {source}"
     )
-    oracle = Oracle(detector)
+    if args.path:
+        from repro.conformance import SerialPath, default_paths
+
+        registry = {p.name: p for p in default_paths()}
+        try:
+            selected = [registry[name] for name in args.path]
+        except KeyError as missing:
+            raise SystemExit(
+                f"repro: unknown conformance path {missing.args[0]!r}; "
+                f"valid: {', '.join(sorted(registry))}"
+            ) from None
+        oracle = Oracle(
+            detector,
+            paths=[SerialPath(), *selected],
+            check_extraction=False,
+        )
+    else:
+        oracle = Oracle(detector)
     report = oracle.run(payloads)
     print(format_report(report))
     exit_code = 0 if report.ok else 6
@@ -765,6 +853,14 @@ def build_parser() -> argparse.ArgumentParser:
         "-s", "--signatures", default="signatures.json",
         help="signature JSON file (default: signatures.json)",
     )
+    surface_options = argparse.ArgumentParser(add_help=False)
+    surface_options.add_argument(
+        "--surfaces", default="query,form", metavar="LIST",
+        help="injection surfaces to inspect, comma-separated from "
+             "query,form,json,multipart,cookie,header,second-order "
+             "or 'all' (default: query,form — the paper's legacy "
+             "extraction)",
+    )
 
     train = sub.add_parser(
         "train", help="train and export signatures",
@@ -783,7 +879,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     score = sub.add_parser(
         "score", help="score payloads against signatures",
-        parents=[worker_options, signature_options],
+        parents=[worker_options, signature_options, surface_options],
     )
     score.add_argument("payloads", nargs="*")
     score.set_defaults(func=_cmd_score)
@@ -826,7 +922,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve", help="run the online detection gateway",
-        parents=[signature_options],
+        parents=[signature_options, surface_options],
     )
     add_gateway_options(serve)
     serve.add_argument("--host", default="127.0.0.1")
@@ -852,7 +948,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     loadgen = sub.add_parser(
         "loadgen", help="replay attack+benign traffic at a gateway",
-        parents=[seed_options, signature_options],
+        parents=[seed_options, signature_options, surface_options],
     )
     add_gateway_options(loadgen)
     loadgen.add_argument(
@@ -879,6 +975,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--check-parity", action=argparse.BooleanOptionalAction,
         default=True,
         help="diff responses against the offline engine (default: on)",
+    )
+    loadgen.add_argument(
+        "--framed", action="store_true",
+        help="replay whole requests in wire-format v2 frames with the "
+             "--surfaces selection (implied by a non-legacy --surfaces; "
+             "single-gateway mode only)",
     )
     loadgen.add_argument(
         "--shards", type=int, default=1,
@@ -949,6 +1051,12 @@ def build_parser() -> argparse.ArgumentParser:
     conform_run.add_argument(
         "--perdisci", action=argparse.BooleanOptionalAction, default=True,
         help="also self-check the Perdisci baseline's paths (default: on)",
+    )
+    conform_run.add_argument(
+        "--path", action="append", default=None, metavar="NAME",
+        help="run only this path against the serial baseline "
+             "(repeatable; e.g. gateway-framed, surfaces-legacy-parity; "
+             "default: every registered path)",
     )
     conform_run.set_defaults(func=_cmd_conform_run)
 

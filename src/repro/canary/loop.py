@@ -90,7 +90,7 @@ def fresh_benign_batch(count: int, *, seed: int = 0) -> list[str]:
     mix, and the FPR denominator should reflect it.
     """
     generator = BenignTrafficGenerator(seed=seed + 3)
-    return [request.payload() for request in generator.trace(count).requests]
+    return [request.flat_payload() for request in generator.trace(count).requests]
 
 
 @dataclass

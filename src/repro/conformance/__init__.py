@@ -30,10 +30,12 @@ from repro.conformance.paths import (
     ClusterPath,
     DetectorPath,
     EngineRunPath,
+    GatewayFramedPath,
     GatewayPath,
     LegacySerialPath,
     SerialPath,
     ShardedGatewayPath,
+    SurfacesLegacyParityPath,
     default_paths,
 )
 from repro.conformance.verdict import (
@@ -54,6 +56,7 @@ __all__ = [
     "Divergence",
     "EngineRunPath",
     "FuzzBudget",
+    "GatewayFramedPath",
     "GatewayPath",
     "GoldenCorpus",
     "GoldenError",
@@ -61,6 +64,7 @@ __all__ = [
     "Oracle",
     "SerialPath",
     "ShardedGatewayPath",
+    "SurfacesLegacyParityPath",
     "Verdict",
     "default_paths",
     "default_training_config",

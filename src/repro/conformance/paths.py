@@ -28,10 +28,12 @@ __all__ = [
     "ClusterPath",
     "DetectorPath",
     "EngineRunPath",
+    "GatewayFramedPath",
     "GatewayPath",
     "LegacySerialPath",
     "SerialPath",
     "ShardedGatewayPath",
+    "SurfacesLegacyParityPath",
     "default_paths",
 ]
 
@@ -43,8 +45,8 @@ DEFAULT_WORKER_COUNTS = (1, 2, 8)
 def _as_trace(payloads: list[str], name: str) -> Trace:
     """Wrap raw payload strings as a query-only trace.
 
-    ``HttpRequest(query=p).payload()`` round-trips the string unchanged,
-    so trace-driven paths see byte-identical detector input.
+    ``HttpRequest(query=p).flat_payload()`` round-trips the string
+    unchanged, so trace-driven paths see byte-identical detector input.
     """
     return Trace(
         name=name, requests=[HttpRequest(query=p) for p in payloads]
@@ -286,6 +288,110 @@ class GatewayPath(DetectorPath):
         return verdicts
 
 
+class SurfacesLegacyParityPath(DetectorPath):
+    """The surface-aware scorer pinned to the legacy selection.
+
+    :func:`repro.surfaces.score_request` with ``surfaces=query,form``
+    promises verdicts identical to flattening the request and calling
+    ``detector.inspect`` — the parity contract that lets every caller
+    migrate to the surface API without revalidating its alerts.  This
+    path scores each payload as a query-only request through the
+    surface scorer; any divergence from ``serial`` is a broken
+    flattening, not a detector change.
+    """
+
+    name = "surfaces-legacy-parity"
+
+    def run(self, detector, payloads: list[str]) -> list[Verdict]:
+        """One legacy-selection ``score_request`` per payload."""
+        from repro.surfaces import LEGACY_SURFACES, score_request
+
+        return [
+            Verdict.from_detection(
+                score_request(
+                    detector.inspect, HttpRequest(query=p), LEGACY_SURFACES
+                )
+            )
+            for p in payloads
+        ]
+
+
+class GatewayFramedPath(DetectorPath):
+    """A live gateway round-trip in framed full-request mode (wire v2).
+
+    Each payload travels as a whole :class:`HttpRequest` inside a
+    ``REPRO-FRAME/2`` frame with the legacy surface selection, so the
+    response must carry the exact legacy verdict *plus* surface
+    attribution.  This proves the framed data plane end to end: header
+    parsing, frame-body decode, surface extraction in the worker, and
+    the extended response encoding.
+    """
+
+    name = "gateway-framed"
+
+    def __init__(
+        self,
+        *,
+        connections: int = 2,
+        window: int = 32,
+        workers: int = 4,
+    ) -> None:
+        self.connections = connections
+        self.window = window
+        self.workers = workers
+
+    def run(self, detector, payloads: list[str]) -> list[Verdict]:
+        """Replay framed requests against a live gateway and decode."""
+        from repro.serve.gateway import DetectionGateway, GatewayConfig
+        from repro.serve.loadgen import replay_framed
+        from repro.serve.store import SignatureStore
+        from repro.surfaces import LEGACY_SURFACES
+
+        requests = [HttpRequest(query=p) for p in payloads]
+
+        async def _roundtrip() -> list[dict | None]:
+            gateway = DetectionGateway(
+                SignatureStore(detector),
+                GatewayConfig(
+                    queue_bound=max(64, len(payloads)),
+                    policy="block",
+                    workers=self.workers,
+                ),
+            )
+            host, port = await gateway.start()
+            try:
+                responses, _latencies, _duration = await replay_framed(
+                    host, port, requests,
+                    surfaces=LEGACY_SURFACES,
+                    connections=self.connections, window=self.window,
+                )
+            finally:
+                await gateway.stop()
+            return responses
+
+        responses = asyncio.run(_roundtrip())
+        verdicts: list[Verdict] = []
+        for index, response in enumerate(responses):
+            if response is None or response.get("shed") or (
+                "error" in response
+            ):
+                raise ConformanceError(
+                    f"framed gateway gave no verdict for payload "
+                    f"{index}: {response!r}"
+                )
+            if "surfaces" not in response or "verdicts" not in response:
+                raise ConformanceError(
+                    f"framed response {index} lacks surface attribution: "
+                    f"{response!r}"
+                )
+            verdicts.append(Verdict(
+                alert=bool(response.get("alert")),
+                score=float(response.get("score", 0.0)),
+                fired=tuple(int(s) for s in response.get("matched", [])),
+            ))
+        return verdicts
+
+
 class ShardedGatewayPath(DetectorPath):
     """A live multi-process fleet round-trip on one shared TCP port.
 
@@ -401,11 +507,13 @@ def default_paths(
     """Every registered path, serial (the baseline) first."""
     paths: list[DetectorPath] = [
         SerialPath(), LegacySerialPath(), EngineRunPath(),
+        SurfacesLegacyParityPath(),
     ]
     paths.extend(BatchPath(workers=count) for count in worker_counts)
     paths.append(ClusterPath(workers=cluster_workers))
     if gateway:
         paths.append(GatewayPath())
+        paths.append(GatewayFramedPath())
     if fleet:
         paths.append(ShardedGatewayPath(shards=fleet_shards))
         paths.append(

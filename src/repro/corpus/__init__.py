@@ -10,6 +10,7 @@ from repro.corpus.families import (
 )
 from repro.corpus.grammar import AttackSample, CorpusGenerator, TemplateRenderer
 from repro.corpus.mutators import MUTATORS
+from repro.corpus.surfaces import SURFACE_FAMILIES, SurfaceCorpusGenerator
 from repro.corpus.vulndb import (
     TABLE1_RECORDS,
     VulnRecord,
@@ -36,4 +37,6 @@ __all__ = [
     "InjectionPoint",
     "Response",
     "BenignTrafficGenerator",
+    "SURFACE_FAMILIES",
+    "SurfaceCorpusGenerator",
 ]

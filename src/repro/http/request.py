@@ -3,12 +3,18 @@
 pSigene's unit of analysis is a single HTTP request: during crawling and
 testing "what we see ... is the entire HTTP request payload and we extract the
 SQL query from it by leaving out the HTTP address, the port, and the path"
-(Section II-A).  :class:`HttpRequest` is that unit, and
-:meth:`HttpRequest.payload` is the extraction.
+(Section II-A).  :class:`HttpRequest` is that unit.  The paper's extraction —
+query string plus urlencoded form body, flattened — survives as
+:meth:`HttpRequest.flat_payload`; the surface-aware successor is
+:meth:`HttpRequest.surfaces`, which yields ``(surface, locator, value)``
+triples across every injection channel of the request (see
+:mod:`repro.surfaces`).  The historical :meth:`HttpRequest.payload` is a
+deprecation shim over the surface extraction.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.http.url import parse_query, split_url
@@ -31,6 +37,9 @@ class HttpRequest:
         body: request body; for form POSTs this carries the parameter string.
         label: optional ground-truth tag (``"attack"``/``"benign"``) used by
             the evaluation harness; it is never visible to detectors.
+        stored: previously-stored ``(key, value)`` pairs this request
+            replays — the second-order injection channel, where the attack
+            entered on an earlier request and resurfaces here.
     """
 
     method: str = "GET"
@@ -40,19 +49,55 @@ class HttpRequest:
     headers: dict[str, str] = field(default_factory=dict)
     body: str = ""
     label: str | None = None
+    stored: tuple[tuple[str, str], ...] = ()
 
-    def payload(self) -> str:
-        """The detector-visible payload: query string plus form body.
+    def surfaces(self, selection=None) -> list:
+        """Detector-visible values across every injection channel.
 
-        This is the paper's extraction step — address, port, and path are
-        dropped; what remains is where an SQL query injected through a form
-        parameter lives.
+        Returns :class:`repro.surfaces.SurfaceValue` triples —
+        ``(surface, locator, value)`` — in canonical extraction order.
+        *selection* restricts which surfaces are walked (a tuple of
+        :class:`repro.surfaces.InjectionSurface`); ``None`` walks all.
+        This supersedes :meth:`payload`, which flattened the query and
+        form channels into one string and ignored the rest.
+        """
+        from repro.surfaces import extract_surfaces
+
+        return extract_surfaces(self, selection)
+
+    def flat_payload(self) -> str:
+        """The paper's flattened payload: query string plus form body.
+
+        The non-deprecated spelling for code paths that genuinely want
+        the legacy two-channel extraction (the line protocol, corpus
+        serialization).  New detection code should use
+        :meth:`surfaces` and score per surface.
         """
         if self.body and self._is_form_body():
             if self.query:
                 return self.query + "&" + self.body
             return self.body
         return self.query
+
+    def payload(self) -> str:
+        """Deprecated alias of :meth:`flat_payload`.
+
+        Deprecated because the flattened string erases surface
+        provenance and silently drops the JSON/multipart/cookie/header/
+        second-order channels.  Delegates to the surface extraction
+        joined in the legacy order, so output stays byte-identical to
+        the historical behavior (pinned by ``tests/http/test_request``).
+        """
+        warnings.warn(
+            "HttpRequest.payload() is deprecated; use "
+            "HttpRequest.surfaces() (surface-aware) or "
+            "HttpRequest.flat_payload() (legacy flattening)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.surfaces import legacy_flatten
+
+        return legacy_flatten(self)
 
     def _is_form_body(self) -> bool:
         ctype = self.headers.get("content-type", "")
@@ -63,7 +108,7 @@ class HttpRequest:
 
     def parameters(self) -> list[tuple[str, str]]:
         """Ordered, still-encoded ``(name, value)`` pairs of the payload."""
-        return parse_query(self.payload())
+        return parse_query(self.flat_payload())
 
     def url(self) -> str:
         """Reassemble the request URL (scheme-less)."""

@@ -62,7 +62,7 @@ class Trace:
 
     def payloads(self) -> list[str]:
         """Detector-visible payloads of every request, in order."""
-        return [r.payload() for r in self.requests]
+        return [r.flat_payload() for r in self.requests]
 
     def merged(self, other: "Trace", name: str | None = None) -> "Trace":
         """A new trace holding this trace's requests followed by *other*'s."""

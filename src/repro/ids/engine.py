@@ -21,6 +21,13 @@ from repro.http.request import HttpRequest
 from repro.http.traffic import Trace
 from repro.ids.rules import Detection
 from repro.obs import trace as obs_trace
+from repro.surfaces import (
+    LEGACY_SURFACES,
+    InjectionSurface,
+    ScoreRequest,
+    SurfaceDetection,
+    score_request,
+)
 
 if TYPE_CHECKING:  # imported lazily to avoid the ids <-> serve cycle
     from repro.serve.telemetry import Telemetry
@@ -52,6 +59,21 @@ class PSigeneDetector:
         """
         score, fired = self.signature_set.evaluate(payload)
         return Detection(alert=bool(fired), score=score, matched_sids=fired)
+
+    def inspect_request(
+        self,
+        request: HttpRequest,
+        surfaces: tuple[InjectionSurface, ...] = LEGACY_SURFACES,
+    ) -> SurfaceDetection:
+        """Score every selected surface of *request* through the fused set.
+
+        Each extracted surface unit goes through the same
+        :meth:`SignatureSet.evaluate` path as :meth:`inspect`; the
+        per-surface verdicts fold into one alert with surface
+        attribution.  With the default (legacy) selection the folded
+        verdict is bit-identical to ``inspect(request.flat_payload())``.
+        """
+        return score_request(self.inspect, request, surfaces)
 
 
 @dataclass
@@ -117,6 +139,12 @@ class EngineRun:
 class SignatureEngine:
     """Runs detectors over traces.
 
+    Every entry point — single payload, single request, whole trace —
+    funnels through :meth:`score` on a :class:`repro.surfaces.ScoreRequest`,
+    so payload-level and surface-aware scoring share one code path (and
+    one telemetry schema).  ``inspect_payload``/``inspect_request`` are
+    thin wrappers kept for their call sites.
+
     Args:
         detector: the mounted detector.
         telemetry: optional :class:`~repro.serve.telemetry.Telemetry`
@@ -124,29 +152,61 @@ class SignatureEngine:
             single request — feeds the same ``inspected``/``alerted``
             counters and ``service`` latency histogram the online
             gateway reports, so batch scoring and live serving share one
-            metrics schema.
+            metrics schema.  Surface-aware inspections additionally feed
+            the ``repro_surface_*`` counters.
+        surfaces: default surface selection for request-level entry
+            points; the paper's query+form channels unless overridden
+            (CLI ``--surfaces``).
     """
 
     def __init__(
-        self, detector: Detector, *, telemetry: "Telemetry | None" = None
+        self,
+        detector: Detector,
+        *,
+        telemetry: "Telemetry | None" = None,
+        surfaces: tuple[InjectionSurface, ...] = LEGACY_SURFACES,
     ) -> None:
         self.detector = detector
         self.telemetry = telemetry
+        self.surfaces = surfaces
+
+    def score(self, request: ScoreRequest) -> Detection:
+        """The unified entry point: score one :class:`ScoreRequest`.
+
+        A payload-shaped request goes straight to the detector; a
+        request-shaped one is extracted surface by surface and folded
+        (:func:`repro.surfaces.score_request`).  Telemetry, when
+        attached, sees both the whole-request inspection and — for
+        surface-aware scoring — the per-surface counters.
+        """
+        start = time.perf_counter() if self.telemetry is not None else 0.0
+        if request.payload is not None:
+            detection: Detection = self.detector.inspect(request.payload)
+        else:
+            detection = score_request(
+                self.detector.inspect, request.request, request.surfaces
+            )
+        if self.telemetry is not None:
+            self.telemetry.record_inspection(
+                detection.alert, time.perf_counter() - start
+            )
+            self.telemetry.record_surfaces(detection)
+        return detection
 
     def inspect_payload(self, payload: str) -> Detection:
         """Inspect one raw payload string."""
-        if self.telemetry is None:
-            return self.detector.inspect(payload)
-        start = time.perf_counter()
-        detection = self.detector.inspect(payload)
-        self.telemetry.record_inspection(
-            detection.alert, time.perf_counter() - start
-        )
-        return detection
+        return self.score(ScoreRequest(payload=payload))
 
-    def inspect_request(self, request: HttpRequest) -> Detection:
-        """Inspect the detector-visible payload of one request."""
-        return self.inspect_payload(request.payload())
+    def inspect_request(
+        self,
+        request: HttpRequest,
+        surfaces: tuple[InjectionSurface, ...] | None = None,
+    ) -> SurfaceDetection:
+        """Inspect one request across its (selected) injection surfaces."""
+        return self.score(ScoreRequest(
+            request=request,
+            surfaces=self.surfaces if surfaces is None else surfaces,
+        ))
 
     def run(self, trace: Trace, *, measure_time: bool = False) -> EngineRun:
         """Inspect every request of *trace*; optionally time each one."""
@@ -169,10 +229,11 @@ class SignatureEngine:
         )
         measuring = measure_time or self.telemetry is not None
         for index, request in enumerate(trace):
-            payload = request.payload()
             if measuring:
                 start = time.perf_counter()
-                detection = self.detector.inspect(payload)
+                detection = score_request(
+                    self.detector.inspect, request, self.surfaces
+                )
                 elapsed = time.perf_counter() - start
                 if measure_time:
                     timings[index] = elapsed
@@ -180,8 +241,11 @@ class SignatureEngine:
                     self.telemetry.record_inspection(
                         detection.alert, elapsed
                     )
+                    self.telemetry.record_surfaces(detection)
             else:
-                detection = self.detector.inspect(payload)
+                detection = score_request(
+                    self.detector.inspect, request, self.surfaces
+                )
             if detection.alert:
                 flags[index] = True
                 run.alerts.append(Alert(

@@ -111,7 +111,7 @@ class ClusterModeEngine:
 
         # Calibration pass: estimate each signature's per-request cost.
         calibration_payloads = [
-            normalizer(r.payload())
+            normalizer(r.flat_payload())
             for r in trace.requests[:calibration]
         ]
         costs = []
@@ -132,7 +132,7 @@ class ClusterModeEngine:
         per_signature_us = np.zeros((len(trace), n_signatures))
         flags = np.zeros(len(trace), dtype=bool)
         for row, request in enumerate(trace):
-            payload = normalizer(request.payload())
+            payload = normalizer(request.flat_payload())
             for column, signature in enumerate(signatures):
                 start = time.perf_counter()
                 probability = signature.probability(payload)

@@ -3,6 +3,7 @@
 from repro.scanners.arachni_sim import ArachniSimulator
 from repro.scanners.base import ScannerBase
 from repro.scanners.sqlmap_sim import SqlmapSimulator
+from repro.scanners.surface_sim import SURFACE_CHANNELS, SurfaceScanner
 from repro.scanners.vega_sim import VegaSimulator
 
 __all__ = [
@@ -10,4 +11,6 @@ __all__ = [
     "SqlmapSimulator",
     "ArachniSimulator",
     "VegaSimulator",
+    "SurfaceScanner",
+    "SURFACE_CHANNELS",
 ]

@@ -1,0 +1,129 @@
+"""Multi-surface scanner simulator.
+
+The paper's three scanners attack where its extraction looks: query
+strings and form bodies.  Modern scanners (Burp's active scan, OWASP
+ZAP's input-vector options) also inject through JSON bodies, cookies,
+headers, and multipart fields — the channels :mod:`repro.surfaces`
+exists to cover.  This simulator sprays a compact tautology/union/error
+battery through each non-legacy channel against the same vulnerable
+application, producing an attack trace that a legacy (query+form)
+detector scores near zero on and a full-surface detector should catch.
+
+The application's feedback loop is channel-agnostic — ``handle(path,
+parameter, value)`` models the server-side sink, and a cookie or JSON
+field reaching SQL behaves exactly like a query parameter reaching SQL.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.http.request import HttpRequest
+from repro.http.traffic import LABEL_ATTACK, Trace
+from repro.scanners.base import ScannerBase
+
+#: Delivery channels this scanner rotates through (one full battery per
+#: channel per injection point).
+SURFACE_CHANNELS = ("json-body", "cookie", "header", "multipart")
+
+_PROBES = (
+    "{base}' OR {n}={n}-- ",
+    "{base}\" OR \"{n}\"=\"{n}",
+    "{base}' UNION SELECT {cols}-- ",
+    "{base}'; DROP TABLE probes--",
+    "{base}' AND SLEEP(2)-- ",
+)
+
+
+class SurfaceScanner(ScannerBase):
+    """Burp/ZAP-style injection through non-legacy request surfaces."""
+
+    name = "surface"
+
+    def __init__(self, app, seed: int = 0, post_fraction: float = 0.0):
+        # post_fraction is meaningless here (no probe uses the form
+        # body) but kept for the ScannerBase constructor contract.
+        super().__init__(app, seed=seed, post_fraction=post_fraction)
+
+    def encode_value(self, value: str) -> str:
+        """Non-query channels carry the value raw — no URL encoding."""
+        return value
+
+    # -- channel builders ---------------------------------------------
+
+    def _json_request(self, path: str, parameter: str, value: str):
+        body = json.dumps(
+            {parameter: value, "page": self.random_int(1, 20)},
+            separators=(",", ":"),
+        )
+        return HttpRequest(
+            method="POST", host="victim.test", path=path,
+            headers={"content-type": "application/json"},
+            body=body, label=LABEL_ATTACK,
+        )
+
+    def _cookie_request(self, path: str, parameter: str, value: str):
+        return HttpRequest(
+            host="victim.test", path=path,
+            headers={"cookie": f"{parameter}={value}"},
+            label=LABEL_ATTACK,
+        )
+
+    def _header_request(self, path: str, parameter: str, value: str):
+        return HttpRequest(
+            host="victim.test", path=path,
+            headers={
+                "user-agent": "Mozilla/5.0 (surface-scan)",
+                "x-" + parameter: value,
+            },
+            label=LABEL_ATTACK,
+        )
+
+    def _multipart_request(self, path: str, parameter: str, value: str):
+        boundary = f"----scan{self.random_int(10**6, 10**7 - 1)}"
+        body = (
+            f"--{boundary}\r\n"
+            f'Content-Disposition: form-data; name="{parameter}"\r\n\r\n'
+            f"{value}\r\n"
+            f"--{boundary}--\r\n"
+        )
+        return HttpRequest(
+            method="POST", host="victim.test", path=path,
+            headers={
+                "content-type": f"multipart/form-data; boundary={boundary}"
+            },
+            body=body, label=LABEL_ATTACK,
+        )
+
+    _BUILDERS = {
+        "json-body": _json_request,
+        "cookie": _cookie_request,
+        "header": _header_request,
+        "multipart": _multipart_request,
+    }
+
+    def send_via(self, channel: str, path: str, parameter: str, value: str):
+        """Issue one probe through ``channel``; records the request and
+        returns the application's response."""
+        request = self._BUILDERS[channel](self, path, parameter, value)
+        self._trace.append(request)
+        return self.app.handle(path, parameter, value)
+
+    # -- strategy -----------------------------------------------------
+
+    def scan(self) -> Trace:
+        """One probe battery per channel at every injection point."""
+        for point in self.app.points:
+            base = str(self.random_int(1, 999))
+            n = self.random_int(11, 89)
+            cols = ",".join(
+                str(i + 1)
+                for i in range(self.app.union_column_count(point.path))
+            )
+            for channel in SURFACE_CHANNELS:
+                for template in _PROBES:
+                    self.send_via(
+                        channel, point.path, point.parameter,
+                        template.format(base=base, n=n, cols=cols),
+                    )
+        return self.trace()

@@ -48,6 +48,7 @@ from typing import Any
 from repro.serve.gateway import DetectionGateway, GatewayConfig
 from repro.serve.store import SignatureStore, StoreError
 from repro.serve.telemetry import Telemetry
+from repro.surfaces import parse_surfaces
 
 __all__ = [
     "PROBE_PAYLOADS",
@@ -142,6 +143,9 @@ class ShardBoot:
             work before the shard exits anyway.
         cost_threshold: ``cost`` policy shed threshold.
         high_water: ``cost`` policy congestion fraction.
+        surfaces: default injection-surface selection spec for framed
+            requests that do not name one (a string, so the boot stays
+            picklable; parsed in the child).
         close_fds: supervisor-side descriptors a forked child should
             close immediately (other shards' pipes, the control-plane
             listener) so a respawned shard never holds them open past
@@ -163,6 +167,7 @@ class ShardBoot:
     drain_timeout: float = 10.0
     cost_threshold: float = 256.0
     high_water: float = 0.5
+    surfaces: str = "query,form"
     close_fds: tuple[int, ...] = field(default_factory=tuple)
 
 
@@ -205,6 +210,7 @@ class _ShardServer:
                 cost_threshold=boot.cost_threshold,
                 high_water=boot.high_water,
                 allow_reload=False,
+                surfaces=parse_surfaces(boot.surfaces),
             ),
             self.telemetry,
         )

@@ -41,16 +41,26 @@ from repro.serve.admission import (
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     ProtocolError,
+    decode_framed_request,
     encode_detection,
     encode_error,
+    encode_framed_request,
     encode_shed,
+    encode_surface_detection,
+    frame_header_size,
     http_response,
     is_http_request_line,
     read_http_message,
 )
 from repro.obs.prometheus import CONTENT_TYPE, render_exposition
 from repro.serve.store import SignatureStore, StoreError, StoreVersion
-from repro.serve.telemetry import Telemetry
+from repro.serve.telemetry import Telemetry, surfaces_section
+from repro.surfaces import (
+    InjectionSurface,
+    LEGACY_SURFACES,
+    ScoreRequest,
+    score_request,
+)
 
 __all__ = ["DetectionGateway", "GatewayConfig"]
 
@@ -78,6 +88,9 @@ class GatewayConfig:
             arrive only through the supervisor's two-phase protocol, so
             a client reaching one shard's data port can never split the
             fleet across generations.
+        surfaces: default injection-surface selection for framed
+            requests that do not name one (``repro serve --surfaces``);
+            frames carrying an explicit ``surfaces`` field always win.
     """
 
     host: str = "127.0.0.1"
@@ -91,13 +104,19 @@ class GatewayConfig:
     cost_threshold: float = DEFAULT_COST_THRESHOLD
     high_water: float = DEFAULT_HIGH_WATER
     allow_reload: bool = True
+    surfaces: tuple[InjectionSurface, ...] = LEGACY_SURFACES
 
 
 @dataclass
 class _Job:
-    """One admitted inspection: payload + the generation that answers it."""
+    """One admitted inspection: work + the generation that answers it.
 
-    payload: str
+    ``work`` is the raw payload string (line protocol) or a
+    :class:`~repro.surfaces.ScoreRequest` (framed full-request mode);
+    the worker loop branches on the type.
+    """
+
+    work: str | ScoreRequest
     snapshot: StoreVersion
     future: asyncio.Future
     admitted_at: float
@@ -219,19 +238,23 @@ class DetectionGateway:
 
     # -- data plane ----------------------------------------------------
 
-    async def _admit(self, payload: str) -> asyncio.Future:
-        """Admit one payload; the returned future resolves to the
+    async def _admit(
+        self, work: str | ScoreRequest, *, cost: float | None = None
+    ) -> asyncio.Future:
+        """Admit one unit of work; the returned future resolves to the
         response bytes (detection, shed notice, or error)."""
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         job = _Job(
-            payload=payload,
+            work=work,
             snapshot=self.store.current(),
             future=future,
             admitted_at=time.perf_counter(),
         )
+        if cost is None:
+            cost = self._cost_fn(work if isinstance(work, str) else "")
         try:
-            await self.admission.submit(job, cost=self._cost_fn(payload))
+            await self.admission.submit(job, cost=cost)
         except Shed as exc:
             future.set_result(encode_shed(str(exc)))
         except QueueClosed as exc:
@@ -244,12 +267,34 @@ class DetectionGateway:
         future = await self._admit(payload)
         return json.loads(await future)
 
+    async def inspect_request(
+        self,
+        request,
+        surfaces: tuple[InjectionSurface, ...] = LEGACY_SURFACES,
+    ) -> dict:
+        """In-process framed-mode client: full admission path, decoded
+        surface-attributed response."""
+        frame = encode_framed_request(request, surfaces)
+        body_len = len(frame) - frame.index(b"\n") - 2
+        future = await self._admit(
+            ScoreRequest(request=request, surfaces=surfaces),
+            cost=float(body_len),
+        )
+        return json.loads(await future)
+
     async def _worker_loop(self) -> None:
         while True:
             job = await self.admission.get()
             started = time.perf_counter()
             try:
-                detection = job.snapshot.detector.inspect(job.payload)
+                if isinstance(job.work, ScoreRequest):
+                    detection = score_request(
+                        job.snapshot.detector.inspect,
+                        job.work.request,
+                        job.work.surfaces,
+                    )
+                else:
+                    detection = job.snapshot.detector.inspect(job.work)
             except Exception as exc:  # detector bug: answer, don't die
                 self.telemetry.increment("errors")
                 if not job.future.done():
@@ -265,9 +310,15 @@ class DetectionGateway:
                     "latency", finished - job.admitted_at
                 )
                 if not job.future.done():
-                    job.future.set_result(
-                        encode_detection(detection, job.snapshot.version)
-                    )
+                    if isinstance(job.work, ScoreRequest):
+                        self.telemetry.record_surfaces(detection)
+                        job.future.set_result(encode_surface_detection(
+                            detection, job.snapshot.version
+                        ))
+                    else:
+                        job.future.set_result(encode_detection(
+                            detection, job.snapshot.version
+                        ))
             finally:
                 self.admission.task_done()
 
@@ -318,7 +369,21 @@ class DetectionGateway:
         line = first
         try:
             while line:
-                if len(line) > MAX_LINE_BYTES:
+                frame_size = None
+                bad_header = None
+                try:
+                    frame_size = frame_header_size(line)
+                except ProtocolError as exc:
+                    # A malformed frame header: the client meant to
+                    # frame, so treating the line as a payload would be
+                    # wrong; answer the error and resync at next line.
+                    bad_header = exc
+                if bad_header is not None:
+                    self.telemetry.increment("protocol_errors")
+                    await pending.put(_done(encode_error(str(bad_header))))
+                elif frame_size is not None:
+                    await self._serve_frame(reader, pending, frame_size)
+                elif len(line) > MAX_LINE_BYTES:
                     self.telemetry.increment("protocol_errors")
                     await pending.put(_done(encode_error("line too long")))
                 else:
@@ -341,6 +406,42 @@ class DetectionGateway:
         finally:
             await pending.put(None)
             await flusher
+
+    async def _serve_frame(
+        self,
+        reader: asyncio.StreamReader,
+        pending: asyncio.Queue,
+        frame_size: int,
+    ) -> None:
+        """Read and admit one framed full-request message.
+
+        The header line is already consumed; this reads exactly the
+        declared body bytes plus the line-aligning newline, decodes the
+        request, and admits a surface-aware job priced by body size.
+        """
+        body = await reader.readexactly(frame_size)
+        # The frame body is followed by a newline that keeps the
+        # connection line-aligned; absorb it (tolerating EOF).
+        trailer = await reader.readline()
+        if trailer not in (b"\n", b"\r\n", b""):
+            self.telemetry.increment("protocol_errors")
+            await pending.put(_done(encode_error(
+                "frame body not newline-terminated"
+            )))
+            return
+        try:
+            request, surfaces = decode_framed_request(
+                body, default_surfaces=self.config.surfaces
+            )
+        except ProtocolError as exc:
+            self.telemetry.increment("protocol_errors")
+            await pending.put(_done(encode_error(str(exc))))
+            return
+        self.telemetry.increment("framed")
+        await pending.put(await self._admit(
+            ScoreRequest(request=request, surfaces=surfaces),
+            cost=float(frame_size),
+        ))
 
     @staticmethod
     async def _flush_responses(
@@ -398,6 +499,9 @@ class DetectionGateway:
                     "source": current.source,
                 },
                 "queue_depth": self.admission.depth,
+                "surfaces": surfaces_section(
+                    self.telemetry.raw_state()["counters"]
+                ),
                 **self.telemetry.snapshot(),
             }
         if path == "/reload" and method == "POST":

@@ -22,10 +22,12 @@ from repro.eval.serving import (
     offline_detections,
     parity_of_responses,
 )
+from repro.http.request import HttpRequest
 from repro.http.traffic import Trace
 from repro.serve.gateway import DetectionGateway, GatewayConfig
-from repro.serve.protocol import decode_response
+from repro.serve.protocol import decode_response, encode_framed_request
 from repro.serve.store import SignatureStore
+from repro.surfaces import InjectionSurface, LEGACY_SURFACES, score_request
 
 __all__ = [
     "FleetLoadReport",
@@ -35,7 +37,9 @@ __all__ = [
     "format_report",
     "open_loop_replay",
     "replay",
+    "replay_framed",
     "run_fleet_loadgen",
+    "run_framed_loadgen",
     "run_loadgen",
 ]
 
@@ -126,13 +130,53 @@ async def replay(
     connections, each keeping up to ``window`` requests in flight.
     ``responses[i]`` stays None if the connection died before answering.
     """
-    responses: list[dict | None] = [None] * len(payloads)
-    latencies = np.zeros(len(payloads), dtype=np.float64)
-    shards: list[list[tuple[int, str]]] = [
+    wires = [
+        payload.encode("utf-8", errors="replace") + b"\n"
+        for payload in payloads
+    ]
+    return await _replay_wires(
+        host, port, wires, connections=connections, window=window
+    )
+
+
+async def replay_framed(
+    host: str,
+    port: int,
+    requests: list[HttpRequest],
+    *,
+    surfaces: tuple[InjectionSurface, ...] = LEGACY_SURFACES,
+    connections: int = 8,
+    window: int = 32,
+) -> tuple[list[dict | None], np.ndarray, float]:
+    """Framed-mode :func:`replay`: whole requests over wire format v2.
+
+    Each request ships as one ``REPRO-FRAME/2`` message carrying the
+    surface selection; responses decode to surface-attributed verdict
+    objects, shaped like :func:`replay`'s return.
+    """
+    wires = [
+        encode_framed_request(request, surfaces) for request in requests
+    ]
+    return await _replay_wires(
+        host, port, wires, connections=connections, window=window
+    )
+
+
+async def _replay_wires(
+    host: str,
+    port: int,
+    wires: list[bytes],
+    *,
+    connections: int,
+    window: int,
+) -> tuple[list[dict | None], np.ndarray, float]:
+    responses: list[dict | None] = [None] * len(wires)
+    latencies = np.zeros(len(wires), dtype=np.float64)
+    shards: list[list[tuple[int, bytes]]] = [
         [] for _ in range(max(1, connections))
     ]
-    for index, payload in enumerate(payloads):
-        shards[index % len(shards)].append((index, payload))
+    for index, wire in enumerate(wires):
+        shards[index % len(shards)].append((index, wire))
     started = time.perf_counter()
     await asyncio.gather(*(
         _drive_connection(host, port, shard, responses, latencies, window)
@@ -144,7 +188,7 @@ async def replay(
 async def _drive_connection(
     host: str,
     port: int,
-    jobs: list[tuple[int, str]],
+    jobs: list[tuple[int, bytes]],
     responses: list[dict | None],
     latencies: np.ndarray,
     window: int,
@@ -173,12 +217,12 @@ async def _drive_connection(
 
     collector = asyncio.get_running_loop().create_task(collect())
     try:
-        for index, payload in jobs:
+        for index, wire in jobs:
             await inflight.acquire()
             if collector.done():
                 break
             sent_at[index] = time.perf_counter()
-            writer.write(payload.encode("utf-8", errors="replace") + b"\n")
+            writer.write(wire)
             await writer.drain()
         await collector
     except (ConnectionResetError, BrokenPipeError):
@@ -257,6 +301,76 @@ async def run_loadgen(
         queue_bound=queue_bound,
         policy=policy,
         requests=len(payloads),
+        completed=completed,
+        shed=shed,
+        errors=errors,
+        alerts=sum(
+            1 for r in responses if r is not None and r.get("alert")
+        ),
+        duration_s=duration,
+        throughput_rps=answered / duration if duration > 0 else 0.0,
+        latency_ms=_percentiles_ms(latencies),
+        parity=parity,
+    )
+
+
+async def run_framed_loadgen(
+    store: SignatureStore,
+    requests: list[HttpRequest],
+    *,
+    surfaces: tuple[InjectionSurface, ...] = LEGACY_SURFACES,
+    queue_bound: int = 1024,
+    policy: str = "block",
+    workers: int = 4,
+    connections: int = 8,
+    window: int = 32,
+    check_parity: bool = True,
+) -> LoadReport:
+    """Framed-mode :func:`run_loadgen`: replay whole requests.
+
+    Parity is judged against the offline surface-aware fold
+    (:func:`repro.surfaces.score_request` with the same selection), so a
+    wire/extraction divergence between gateway and library fails the
+    check even when both "look alerted".
+    """
+    gateway = DetectionGateway(store, GatewayConfig(
+        queue_bound=queue_bound,
+        policy=policy,
+        workers=workers,
+    ))
+    host, port = await gateway.start()
+    try:
+        responses, latencies, duration = await replay_framed(
+            host, port, requests,
+            surfaces=surfaces, connections=connections, window=window,
+        )
+    finally:
+        await gateway.stop()
+    parity = None
+    if check_parity:
+        detector = store.current().detector
+        parity = parity_of_responses(
+            [
+                score_request(detector.inspect, request, surfaces)
+                for request in requests
+            ],
+            responses,
+        )
+    shed = sum(1 for r in responses if r and r.get("shed"))
+    errors = sum(
+        1 for r in responses
+        if r is not None and "error" in r and not r.get("shed")
+    )
+    completed = sum(
+        1 for r in responses
+        if r is not None and not r.get("shed") and "error" not in r
+    )
+    answered = sum(1 for r in responses if r is not None)
+    return LoadReport(
+        detector=store.current().detector.name,
+        queue_bound=queue_bound,
+        policy=policy,
+        requests=len(requests),
         completed=completed,
         shed=shed,
         errors=errors,

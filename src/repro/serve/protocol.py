@@ -10,6 +10,14 @@ line of a connection:
   each line with one JSON object: ``{"alert": bool, "score": float,
   "matched": [sids], "version": n}``, or ``{"shed": true, ...}`` when
   admission control refused the request.
+- **Framed full-request mode** (wire format v2, same data plane): a line
+  shaped like ``REPRO-FRAME/2 <nbytes>`` announces one whole HTTP
+  request as an ``nbytes``-long JSON document (method, path, query,
+  headers, body, optional ``stored`` pairs and ``surfaces`` selection)
+  followed by a newline.  The gateway extracts the selected injection
+  surfaces, scores each one, and answers with one JSON line carrying the
+  legacy fields **plus** surface attribution.  Frames and plain lines
+  may be interleaved on one connection; responses stay in request order.
 - **HTTP/1.x** (the control plane): a first line shaped like
   ``METHOD /path HTTP/1.x`` switches the connection to one-shot HTTP.
   Routes: ``GET /healthz``, ``GET /stats``, ``GET /metrics``
@@ -26,15 +34,28 @@ import json
 import re
 from dataclasses import dataclass, field
 
+from repro.http.request import HttpRequest
 from repro.ids.rules import Detection
+from repro.surfaces import (
+    InjectionSurface,
+    LEGACY_SURFACES,
+    format_surfaces,
+    parse_surfaces,
+)
 
 __all__ = [
+    "FRAME_MAGIC",
+    "FRAME_VERSION",
     "HttpMessage",
     "ProtocolError",
+    "decode_framed_request",
     "decode_response",
     "encode_detection",
     "encode_error",
+    "encode_framed_request",
     "encode_shed",
+    "encode_surface_detection",
+    "frame_header_size",
     "http_response",
     "is_http_request_line",
     "read_http_message",
@@ -46,6 +67,15 @@ _HTTP_REQUEST_LINE = re.compile(
 
 MAX_LINE_BYTES = 64 * 1024
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Wire format v2: the frame header magic.  The version is part of the
+#: magic so a v3 framing can coexist on the same port; a header the
+#: gateway does not recognize falls through to the line protocol, where
+#: it scores as an (inert) payload — old gateways never crash on new
+#: clients, they just answer ``alert: false``.
+FRAME_MAGIC = b"REPRO-FRAME/2"
+FRAME_VERSION = 2
+MAX_FRAME_BYTES = MAX_BODY_BYTES
 
 
 class ProtocolError(ValueError):
@@ -89,6 +119,135 @@ def encode_error(reason: str) -> bytes:
     return (
         json.dumps(
             {"error": reason}, separators=(",", ":")
+        ).encode()
+        + b"\n"
+    )
+
+
+def frame_header_size(line: bytes) -> int | None:
+    """Declared frame-body size when ``line`` is a v2 frame header.
+
+    Returns ``None`` for anything that is not a frame header (the line
+    then belongs to the plain line protocol).
+
+    Raises:
+        ProtocolError: a recognized header with a malformed or
+            out-of-bounds size — the client *meant* to frame, so
+            treating the line as a payload would desync the stream.
+    """
+    if not line.startswith(FRAME_MAGIC + b" "):
+        return None
+    rest = line[len(FRAME_MAGIC) + 1:].strip()
+    try:
+        size = int(rest)
+    except ValueError as exc:
+        raise ProtocolError(f"bad frame header: {line!r}") from exc
+    if size < 0 or size > MAX_FRAME_BYTES:
+        raise ProtocolError(f"bad frame size: {size}")
+    return size
+
+
+def encode_framed_request(
+    request: HttpRequest,
+    surfaces: tuple[InjectionSurface, ...] | None = None,
+) -> bytes:
+    """One framed (wire format v2) full-request message.
+
+    The frame body is compact JSON; a trailing newline keeps the
+    connection line-aligned for whatever message follows.
+    """
+    document: dict = {
+        "v": FRAME_VERSION,
+        "method": request.method,
+        "path": request.path,
+        "query": request.query,
+        "headers": dict(request.headers),
+        "body": request.body,
+    }
+    if getattr(request, "stored", ()):
+        document["stored"] = [list(pair) for pair in request.stored]
+    if surfaces is not None:
+        document["surfaces"] = format_surfaces(surfaces)
+    body = json.dumps(document, separators=(",", ":")).encode()
+    return FRAME_MAGIC + b" " + str(len(body)).encode() + b"\n" + body + b"\n"
+
+
+def decode_framed_request(
+    data: bytes,
+    *,
+    default_surfaces: tuple[InjectionSurface, ...] = LEGACY_SURFACES,
+) -> tuple[HttpRequest, tuple[InjectionSurface, ...]]:
+    """Parse one frame body into a request plus its surface selection.
+
+    A frame without an explicit ``surfaces`` list gets
+    ``default_surfaces`` — the legacy query+form selection unless the
+    server was configured otherwise (``repro serve --surfaces``), so a
+    framed client that only upgraded its framing sees exactly the
+    verdicts the line protocol gave it.
+
+    Raises:
+        ProtocolError: undecodable JSON, wrong version, wrong field
+            types, or an unknown surface name.
+    """
+    try:
+        document = json.loads(data)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"bad frame body: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ProtocolError("frame body must be a JSON object")
+    if document.get("v") != FRAME_VERSION:
+        raise ProtocolError(
+            f"unsupported frame version: {document.get('v')!r}"
+        )
+    headers = document.get("headers", {})
+    stored_raw = document.get("stored", [])
+    if not isinstance(headers, dict) or not isinstance(stored_raw, list):
+        raise ProtocolError("bad frame field types")
+    try:
+        stored = tuple(
+            (str(pair[0]), str(pair[1])) for pair in stored_raw
+        )
+    except (IndexError, TypeError) as exc:
+        raise ProtocolError(f"bad stored pairs: {exc}") from exc
+    request = HttpRequest(
+        method=str(document.get("method", "GET")).upper(),
+        host=str(document.get("host", "localhost")),
+        path=str(document.get("path", "/")),
+        query=str(document.get("query", "")),
+        headers={
+            str(k).lower(): str(v) for k, v in headers.items()
+        },
+        body=str(document.get("body", "")),
+        stored=stored,
+    )
+    selection = document.get("surfaces")
+    if selection is None:
+        return request, default_surfaces
+    try:
+        return request, parse_surfaces(str(selection))
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+def encode_surface_detection(detection, version: int) -> bytes:
+    """Response line for a framed request: legacy fields + attribution.
+
+    *detection* is a :class:`repro.surfaces.SurfaceDetection`; the first
+    four keys are exactly :func:`encode_detection`'s, so a client that
+    only reads the legacy shape can ignore the rest.
+    """
+    attribution = detection.attribution()
+    return (
+        json.dumps(
+            {
+                "alert": bool(detection.alert),
+                "score": float(detection.score),
+                "matched": [int(s) for s in detection.matched_sids],
+                "version": version,
+                "surfaces": attribution["surfaces"],
+                "verdicts": attribution["verdicts"],
+            },
+            separators=(",", ":"),
         ).encode()
         + b"\n"
     )

@@ -65,7 +65,11 @@ from repro.serve.protocol import (
     read_http_message,
 )
 from repro.serve.store import SignatureStore, StoreError
-from repro.serve.telemetry import Telemetry, merge_raw_states
+from repro.serve.telemetry import (
+    Telemetry,
+    merge_raw_states,
+    surfaces_section,
+)
 
 __all__ = ["FleetConfig", "FleetError", "FleetSupervisor"]
 
@@ -95,6 +99,8 @@ class FleetConfig:
             is left down (the rest of the fleet keeps serving).
         signature_path: default signature JSON for body-less
             ``POST /reload``.
+        surfaces: default injection-surface selection spec for framed
+            requests that do not name one (``repro serve --surfaces``).
     """
 
     shards: int = 2
@@ -111,6 +117,7 @@ class FleetConfig:
     respawn: bool = True
     max_respawns: int = 3
     signature_path: str | None = None
+    surfaces: str = "query,form"
 
 
 @dataclass
@@ -299,6 +306,7 @@ class FleetSupervisor:
             drain_timeout=self.config.drain_timeout,
             cost_threshold=self.config.cost_threshold,
             high_water=self.config.high_water,
+            surfaces=self.config.surfaces,
             close_fds=close_fds,
         )
         process = self._ctx.Process(
@@ -683,6 +691,7 @@ class FleetSupervisor:
                 "live": len(self.live_handles()),
                 "uptime_s": time.monotonic() - self._started_at,
                 "counters": merged["counters"],
+                "surfaces": surfaces_section(merged["counters"]),
                 "latency": {
                     name: {
                         "count": histogram.count,

@@ -24,14 +24,16 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any
+from typing import Any, Mapping
 
 from repro.obs.registry import Counter, Histogram, MetricsRegistry
+from repro.surfaces import InjectionSurface
 
 __all__ = [
     "LatencyHistogram",
     "Telemetry",
     "merge_raw_states",
+    "surfaces_section",
 ]
 
 
@@ -130,6 +132,23 @@ class Telemetry:
             self._alerted.inc()
         self._service.observe(seconds)
 
+    def record_surfaces(self, detection) -> None:
+        """Per-surface counters for one surface-aware verdict.
+
+        *detection* is a :class:`repro.surfaces.SurfaceDetection` (duck
+        typed — anything with ``verdicts`` carrying ``surface`` and
+        ``detection.alert`` works).  Each scored unit feeds
+        ``surface_<name>_inspected`` and, on alert,
+        ``surface_<name>_alerted`` — plain name-keyed counters
+        (``repro_surface_query_inspected_total``...), so fleet
+        ``merge_raw_states`` aggregation works on them unchanged.
+        """
+        for verdict in getattr(detection, "verdicts", ()):
+            name = verdict.surface.metric_name
+            self._counter(f"surface_{name}_inspected").inc()
+            if verdict.detection.alert:
+                self._counter(f"surface_{name}_alerted").inc()
+
     def counter(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""
         return int(self._counter(name).value)
@@ -178,6 +197,27 @@ class Telemetry:
                 if histogram.count or name == "service"
             },
         }
+
+
+def surfaces_section(counters: Mapping[str, int]) -> dict[str, Any]:
+    """The ``/stats`` ``"surfaces"`` block from plain counter values.
+
+    Works on any name→value counter mapping — one gateway's live
+    telemetry or a fleet's :func:`merge_raw_states` sum — so the
+    single-shard and fleet-merged stats documents expose the identical
+    per-surface shape.
+    """
+    return {
+        surface.value: {
+            "inspected": int(counters.get(
+                f"surface_{surface.metric_name}_inspected", 0
+            )),
+            "alerted": int(counters.get(
+                f"surface_{surface.metric_name}_alerted", 0
+            )),
+        }
+        for surface in InjectionSurface
+    }
 
 
 def merge_raw_states(states: list[dict[str, Any]]) -> dict[str, Any]:

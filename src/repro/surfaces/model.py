@@ -1,0 +1,106 @@
+"""The surface model: where injected SQL can enter a request.
+
+An :class:`InjectionSurface` is one channel of a single HTTP request an
+attacker controls.  The paper's extraction covers exactly two of them —
+the query string and the urlencoded form body, flattened into one string
+— and "Formal Analysis of Vulnerabilities of Web Applications Based on
+SQL Injection" (De Meo et al.) catalogs the rest.  Extraction yields
+``(surface, locator, value)`` triples (:class:`SurfaceValue`) rather
+than one flattened string, so a verdict can say *where* the attack was,
+not just that the request carried one.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "DEFAULT_SURFACES",
+    "LEGACY_SURFACES",
+    "InjectionSurface",
+    "SurfaceValue",
+    "format_surfaces",
+    "parse_surfaces",
+]
+
+
+class InjectionSurface(enum.Enum):
+    """One injection channel of an HTTP request.
+
+    The enum value is the stable wire/CLI spelling (``--surfaces
+    query,json,cookie``, the framed protocol's ``surfaces`` list, the
+    ``repro_surface_*`` metric names all use it).
+    """
+
+    QUERY = "query"
+    FORM_BODY = "form"
+    JSON_BODY = "json"
+    MULTIPART = "multipart"
+    COOKIE = "cookie"
+    HEADER = "header"
+    SECOND_ORDER = "second-order"
+
+    @property
+    def metric_name(self) -> str:
+        """The surface's spelling inside a Prometheus metric name."""
+        return self.value.replace("-", "_")
+
+
+#: The paper's channels — the compatibility default everywhere a surface
+#: selection is optional (CLI ``--surfaces``, framed requests without an
+#: explicit list, ``inspect_request``).
+LEGACY_SURFACES: tuple[InjectionSurface, ...] = (
+    InjectionSurface.QUERY,
+    InjectionSurface.FORM_BODY,
+)
+
+#: Every surface, in canonical extraction order.
+DEFAULT_SURFACES: tuple[InjectionSurface, ...] = tuple(InjectionSurface)
+
+
+@dataclass(frozen=True)
+class SurfaceValue:
+    """One detector-visible value extracted from one surface.
+
+    Attributes:
+        surface: the channel the value arrived on.
+        locator: provenance within the surface — a JSON path
+            (``$.user.name``), a cookie or header name, a multipart part
+            name, a stored key (``stored:comment``), or the fixed
+            ``query-string`` / ``form-body`` markers.
+        value: the raw (still-encoded) text the detector scores.
+    """
+
+    surface: InjectionSurface
+    locator: str
+    value: str
+
+
+def parse_surfaces(spec: str) -> tuple[InjectionSurface, ...]:
+    """Parse a CLI/wire surface list like ``"query,json,cookie"``.
+
+    Order is normalized to the canonical extraction order and duplicates
+    collapse; an unknown name raises ``ValueError`` listing the valid
+    spellings.  The special name ``all`` selects every surface.
+    """
+    names = [part.strip() for part in spec.split(",") if part.strip()]
+    if not names:
+        raise ValueError("empty surface selection")
+    if "all" in names:
+        return DEFAULT_SURFACES
+    selected: set[InjectionSurface] = set()
+    for name in names:
+        try:
+            selected.add(InjectionSurface(name))
+        except ValueError:
+            valid = ", ".join(s.value for s in InjectionSurface)
+            raise ValueError(
+                f"unknown surface {name!r}; valid: {valid}, all"
+            ) from None
+    return tuple(s for s in DEFAULT_SURFACES if s in selected)
+
+
+def format_surfaces(surfaces: tuple[InjectionSurface, ...]) -> str:
+    """Inverse of :func:`parse_surfaces`: the canonical spelling."""
+    return ",".join(s.value for s in surfaces)

@@ -1,0 +1,73 @@
+"""The two surface-era conformance paths: framed wire, legacy parity.
+
+Acceptance criterion of the surface redesign: both new paths run with
+zero divergences against the serial baseline over fuzzed corpora — the
+framed data plane and the surface scorer's legacy selection are
+verdict-identical to ``detector.inspect``.
+"""
+
+from repro.conformance import (
+    GatewayFramedPath,
+    Oracle,
+    SerialPath,
+    SurfacesLegacyParityPath,
+    default_paths,
+    generate_corpus,
+)
+from repro.ids import DeterministicRuleSet, Rule
+
+
+def toy_detector():
+    return DeterministicRuleSet("toy", [
+        Rule(1, "union", r"union\s+select"),
+        Rule(2, "quote-or", r"'\s*or\s"),
+        Rule(3, "comment", r"--\s*$"),
+    ])
+
+
+def corpus():
+    return generate_corpus(seed=2012, budget="small")
+
+
+class TestRegistration:
+    def test_both_paths_are_registered_by_default(self):
+        names = {path.name for path in default_paths()}
+        assert "surfaces-legacy-parity" in names
+        assert "gateway-framed" in names
+
+    def test_framed_path_sits_with_the_gateway_paths(self):
+        names = {path.name for path in default_paths(gateway=False)}
+        assert "gateway-framed" not in names
+        assert "surfaces-legacy-parity" in names
+
+
+class TestZeroDivergences:
+    def test_surfaces_legacy_parity_matches_serial(self):
+        report = Oracle(
+            toy_detector(),
+            paths=[SerialPath(), SurfacesLegacyParityPath()],
+            check_extraction=False,
+        ).run(corpus())
+        assert report.ok, report.summary()
+
+    def test_gateway_framed_matches_serial(self):
+        report = Oracle(
+            toy_detector(),
+            paths=[SerialPath(), GatewayFramedPath()],
+            check_extraction=False,
+        ).run(corpus())
+        assert report.ok, report.summary()
+
+    def test_both_against_trained_signatures(self, small_signatures):
+        from repro.ids import PSigeneDetector
+
+        report = Oracle(
+            PSigeneDetector(small_signatures),
+            paths=[
+                SerialPath(),
+                SurfacesLegacyParityPath(),
+                GatewayFramedPath(),
+            ],
+            check_extraction=False,
+        ).run(corpus())
+        assert report.ok, report.summary()

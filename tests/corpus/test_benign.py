@@ -24,7 +24,7 @@ class TestShape:
         assert first == second
 
     def test_mix_includes_parameterless_requests(self, trace):
-        empties = sum(1 for r in trace if not r.payload())
+        empties = sum(1 for r in trace if not r.flat_payload())
         assert 0.3 < empties / len(trace) < 0.8
 
     def test_multiple_hosts(self, trace):

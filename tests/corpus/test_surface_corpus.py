@@ -1,0 +1,119 @@
+"""Surface corpus families: determinism, labels, and channel placement.
+
+Each family must put its attack where its channel says (and nowhere the
+legacy query+form flattening can see it, except the second-order store
+leg) — otherwise per-surface detection rates measure the wrong thing.
+"""
+
+import json
+
+import pytest
+
+from repro.corpus import SURFACE_FAMILIES, SurfaceCorpusGenerator
+from repro.http import LABEL_ATTACK, LABEL_BENIGN
+from repro.surfaces import DEFAULT_SURFACES, InjectionSurface, extract_surfaces
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("family", SURFACE_FAMILIES)
+    def test_same_seed_same_trace(self, family):
+        first = SurfaceCorpusGenerator(seed=99).family_trace(family, 12)
+        second = SurfaceCorpusGenerator(seed=99).family_trace(family, 12)
+        assert [r.to_raw() for r in first.requests] == [
+            r.to_raw() for r in second.requests
+        ]
+        assert [r.stored for r in first.requests] == [
+            r.stored for r in second.requests
+        ]
+
+    def test_mixed_trace_deterministic(self):
+        first = SurfaceCorpusGenerator(seed=5).mixed_trace(30)
+        second = SurfaceCorpusGenerator(seed=5).mixed_trace(30)
+        assert [r.to_raw() for r in first.requests] == [
+            r.to_raw() for r in second.requests
+        ]
+
+
+class TestShape:
+    def test_attack_fraction_validated(self):
+        with pytest.raises(ValueError):
+            SurfaceCorpusGenerator(attack_fraction=0.0)
+        with pytest.raises(ValueError):
+            SurfaceCorpusGenerator(attack_fraction=1.5)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="json-body"):
+            SurfaceCorpusGenerator().family_trace("telnet", 4)
+
+    @pytest.mark.parametrize("family", SURFACE_FAMILIES)
+    def test_requested_count_and_both_labels(self, family):
+        trace = SurfaceCorpusGenerator(seed=2012).family_trace(family, 40)
+        assert len(trace) == 40
+        labels = {r.label for r in trace.requests}
+        assert labels == {LABEL_ATTACK, LABEL_BENIGN}
+
+    def test_all_attacks_when_fraction_is_one(self):
+        trace = SurfaceCorpusGenerator(
+            seed=1, attack_fraction=1.0
+        ).family_trace("cookie", 10)
+        assert all(r.label == LABEL_ATTACK for r in trace.requests)
+
+
+class TestChannelPlacement:
+    def _attack_surfaces(self, family, surface):
+        generator = SurfaceCorpusGenerator(seed=2012, attack_fraction=1.0)
+        trace = generator.family_trace(family, 12)
+        return trace, [
+            {
+                sv.surface
+                for sv in extract_surfaces(r, DEFAULT_SURFACES)
+            }
+            for r in trace.requests
+        ]
+
+    def test_json_bodies_parse_and_carry_the_channel(self):
+        trace, per_request = self._attack_surfaces(
+            "json-body", InjectionSurface.JSON_BODY
+        )
+        for request, surfaces in zip(trace.requests, per_request):
+            json.loads(request.body)  # valid JSON documents
+            assert InjectionSurface.JSON_BODY in surfaces
+            # Invisible to the legacy flattening.
+            assert request.flat_payload() == ""
+
+    def test_cookie_attacks_are_legacy_invisible(self):
+        trace = SurfaceCorpusGenerator(
+            seed=2012, attack_fraction=1.0
+        ).family_trace("cookie", 12)
+        for request in trace.requests:
+            assert "cookie" in request.headers
+            # The query is benign boilerplate; the attack is in the jar.
+            assert request.query == "view=profile"
+
+    def test_multipart_bodies_carry_a_boundary(self):
+        trace = SurfaceCorpusGenerator(seed=2012).family_trace(
+            "multipart", 12
+        )
+        for request in trace.requests:
+            assert "boundary=" in request.headers["content-type"]
+            assert request.body.rstrip().endswith("--")
+
+    def test_second_order_replay_is_first_order_clean(self):
+        generator = SurfaceCorpusGenerator(seed=2012, attack_fraction=1.0)
+        store, replay = generator.second_order_pair()
+        # The store leg is an ordinary form POST (first-order visible);
+        # the replay leg carries the value ONLY in `stored`.
+        assert store.flat_payload() != ""
+        assert replay.stored and replay.body == ""
+        stored_values = [value for _key, value in replay.stored]
+        assert stored_values[0] in store.body
+
+    def test_mixed_trace_covers_multiple_families(self):
+        trace = SurfaceCorpusGenerator(seed=2012).mixed_trace(60)
+        seen = set()
+        for request in trace.requests:
+            for sv in extract_surfaces(request, DEFAULT_SURFACES):
+                seen.add(sv.surface)
+        assert InjectionSurface.JSON_BODY in seen
+        assert InjectionSurface.COOKIE in seen
+        assert InjectionSurface.HEADER in seen

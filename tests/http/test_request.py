@@ -8,10 +8,10 @@ from repro.http import HttpRequest, RequestParseError
 class TestPayloadExtraction:
     def test_query_only(self):
         request = HttpRequest(query="id=1")
-        assert request.payload() == "id=1"
+        assert request.flat_payload() == "id=1"
 
     def test_no_query(self):
-        assert HttpRequest().payload() == ""
+        assert HttpRequest().flat_payload() == ""
 
     def test_form_body_appended(self):
         request = HttpRequest(
@@ -20,7 +20,7 @@ class TestPayloadExtraction:
             headers={"content-type": "application/x-www-form-urlencoded"},
             body="b=2",
         )
-        assert request.payload() == "a=1&b=2"
+        assert request.flat_payload() == "a=1&b=2"
 
     def test_form_body_alone(self):
         request = HttpRequest(
@@ -28,7 +28,7 @@ class TestPayloadExtraction:
             headers={"content-type": "application/x-www-form-urlencoded"},
             body="user=admin%27--",
         )
-        assert request.payload() == "user=admin%27--"
+        assert request.flat_payload() == "user=admin%27--"
 
     def test_json_body_not_in_payload(self):
         request = HttpRequest(
@@ -37,20 +37,73 @@ class TestPayloadExtraction:
             headers={"content-type": "application/json"},
             body='{"a": 1}',
         )
-        assert request.payload() == "q=1"
+        assert request.flat_payload() == "q=1"
 
     def test_bare_post_body_counts_as_form(self):
         request = HttpRequest(method="POST", body="x=1")
-        assert request.payload() == "x=1"
+        assert request.flat_payload() == "x=1"
 
     def test_paper_extraction_rule_drops_host_and_path(self):
         # "leaving out the HTTP address, the port, and the path"
         request = HttpRequest.from_url(
             "http://victim.example:8080/products.php?id=1%27"
         )
-        assert request.payload() == "id=1%27"
+        assert request.flat_payload() == "id=1%27"
         assert request.host == "victim.example"
         assert request.path == "/products.php"
+
+
+class TestPayloadDeprecationShim:
+    """payload() is a shim over surfaces(); legacy bytes are pinned."""
+
+    CASES = (
+        HttpRequest(query="id=1"),
+        HttpRequest(),
+        HttpRequest(
+            method="POST",
+            query="a=1",
+            headers={"content-type": "application/x-www-form-urlencoded"},
+            body="b=2",
+        ),
+        HttpRequest(
+            method="POST",
+            headers={"content-type": "application/x-www-form-urlencoded"},
+            body="user=admin%27--",
+        ),
+        HttpRequest(
+            method="POST",
+            query="q=1",
+            headers={"content-type": "application/json"},
+            body='{"a": 1}',
+        ),
+        HttpRequest(method="POST", body="x=1"),
+        HttpRequest(method="GET", body="x=1"),  # GET body, no ctype
+        HttpRequest(query="id=1%27+OR+1%3D1"),
+    )
+
+    def test_payload_warns(self):
+        with pytest.warns(DeprecationWarning, match="flat_payload"):
+            HttpRequest(query="id=1").payload()
+
+    @pytest.mark.parametrize("request_", CASES)
+    def test_byte_identical_to_legacy(self, request_):
+        """The shim's output must never shift a verdict: for every edge
+        shape it returns exactly the historical flattening."""
+        with pytest.warns(DeprecationWarning):
+            via_shim = request_.payload()
+        assert via_shim == request_.flat_payload()
+
+    @pytest.mark.parametrize("request_", CASES)
+    def test_shim_is_surfaces_joined_legacy_order(self, request_):
+        from repro.surfaces import LEGACY_SURFACES
+
+        joined = "&".join(
+            sv.value
+            for sv in request_.surfaces(LEGACY_SURFACES)
+            if sv.value
+        )
+        with pytest.warns(DeprecationWarning):
+            assert request_.payload() == joined
 
 
 class TestParameters:
@@ -105,7 +158,7 @@ class TestRawParsing:
         )
         request = HttpRequest.parse(raw)
         assert request.body == "user=admin&pass=x%27--"
-        assert "pass=x%27--" in request.payload()
+        assert "pass=x%27--" in request.flat_payload()
 
     def test_malformed_request_line_raises(self):
         with pytest.raises(RequestParseError):

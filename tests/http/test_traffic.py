@@ -23,11 +23,11 @@ class TestTraceBasics:
         assert len(mixed_trace) == 3
 
     def test_iteration_order(self, mixed_trace):
-        payloads = [r.payload() for r in mixed_trace]
+        payloads = [r.flat_payload() for r in mixed_trace]
         assert payloads == ["id=1'", "q=hello", "id=2'"]
 
     def test_indexing(self, mixed_trace):
-        assert mixed_trace[1].payload() == "q=hello"
+        assert mixed_trace[1].flat_payload() == "q=hello"
 
     def test_extend(self):
         trace = Trace(name="t")
@@ -54,7 +54,7 @@ class TestMerge:
         other = Trace(name="o", requests=[_request("z=9", LABEL_BENIGN)])
         merged = mixed_trace.merged(other)
         assert len(merged) == 4
-        assert merged[3].payload() == "z=9"
+        assert merged[3].flat_payload() == "z=9"
 
     def test_merged_name(self, mixed_trace):
         other = Trace(name="o")

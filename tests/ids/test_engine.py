@@ -63,7 +63,7 @@ class TestEngineRun:
 
 class TestInspectRequest:
     def test_uses_detector_visible_payload(self, detector):
-        """inspect_request must see exactly request.payload(): query
+        """inspect_request must see exactly request.flat_payload(): query
         string plus form body, never host or path."""
         engine = SignatureEngine(detector)
         body_attack = HttpRequest(
@@ -102,7 +102,7 @@ class TestInspectRequest:
         engine = SignatureEngine(PSigeneDetector(small_signatures))
         request = HttpRequest(query="id=1' union select 1,2,3-- -")
         via_request = engine.inspect_request(request)
-        via_payload = engine.inspect_payload(request.payload())
+        via_payload = engine.inspect_payload(request.flat_payload())
         assert via_request.alert == via_payload.alert
         assert via_request.score == via_payload.score
         assert via_request.matched_sids == via_payload.matched_sids

@@ -75,7 +75,7 @@ class TestRunBatchParity:
         spot = [0, len(mixed_trace) // 2, len(mixed_trace) - 1]
         for index in spot:
             score, _ = small_signatures.evaluate(
-                mixed_trace[index].payload()
+                mixed_trace[index].flat_payload()
             )
             assert run.scores[index] == pytest.approx(score)
 

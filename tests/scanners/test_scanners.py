@@ -71,7 +71,7 @@ class TestSqlmapTexture:
                 int(m.group(1))
                 for r in trace.requests
                 if r.path == point.path
-                for m in [re.search(r"ORDER%20BY%20(\d+)", r.payload())]
+                for m in [re.search(r"ORDER%20BY%20(\d+)", r.flat_payload())]
                 if m
             ]
             assert probes, point.path
@@ -105,7 +105,7 @@ class TestArachniTexture:
         trace = ArachniSimulator(app, seed=5).scan()
         point = app.points[0]
         values = [
-            r.payload().split("=", 1)[1]
+            r.flat_payload().split("=", 1)[1]
             for r in trace.requests if r.path == point.path
         ]
         bare = [v for v in values if v.startswith("%27%60--")]
@@ -143,8 +143,8 @@ class TestPostDelivery:
         assert posts
         for request in posts[:20]:
             assert request.query == ""
-            assert request.payload() == request.body
-            assert "=" in request.payload()
+            assert request.flat_payload() == request.body
+            assert "=" in request.flat_payload()
 
     def test_post_disabled(self, app):
         scanner = VegaSimulator(app, seed=8, post_fraction=0.0)

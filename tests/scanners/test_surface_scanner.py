@@ -1,0 +1,64 @@
+"""Surface scanner: probe placement and the legacy blind spot.
+
+The simulator's whole point is to produce attack traffic the paper's
+query+form extraction cannot see; these tests pin that property rather
+than trusting it.
+"""
+
+from repro.corpus import VulnerableWebApp
+from repro.http import LABEL_ATTACK
+from repro.scanners import SURFACE_CHANNELS, SurfaceScanner
+from repro.surfaces import DEFAULT_SURFACES, extract_surfaces
+
+
+def small_app():
+    return VulnerableWebApp(seed=7, n_vulnerabilities=4)
+
+
+class TestScan:
+    def test_probe_count_and_labels(self):
+        scanner = SurfaceScanner(small_app(), seed=3)
+        trace = scanner.scan()
+        # One battery (5 probes) per channel per injection point.
+        assert len(trace) == 4 * len(SURFACE_CHANNELS) * 5
+        assert all(r.label == LABEL_ATTACK for r in trace.requests)
+
+    def test_deterministic(self):
+        first = SurfaceScanner(small_app(), seed=3).scan()
+        second = SurfaceScanner(small_app(), seed=3).scan()
+        assert [r.to_raw() for r in first.requests] == [
+            r.to_raw() for r in second.requests
+        ]
+
+    def test_every_probe_is_legacy_invisible(self):
+        """The flattened query+form payload of every probe is empty —
+        a legacy detector literally receives nothing to score."""
+        trace = SurfaceScanner(small_app(), seed=3).scan()
+        assert all(r.flat_payload() == "" for r in trace.requests)
+
+    def test_every_probe_reaches_a_non_legacy_surface(self):
+        trace = SurfaceScanner(small_app(), seed=3).scan()
+        for request in trace.requests:
+            surfaces = {
+                sv.surface.value
+                for sv in extract_surfaces(request, DEFAULT_SURFACES)
+            }
+            assert surfaces & {"json", "cookie", "header", "multipart"}
+
+    def test_all_channels_used(self):
+        trace = SurfaceScanner(small_app(), seed=3).scan()
+        content_types = {
+            r.headers.get("content-type", "") for r in trace.requests
+        }
+        assert any("json" in ct for ct in content_types)
+        assert any("multipart" in ct for ct in content_types)
+        assert any("cookie" in r.headers for r in trace.requests)
+
+    def test_probes_drive_the_webapp_feedback_loop(self):
+        app = small_app()
+        scanner = SurfaceScanner(app, seed=3)
+        point = app.points[0]
+        response = scanner.send_via(
+            "cookie", point.path, point.parameter, "1' OR 1=1-- "
+        )
+        assert response is not None

@@ -1,0 +1,123 @@
+"""Evasion search: determinism, report shape, and adversarial pressure.
+
+The search's value is as a committed regression gauge, so the tests pin
+what the bench depends on: bit-identical reruns, per-base independence
+(inserting a base never perturbs the others), and a report whose
+numbers add up.
+"""
+
+import numpy as np
+
+from repro.ids import DeterministicRuleSet, Rule
+from repro.surfaces import EvasionSearch, evasion_bases
+
+
+def brittle():
+    """A literal-anchored ruleset the mutators can realistically break."""
+    return DeterministicRuleSet("brittle", [
+        Rule(1, "union", r"union select"),
+        Rule(2, "or1", r"' ?or ?1=1"),
+        Rule(3, "comment", r"--\s*$"),
+    ])
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self):
+        bases = evasion_bases(seed=7, count=8)
+        first = EvasionSearch(brittle().inspect, seed=7).run(bases)
+        second = EvasionSearch(brittle().inspect, seed=7).run(bases)
+        assert first.to_dict() == second.to_dict()
+        assert [o.variant for o in first.outcomes] == [
+            o.variant for o in second.outcomes
+        ]
+
+    def test_outcomes_are_per_base_independent(self):
+        bases = evasion_bases(seed=7, count=8)
+        full = EvasionSearch(brittle().inspect, seed=7).run(bases)
+        prefix = EvasionSearch(brittle().inspect, seed=7).run(bases[:3])
+        assert [o.variant for o in full.outcomes[:3]] == [
+            o.variant for o in prefix.outcomes
+        ]
+
+    def test_bases_are_deterministic(self):
+        assert evasion_bases(seed=3, count=5) == evasion_bases(
+            seed=3, count=5
+        )
+
+
+class TestReport:
+    def test_counts_add_up(self):
+        report = EvasionSearch(brittle().inspect, seed=2012).run(
+            evasion_bases(seed=2012, count=16)
+        )
+        assert len(report.outcomes) == 16
+        assert 0 <= report.evaded <= report.attacked <= 16
+        assert 0.0 <= report.survival_rate <= 1.0
+        summary = report.to_dict()
+        assert summary["bases"] == 16
+        assert summary["attacked"] == report.attacked
+        assert summary["evaded"] == report.evaded
+
+    def test_undetected_base_is_not_attacked(self):
+        never_fires = DeterministicRuleSet("mute", [
+            Rule(1, "nope", r"zzz-never-present"),
+        ])
+        report = EvasionSearch(never_fires.inspect, seed=1).run(
+            evasion_bases(seed=1, count=4)
+        )
+        assert report.attacked == 0
+        assert report.survival_rate == 0.0
+        assert all(not o.detected_base for o in report.outcomes)
+
+    def test_move_effectiveness_only_counts_successful_chains(self):
+        report = EvasionSearch(brittle().inspect, seed=2012).run(
+            evasion_bases(seed=2012, count=16)
+        )
+        effectiveness = report.move_effectiveness()
+        total_moves = sum(effectiveness.values())
+        chain_moves = sum(
+            len(o.chain)
+            for o in report.outcomes
+            if o.detected_base and o.evaded
+        )
+        assert total_moves == chain_moves
+
+
+class TestPressure:
+    def test_brittle_rules_are_evadable(self):
+        """Literal-anchored rules must fall to the mutator arsenal —
+        if the adversary can't break THESE, the search is broken."""
+        report = EvasionSearch(
+            brittle().inspect, seed=2012, rounds=8, branching=8
+        ).run(evasion_bases(seed=2012, count=16))
+        assert report.attacked > 0
+        assert report.evaded > 0
+        # Every claimed evasion must actually not alert.
+        for outcome in report.outcomes:
+            if outcome.evaded:
+                assert not brittle().inspect(outcome.variant).alert
+                assert len(outcome.chain) >= 1
+
+    def test_chain_replays_from_reported_moves(self):
+        """An evading outcome's chain is real evidence, not a log: the
+        variant differs from the base and scores strictly lower."""
+        report = EvasionSearch(brittle().inspect, seed=2012).run(
+            evasion_bases(seed=2012, count=16)
+        )
+        evading = [o for o in report.outcomes if o.evaded]
+        assert evading, "expected at least one evasion against brittle rules"
+        for outcome in evading:
+            assert outcome.variant != outcome.base
+            assert outcome.variant_score < outcome.base_score
+
+
+class TestRngIsolation:
+    def test_search_does_not_touch_global_numpy_state(self):
+        np.random.seed(123)
+        before = np.random.random()
+        np.random.seed(123)
+        EvasionSearch(brittle().inspect, seed=5).run(
+            evasion_bases(seed=5, count=4)
+        )
+        after = np.random.random()
+        assert before == after

@@ -1,0 +1,260 @@
+"""Per-surface extractor units: the tentpole's parsing edge cases.
+
+Each extractor owns one request channel; these tests pin the locator
+grammar (it appears in wire responses and bench artifacts) and the
+hostile-input behaviour: nested and escaped JSON, duplicate cookie
+names, multipart boundary edges, and non-UTF-8 header bytes.
+"""
+
+import json
+
+import pytest
+
+from repro.http import HttpRequest
+from repro.surfaces import (
+    DEFAULT_SURFACES,
+    LEGACY_SURFACES,
+    InjectionSurface,
+    extract_surfaces,
+    format_surfaces,
+    legacy_flatten,
+    parse_surfaces,
+    scoring_units,
+)
+
+
+def values_of(request, surface):
+    return [
+        (sv.locator, sv.value)
+        for sv in extract_surfaces(request, DEFAULT_SURFACES)
+        if sv.surface is surface
+    ]
+
+
+class TestParseSurfaces:
+    def test_all_is_every_surface_in_canonical_order(self):
+        assert parse_surfaces("all") == DEFAULT_SURFACES
+
+    def test_canonical_order_and_dedup(self):
+        assert parse_surfaces("cookie,query,cookie,form") == (
+            InjectionSurface.QUERY,
+            InjectionSurface.FORM_BODY,
+            InjectionSurface.COOKIE,
+        )
+
+    def test_legacy_spelling(self):
+        assert parse_surfaces("query,form") == LEGACY_SURFACES
+
+    def test_unknown_name_lists_the_valid_ones(self):
+        with pytest.raises(ValueError, match="second-order"):
+            parse_surfaces("query,bogus")
+
+    def test_roundtrips_through_format(self):
+        selection = parse_surfaces("json,header,second-order")
+        assert parse_surfaces(format_surfaces(selection)) == selection
+
+
+class TestJsonExtraction:
+    def test_nested_paths(self):
+        request = HttpRequest(
+            method="POST",
+            headers={"content-type": "application/json"},
+            body=json.dumps(
+                {"a": {"b": "deep"}, "items": ["x", {"k": "y"}]}
+            ),
+        )
+        extracted = values_of(request, InjectionSurface.JSON_BODY)
+        assert ("$.a.b", "deep") in extracted
+        assert ("$.items[0]", "x") in extracted
+        assert ("$.items[1].k", "y") in extracted
+
+    def test_escaped_nested_json_string_is_rewalked(self):
+        inner = json.dumps({"q": "1' or 1=1--"})
+        request = HttpRequest(
+            method="POST",
+            headers={"content-type": "application/json"},
+            body=json.dumps({"wrapped": inner}),
+        )
+        extracted = values_of(request, InjectionSurface.JSON_BODY)
+        # The string leaf itself is harvested AND its decoded interior.
+        assert ("$.wrapped", inner) in extracted
+        assert ("$.wrapped!json.q", "1' or 1=1--") in extracted
+
+    def test_malformed_body_becomes_one_opaque_value(self):
+        request = HttpRequest(
+            method="POST",
+            headers={"content-type": "application/json"},
+            body="{not json' or 1=1--",
+        )
+        extracted = values_of(request, InjectionSurface.JSON_BODY)
+        assert extracted == [("$!malformed", "{not json' or 1=1--")]
+
+    def test_non_json_content_type_yields_nothing(self):
+        request = HttpRequest(
+            method="POST",
+            headers={"content-type": "text/plain"},
+            body='{"k": "v"}',
+        )
+        assert values_of(request, InjectionSurface.JSON_BODY) == []
+
+
+class TestCookieExtraction:
+    def test_duplicate_names_get_ordinal_locators(self):
+        request = HttpRequest(
+            headers={"cookie": "sid=a; sid=b; sid=c; other=d"}
+        )
+        extracted = values_of(request, InjectionSurface.COOKIE)
+        assert ("sid", "a") in extracted
+        assert ("sid#2", "b") in extracted
+        assert ("sid#3", "c") in extracted
+        assert ("other", "d") in extracted
+
+    def test_no_cookie_header(self):
+        assert values_of(HttpRequest(), InjectionSurface.COOKIE) == []
+
+
+class TestMultipartExtraction:
+    def _request(self, body, boundary='"bnd"'):
+        return HttpRequest(
+            method="POST",
+            headers={
+                "content-type":
+                    f"multipart/form-data; boundary={boundary}"
+            },
+            body=body,
+        )
+
+    def test_quoted_boundary_and_filename(self):
+        body = (
+            "--bnd\r\n"
+            'Content-Disposition: form-data; name="f"; '
+            'filename="evil\' or 1=1--.txt"\r\n\r\n'
+            "content here\r\n"
+            "--bnd--\r\n"
+        )
+        extracted = values_of(
+            self._request(body), InjectionSurface.MULTIPART
+        )
+        assert ("part:f:filename", "evil' or 1=1--.txt") in extracted
+        assert ("part:f", "content here") in extracted
+
+    def test_lf_only_bodies_are_tolerated(self):
+        body = (
+            "--bnd\n"
+            'Content-Disposition: form-data; name="f"\n\n'
+            "payload\n"
+            "--bnd--\n"
+        )
+        extracted = values_of(
+            self._request(body, boundary="bnd"),
+            InjectionSurface.MULTIPART,
+        )
+        assert ("part:f", "payload") in extracted
+
+    def test_missing_boundary_yields_whole_body(self):
+        request = HttpRequest(
+            method="POST",
+            headers={"content-type": "multipart/form-data"},
+            body="raw' union select--",
+        )
+        extracted = values_of(request, InjectionSurface.MULTIPART)
+        assert extracted == [("part:!unbounded", "raw' union select--")]
+
+
+class TestHeaderExtraction:
+    def test_skip_set_excludes_structural_headers(self):
+        request = HttpRequest(headers={
+            "host": "a", "content-type": "b", "cookie": "c=d",
+            "user-agent": "sqlmap/1.0",
+        })
+        extracted = values_of(request, InjectionSurface.HEADER)
+        assert extracted == [("user-agent", "sqlmap/1.0")]
+
+    def test_non_utf8_header_bytes_survive(self):
+        # Raw high bytes decoded as latin-1 — a real scanner trick for
+        # smuggling past naive UTF-8 validators.
+        hostile = "caf\xe9' or \xff1=1--"
+        request = HttpRequest(headers={"x-custom": hostile})
+        extracted = values_of(request, InjectionSurface.HEADER)
+        assert extracted == [("x-custom", hostile)]
+
+
+class TestSecondOrder:
+    def test_stored_pairs_are_harvested(self):
+        request = HttpRequest(
+            stored=(("comment", "x' or 1=1--"), ("bio", "hi")),
+        )
+        extracted = values_of(request, InjectionSurface.SECOND_ORDER)
+        assert extracted == [
+            ("stored:comment", "x' or 1=1--"), ("stored:bio", "hi"),
+        ]
+
+
+class TestScoringUnits:
+    """The legacy merge: query+form score as ONE flattened unit."""
+
+    def test_legacy_selection_is_one_flattened_unit(self):
+        request = HttpRequest(
+            method="POST",
+            query="a=1",
+            headers={
+                "content-type": "application/x-www-form-urlencoded"
+            },
+            body="b=2",
+        )
+        units = scoring_units(request, LEGACY_SURFACES)
+        assert len(units) == 1
+        assert units[0].value == "a=1&b=2"
+        assert units[0].value == request.flat_payload()
+
+    def test_legacy_unit_emitted_even_when_empty(self):
+        units = scoring_units(HttpRequest(), LEGACY_SURFACES)
+        assert len(units) == 1 and units[0].value == ""
+
+    def test_query_only_selection(self):
+        request = HttpRequest(
+            method="POST",
+            query="a=1",
+            headers={
+                "content-type": "application/x-www-form-urlencoded"
+            },
+            body="b=2",
+        )
+        units = scoring_units(request, (InjectionSurface.QUERY,))
+        assert [u.value for u in units] == ["a=1"]
+
+    def test_non_legacy_surfaces_are_per_value_units(self):
+        request = HttpRequest(
+            query="a=1",
+            headers={"cookie": "s=x; t=y"},
+        )
+        units = scoring_units(
+            request,
+            (InjectionSurface.QUERY, InjectionSurface.COOKIE),
+        )
+        assert [u.value for u in units] == ["a=1", "x", "y"]
+
+
+class TestLegacyFlatten:
+    CASES = [
+        HttpRequest(query="id=1"),
+        HttpRequest(),
+        HttpRequest(
+            method="POST", query="q=x",
+            headers={
+                "content-type": "application/x-www-form-urlencoded"
+            },
+            body="u=admin",
+        ),
+        HttpRequest(
+            method="POST",
+            headers={"content-type": "application/json"},
+            body='{"k": "v"}',
+        ),
+        HttpRequest(method="POST", body="bare=1"),
+        HttpRequest(method="GET", body="odd=1"),
+    ]
+
+    @pytest.mark.parametrize("request_", CASES)
+    def test_identical_to_flat_payload(self, request_):
+        assert legacy_flatten(request_) == request_.flat_payload()

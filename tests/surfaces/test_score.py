@@ -1,0 +1,134 @@
+"""Surface scoring: ScoreRequest validation, verdict folding, parity.
+
+The load-bearing contract: ``score_request`` with the legacy selection
+is verdict-identical to flattening the request and calling the detector
+directly — that equivalence is what lets every entry point migrate to
+the surface API without revalidating a single alert.
+"""
+
+import pytest
+
+from repro.http import HttpRequest
+from repro.ids import DeterministicRuleSet, PSigeneDetector, Rule
+from repro.surfaces import (
+    DEFAULT_SURFACES,
+    LEGACY_SURFACES,
+    InjectionSurface,
+    ScoreRequest,
+    score_request,
+)
+
+
+def toy():
+    return DeterministicRuleSet("toy", [
+        Rule(1, "union", r"union\s+select"),
+        Rule(2, "quote-or", r"'\s*or\s"),
+    ])
+
+
+class TestScoreRequestValidation:
+    def test_requires_exactly_one_input(self):
+        with pytest.raises(ValueError):
+            ScoreRequest()
+        with pytest.raises(ValueError):
+            ScoreRequest(request=HttpRequest(), payload="x")
+
+    def test_payload_form(self):
+        assert ScoreRequest(payload="q=1").payload == "q=1"
+
+    def test_request_form_defaults_to_legacy_selection(self):
+        scored = ScoreRequest(request=HttpRequest(query="q=1"))
+        assert scored.surfaces == LEGACY_SURFACES
+
+
+class TestFolding:
+    def test_alert_is_any_and_score_is_max(self):
+        request = HttpRequest(
+            query="id=1' or 1=1",
+            headers={"cookie": "s=1 union select 2"},
+        )
+        detection = score_request(
+            toy().inspect, request,
+            (InjectionSurface.QUERY, InjectionSurface.COOKIE),
+        )
+        assert detection.alert
+        assert detection.score == 1.0
+        # Union of fired sids, first-seen order across units.
+        assert detection.matched_sids == [2, 1]
+        assert [s.value for s in detection.alerting_surfaces] == [
+            "query", "cookie",
+        ]
+
+    def test_verdict_per_unit(self):
+        request = HttpRequest(
+            query="benign=1",
+            headers={"cookie": "s=x' or 1=1"},
+        )
+        detection = score_request(
+            toy().inspect, request,
+            (InjectionSurface.QUERY, InjectionSurface.COOKIE),
+        )
+        by_surface = {
+            v.surface.value: v.detection.alert
+            for v in detection.verdicts
+        }
+        assert by_surface == {"query": False, "cookie": True}
+
+    def test_attribution_shape(self):
+        request = HttpRequest(headers={"cookie": "s=1 union select 2"})
+        attribution = score_request(
+            toy().inspect, request, (InjectionSurface.COOKIE,)
+        ).attribution()
+        assert attribution["surfaces"] == "cookie"
+        verdict = attribution["verdicts"][0]
+        assert verdict["surface"] == "cookie"
+        assert verdict["locator"] == "s"
+        assert verdict["alert"] is True
+        assert verdict["sids"] == [1]
+
+    def test_zero_units_scores_clean(self):
+        detection = score_request(
+            toy().inspect, HttpRequest(), (InjectionSurface.COOKIE,)
+        )
+        assert not detection.alert and detection.score == 0.0
+
+
+class TestLegacyParity:
+    REQUESTS = [
+        HttpRequest(query="id=1' or 1=1"),
+        HttpRequest(query="q=hello"),
+        HttpRequest(
+            method="POST", query="a=1",
+            headers={
+                "content-type": "application/x-www-form-urlencoded"
+            },
+            body="b=1 union select 2",
+        ),
+        HttpRequest(
+            method="POST",
+            headers={"content-type": "application/json"},
+            body='{"k": "1 union select 2"}',
+        ),
+        HttpRequest(),
+    ]
+
+    @pytest.mark.parametrize("request_", REQUESTS)
+    def test_legacy_selection_matches_direct_inspect(self, request_):
+        detector = toy()
+        direct = detector.inspect(request_.flat_payload())
+        surfaced = score_request(
+            detector.inspect, request_, LEGACY_SURFACES
+        )
+        assert surfaced.alert == direct.alert
+        assert surfaced.score == direct.score
+        assert surfaced.matched_sids == list(direct.matched_sids)
+
+    def test_psigene_detector_inspect_request(self, small_signatures):
+        detector = PSigeneDetector(small_signatures)
+        request = HttpRequest(query="id=1' or 1=1--")
+        direct = detector.inspect(request.flat_payload())
+        surfaced = detector.inspect_request(request)
+        assert surfaced.alert == direct.alert
+        assert surfaced.score == direct.score
+        full = detector.inspect_request(request, DEFAULT_SURFACES)
+        assert full.alert == direct.alert
