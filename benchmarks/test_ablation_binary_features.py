@@ -8,6 +8,7 @@ detection on the SQLmap set.
 
 import numpy as np
 
+from repro.bench import BenchResult
 from repro.eval import format_table, percent
 from repro.ids import PSigeneDetector, SignatureEngine
 from repro.learn import confusion_from_alerts
@@ -36,7 +37,8 @@ def _retrain_binary(context):
     return SignatureSet(signatures, normalizer=context.pipeline.normalizer)
 
 
-def test_binary_features_ablation(benchmark, bench_context, record):
+def test_binary_features_ablation(benchmark, bench_context, record, emit,
+                                  context_corpus):
     binary_set = benchmark.pedantic(
         _retrain_binary, args=(bench_context,), rounds=1, iterations=1
     )
@@ -65,6 +67,21 @@ def test_binary_features_ablation(benchmark, bench_context, record):
         title="Ablation: count vs binary features",
     )
     record("ablation_binary_features", table)
+
+    emit(BenchResult(
+        bench="ablation_binary_features",
+        kind="ablation",
+        seed=2012,
+        metrics={
+            "counts_tpr": round(float(counts.tpr), 6),
+            "counts_fpr": round(float(counts.fpr), 6),
+            "binary_tpr": round(float(binary.tpr), 6),
+            "binary_fpr": round(float(binary.fpr), 6),
+            "fpr_penalty": round(float(binary.fpr - counts.fpr), 6),
+            "tpr_edge": round(float(counts.tpr - binary.tpr), 6),
+        },
+        corpus=context_corpus,
+    ))
 
     # The paper's direction: binary features "did not produce good
     # results".  What counts buy is precision — erasing repetition

@@ -9,6 +9,7 @@ probe signature is essentially "alert on any quote".
 
 import numpy as np
 
+from repro.bench import BenchResult
 from repro.core import SignatureSet
 from repro.core.generalizer import SignatureGeneralizer
 from repro.eval import format_table, percent
@@ -33,7 +34,8 @@ def _with_black_holes(context):
     return SignatureSet(signatures, normalizer=context.pipeline.normalizer)
 
 
-def test_blackhole_rule_ablation(benchmark, bench_context, record):
+def test_blackhole_rule_ablation(benchmark, bench_context, record, emit,
+                                 context_corpus):
     with_holes = benchmark.pedantic(
         _with_black_holes, args=(bench_context,), rounds=1, iterations=1
     )
@@ -63,6 +65,25 @@ def test_blackhole_rule_ablation(benchmark, bench_context, record):
         title="Ablation: the black-hole exclusion rule",
     )
     record("ablation_blackhole_rule", table)
+
+    emit(BenchResult(
+        bench="ablation_blackhole_rule",
+        kind="ablation",
+        seed=2012,
+        metrics={
+            "excluded_signatures": len(
+                bench_context.result.signature_set
+            ),
+            "included_signatures": len(with_holes),
+            "excluded_tpr": round(float(without.tpr), 6),
+            "excluded_fpr": round(float(without.fpr), 6),
+            "included_tpr": round(float(included.tpr), 6),
+            "included_fpr": round(float(included.fpr), 6),
+            "tpr_gain": round(float(included.tpr - without.tpr), 6),
+            "fpr_cost": round(float(included.fpr - without.fpr), 6),
+        },
+        corpus=context_corpus,
+    ))
 
     # Including the probe clusters can only add coverage...
     assert included.tpr >= without.tpr - 1e-9

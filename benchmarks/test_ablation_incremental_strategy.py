@@ -8,6 +8,7 @@ phase-4 retraining versus a Θ-only warm-started Newton refit, compared on
 detection quality and optimizer work.
 """
 
+from repro.bench import BenchResult
 from repro.core.incremental import incremental_update
 from repro.eval import format_table, percent
 from repro.ids import PSigeneDetector, SignatureEngine
@@ -23,7 +24,8 @@ def _measure(context, signature_set):
     )
 
 
-def test_incremental_strategy_ablation(benchmark, bench_context, record):
+def test_incremental_strategy_ablation(benchmark, bench_context, record,
+                                       emit, context_corpus):
     fresh = bench_context.datasets.sqlmap.subsample(0.2, seed=200)
 
     def run_both():
@@ -52,6 +54,24 @@ def test_incremental_strategy_ablation(benchmark, bench_context, record):
         title="Ablation: incremental update strategy (paper future work)",
     )
     record("ablation_incremental_strategy", table)
+
+    emit(BenchResult(
+        bench="ablation_incremental_strategy",
+        kind="ablation",
+        seed=2012,
+        metrics={
+            "retrain_iterations": int(retrain.newton_iterations),
+            "warm_iterations": int(warm.newton_iterations),
+            "iteration_savings": int(
+                retrain.newton_iterations - warm.newton_iterations
+            ),
+            "retrain_tpr": round(float(retrain_tpr), 6),
+            "warm_tpr": round(float(warm_tpr), 6),
+            "retrain_fpr": round(float(retrain_fpr), 6),
+            "warm_fpr": round(float(warm_fpr), 6),
+        },
+        corpus=context_corpus,
+    ))
 
     # The empirical evidence the paper asked for: warm restarts cost a
     # fraction of the optimizer work at comparable detection quality.

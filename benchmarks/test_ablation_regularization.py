@@ -7,6 +7,7 @@ the pruning threshold, producing smaller signatures at some TPR cost.
 
 import numpy as np
 
+from repro.bench import BenchResult
 from repro.core import GeneralizerConfig, SignatureSet
 from repro.core.generalizer import SignatureGeneralizer
 from repro.eval import format_table, percent
@@ -49,7 +50,8 @@ def _sweep(context):
     return rows
 
 
-def test_regularization_ablation(benchmark, bench_context, record):
+def test_regularization_ablation(benchmark, bench_context, record, emit,
+                                 context_corpus):
     rows = benchmark.pedantic(
         _sweep, args=(bench_context,), rounds=1, iterations=1
     )
@@ -66,6 +68,29 @@ def test_regularization_ablation(benchmark, bench_context, record):
     record("ablation_regularization", table)
 
     by_l2 = {r["l2"]: r for r in rows}
+    emit(BenchResult(
+        bench="ablation_regularization",
+        kind="ablation",
+        seed=2012,
+        metrics={
+            "weight_norm_low_l2": round(
+                float(by_l2[0.01]["mean_weight_norm"]), 6
+            ),
+            "weight_norm_high_l2": round(
+                float(by_l2[100.0]["mean_weight_norm"]), 6
+            ),
+            "weight_shrink": round(
+                float(
+                    by_l2[0.01]["mean_weight_norm"]
+                    - by_l2[100.0]["mean_weight_norm"]
+                ),
+                6,
+            ),
+            "min_tpr": round(float(min(r["tpr"] for r in rows)), 6),
+        },
+        data={"rows": rows},
+        corpus=context_corpus,
+    ))
     # Heavier regularization shrinks the weights.
     assert (
         by_l2[100.0]["mean_weight_norm"]

@@ -9,6 +9,7 @@ attack families.
 
 import numpy as np
 
+from repro.bench import BenchResult
 from repro.cluster import Biclusterer
 from repro.eval import format_table
 
@@ -36,7 +37,7 @@ def _sweep(context):
     return rows
 
 
-def test_selection_rule_ablation(benchmark, bench_context, record):
+def test_selection_rule_ablation(benchmark, bench_context, record, emit):
     rows = benchmark.pedantic(
         _sweep, args=(bench_context,), rounds=1, iterations=1
     )
@@ -52,6 +53,19 @@ def test_selection_rule_ablation(benchmark, bench_context, record):
     record("ablation_selection_rule", table)
 
     by_fraction = {r["min_fraction"]: r for r in rows}
+    emit(BenchResult(
+        bench="ablation_selection_rule",
+        kind="ablation",
+        seed=2012,
+        metrics={
+            "paper_biclusters": int(by_fraction[0.05]["biclusters"]),
+            "paper_active": int(by_fraction[0.05]["active"]),
+            "paper_coverage": round(
+                float(by_fraction[0.05]["coverage"]), 6
+            ),
+        },
+        data={"rows": rows},
+    ))
     # Looser thresholds never select fewer clusters.
     counts = [r["biclusters"] for r in rows]
     assert counts == sorted(counts, reverse=True)

@@ -18,16 +18,12 @@ plus the human-readable ``results/canary_loop.txt``.
 """
 
 import asyncio
-import json
-import os
 
+from repro.bench import BenchResult
 from repro.canary import CanaryConfig, CanaryLoop, GatePolicy, TrainingState
 from repro.conformance import serial_verdicts
 from repro.ids import PSigeneDetector
 from repro.serve import FleetConfig, FleetSupervisor
-
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-BASELINE_PATH = os.path.join(RESULTS_DIR, "BENCH_canary.json")
 
 FRESH_ATTACKS = 120
 BENIGN_REPLAY = 240
@@ -72,7 +68,7 @@ def _round_payload(completed) -> dict:
     }
 
 
-def test_canary_loop_fleet(record, tmp_path):
+def test_canary_loop_fleet(record, emit, tmp_path):
     state = TrainingState.train(2012)
 
     async def scenario():
@@ -121,10 +117,6 @@ def test_canary_loop_fleet(record, tmp_path):
     promoted, rejected, incumbent_unchanged = asyncio.run(scenario())
 
     baseline = {
-        "bench": "canary_loop",
-        "shards": SHARDS,
-        "fresh_attacks": FRESH_ATTACKS,
-        "benign_replay": BENIGN_REPLAY,
         "policy": POLICY.to_dict(),
         "promote": _round_payload(promoted),
         "reject": {
@@ -132,10 +124,22 @@ def test_canary_loop_fleet(record, tmp_path):
             "incumbent_unchanged": incumbent_unchanged,
         },
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(BASELINE_PATH, "w") as handle:
-        json.dump(baseline, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    baseline_path = emit(BenchResult(
+        bench="canary",
+        kind="extension",
+        seed=2012,
+        metrics={
+            "shards": SHARDS,
+            "fresh_attacks": FRESH_ATTACKS,
+            "benign_replay": BENIGN_REPLAY,
+            "promoted": bool(promoted.promoted),
+            "rejected_fpr_budget": (
+                "fpr_budget" in rejected.decision.reasons
+            ),
+            "incumbent_unchanged": bool(incumbent_unchanged),
+        },
+        data=baseline,
+    ))
 
     lines = [
         f"Canary loop ({SHARDS}-shard live fleet, "
@@ -177,4 +181,4 @@ def test_canary_loop_fleet(record, tmp_path):
         f"{incumbent_unchanged}"
     )
     record("canary_loop", "\n".join(lines))
-    print(f"[saved baseline to {BASELINE_PATH}]")
+    print(f"[saved baseline to {baseline_path}]")

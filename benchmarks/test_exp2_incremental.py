@@ -6,10 +6,11 @@ Paper: folding 20% of the SQLmap test set into training raises TPR from
 update is fully automatic.
 """
 
+from repro.bench import BenchResult
 from repro.eval import experiment2_incremental, format_table, percent
 
 
-def test_experiment2(benchmark, bench_context, record):
+def test_experiment2(benchmark, bench_context, record, emit, context_corpus):
     rows = benchmark.pedantic(
         experiment2_incremental, args=(bench_context,),
         kwargs={"fractions": (0.2, 0.4)}, rounds=1, iterations=1,
@@ -29,6 +30,24 @@ def test_experiment2(benchmark, bench_context, record):
     record("exp2_incremental", table)
 
     base, plus20, plus40 = rows
+    emit(BenchResult(
+        bench="exp2_incremental",
+        kind="experiment",
+        seed=2012,
+        metrics={
+            "tpr_base": round(float(base["tpr_sqlmap"]), 6),
+            "tpr_plus20": round(float(plus20["tpr_sqlmap"]), 6),
+            "tpr_plus40": round(float(plus40["tpr_sqlmap"]), 6),
+            "fpr_base": round(float(base["fpr"]), 6),
+            "fpr_plus40": round(float(plus40["fpr"]), 6),
+            "tpr_gain_40": round(
+                float(plus40["tpr_sqlmap"] - base["tpr_sqlmap"]), 6
+            ),
+            "fpr_cost_40": round(float(plus40["fpr"] - base["fpr"]), 6),
+        },
+        data={"rows": rows},
+        corpus=context_corpus,
+    ))
     # TPR must not degrade and should improve by the 40% round.
     assert plus20["tpr_sqlmap"] >= base["tpr_sqlmap"] - 0.01
     assert plus40["tpr_sqlmap"] >= base["tpr_sqlmap"]

@@ -6,10 +6,11 @@ sets, but 76.5% when tested on its own training samples — token
 subsequences memorize, they do not generalize.
 """
 
+from repro.bench import BenchResult
 from repro.eval import experiment3_perdisci, format_table, percent
 
 
-def test_experiment3(benchmark, bench_context, record):
+def test_experiment3(benchmark, bench_context, record, emit, context_corpus):
     outcome = benchmark.pedantic(
         experiment3_perdisci, args=(bench_context,),
         kwargs={"max_training": 700}, rounds=1, iterations=1,
@@ -31,6 +32,40 @@ def test_experiment3(benchmark, bench_context, record):
     )
     record("exp3_perdisci", table)
 
+    from repro.eval.experiments import _evaluate_detector
+    from repro.ids import PSigeneDetector
+
+    nine, _ = bench_context.psigene_sets()
+    psigene = _evaluate_detector(
+        PSigeneDetector(nine), bench_context.datasets
+    )
+    emit(BenchResult(
+        bench="exp3_perdisci",
+        kind="experiment",
+        seed=2012,
+        metrics={
+            "fine_grained_clusters": int(
+                outcome["fine_grained_clusters"]
+            ),
+            "clusters_after_filter": int(
+                outcome["clusters_after_filter"]
+            ),
+            "final_signatures": int(outcome["final_signatures"]),
+            "tpr": round(float(outcome["tpr"]), 6),
+            "fpr": round(float(outcome["fpr"]), 6),
+            "train_on_train_tpr": round(
+                float(outcome["train_on_train_tpr"]), 6
+            ),
+            "train_gap": round(
+                float(outcome["train_on_train_tpr"] - outcome["tpr"]), 6
+            ),
+            "psigene_margin": round(
+                float(psigene["tpr_sqlmap"] - outcome["tpr"]), 6
+            ),
+        },
+        corpus=context_corpus,
+    ))
+
     # The cluster funnel shrinks at each stage.
     assert (
         outcome["fine_grained_clusters"]
@@ -45,11 +80,4 @@ def test_experiment3(benchmark, bench_context, record):
     assert outcome["fpr"] < 0.001
     assert outcome["train_on_train_tpr"] > outcome["tpr"] + 0.1
     # pSigene's TPR dwarfs Perdisci's on the same test sets.
-    from repro.eval.experiments import _evaluate_detector
-    from repro.ids import PSigeneDetector
-
-    nine, _ = bench_context.psigene_sets()
-    psigene = _evaluate_detector(
-        PSigeneDetector(nine), bench_context.datasets
-    )
     assert psigene["tpr_sqlmap"] > outcome["tpr"] + 0.3

@@ -16,6 +16,7 @@ cores this benchmark host happens to have.  Pool wall-clock is reported
 alongside, unmodeled.
 """
 
+from repro.bench import BenchResult, corpus_digest
 from repro.corpus.grammar import CorpusGenerator
 from repro.eval import format_table
 from repro.http import Trace
@@ -23,7 +24,7 @@ from repro.ids import ClusterModeEngine, PSigeneDetector
 from repro.parallel import bench_batch_extraction, bench_batch_matching
 
 
-def test_cluster_mode_speedup(benchmark, bench_context, record):
+def test_cluster_mode_speedup(benchmark, bench_context, record, emit):
     nine, _ = bench_context.psigene_sets()
     sample = Trace(
         name="sqlmap-sample",
@@ -52,7 +53,35 @@ def test_cluster_mode_speedup(benchmark, bench_context, record):
 
     # Verdicts never change with sharding.
     base = runs[0].alert_flags.tolist()
-    assert all(run.alert_flags.tolist() == base for run in runs)
+    parity = all(run.alert_flags.tolist() == base for run in runs)
+    emit(BenchResult(
+        bench="exp4_parallel",
+        kind="perf",
+        seed=2012,
+        metrics={
+            "workers_max": int(runs[-1].workers),
+            "serial_us": round(float(runs[0].serial_us), 3),
+            "critical_path_us_at_max": round(
+                float(runs[-1].critical_path_us), 3
+            ),
+            "speedup_at_max": round(float(runs[-1].speedup), 3),
+            "verdict_parity": bool(parity),
+        },
+        data={"rows": [
+            {
+                "workers": int(run.workers),
+                "serial_us": round(float(run.serial_us), 3),
+                "critical_path_us": round(
+                    float(run.critical_path_us), 3
+                ),
+                "speedup": round(float(run.speedup), 3),
+                "shard_sizes": [int(s) for s in run.shard_sizes],
+            }
+            for run in runs
+        ]},
+        corpus={"sqlmap_sample": corpus_digest(sample.payloads())},
+    ))
+    assert parity
     # More workers, more speedup, approaching the critical-path limit
     # (the most expensive single signature bounds the gain).
     speedups = [run.speedup for run in runs]
@@ -63,7 +92,40 @@ def test_cluster_mode_speedup(benchmark, bench_context, record):
     )
 
 
-def test_bench_batch_extraction(benchmark, record):
+def _batch_bench_result(slug, results, by_workers, corpus):
+    """Shared artifact shape for the two batch fan-out benches."""
+    return BenchResult(
+        bench=slug,
+        kind="perf",
+        seed=2012,
+        metrics={
+            "serial_us_per_request": round(
+                float(by_workers[1].serial_us), 3
+            ),
+            "modeled_speedup_at_4": round(
+                float(by_workers[4].modeled_speedup), 3
+            ),
+            "modeled_speedup_at_8": round(
+                float(by_workers[8].modeled_speedup), 3
+            ),
+            "identical": bool(all(r.identical for r in results)),
+        },
+        data={"rows": [
+            {
+                "workers": int(r.workers),
+                "n_chunks": int(r.n_chunks),
+                "serial_us": round(float(r.serial_us), 3),
+                "critical_path_us": round(float(r.critical_path_us), 3),
+                "modeled_speedup": round(float(r.modeled_speedup), 3),
+                "pool_wall_s": round(float(r.pool_wall_s), 4),
+            }
+            for r in results
+        ]},
+        corpus=corpus,
+    )
+
+
+def test_bench_batch_extraction(benchmark, record, emit):
     """Chunked multiprocess feature extraction over a 3k-sample corpus."""
     payloads = [
         s.payload for s in CorpusGenerator(seed=2012).generate(3000)
@@ -88,17 +150,21 @@ def test_bench_batch_extraction(benchmark, record):
         ),
     )
     record("exp4_batch_extraction", table)
+    by_workers = {r.workers: r for r in results}
+    emit(_batch_bench_result(
+        "exp4_batch_extraction", results, by_workers,
+        corpus={"grammar_corpus": corpus_digest(payloads)},
+    ))
 
     # Parallel output is bit-identical to serial at every worker count.
     assert all(r.identical for r in results)
-    by_workers = {r.workers: r for r in results}
     # One worker = no fan-out = no modeled gain.
     assert by_workers[1].modeled_speedup <= 1.05
     # The ISSUE's bar: >= 1.5x modeled extraction speedup at 4 workers.
     assert by_workers[4].modeled_speedup >= 1.5
 
 
-def test_bench_batch_matching(benchmark, bench_context, record):
+def test_bench_batch_matching(benchmark, bench_context, record, emit):
     """Request-axis fan-out of signature matching (run_batch)."""
     nine, _ = bench_context.psigene_sets()
     requests = list(bench_context.datasets.sqlmap.requests[:600])
@@ -125,8 +191,12 @@ def test_bench_batch_matching(benchmark, bench_context, record):
         ),
     )
     record("exp4_batch_matching", table)
+    by_workers = {r.workers: r for r in results}
+    emit(_batch_bench_result(
+        "exp4_batch_matching", results, by_workers,
+        corpus={"mixed_sample": corpus_digest(trace.payloads())},
+    ))
 
     assert all(r.identical for r in results)
-    by_workers = {r.workers: r for r in results}
     assert by_workers[1].modeled_speedup <= 1.05
     assert by_workers[4].modeled_speedup >= 1.5

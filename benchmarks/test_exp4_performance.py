@@ -9,10 +9,11 @@ Absolute numbers here reflect this machine; the asserted shape is the
 ordering and the roughly-order-of-magnitude slowdown.
 """
 
+from repro.bench import BenchResult
 from repro.eval import experiment4_performance, format_table
 
 
-def test_experiment4(benchmark, bench_context, record):
+def test_experiment4(benchmark, bench_context, record, emit, context_corpus):
     rows = benchmark.pedantic(
         experiment4_performance, args=(bench_context,),
         kwargs={"sample_requests": 1200}, rounds=1, iterations=1,
@@ -34,6 +35,27 @@ def test_experiment4(benchmark, bench_context, record):
         ),
     )
     record("exp4_performance", table)
+
+    emit(BenchResult(
+        bench="exp4_performance",
+        kind="experiment",
+        seed=2012,
+        metrics={
+            "psigene_min_us": round(float(psigene["min_us"]), 3),
+            "psigene_avg_us": round(float(psigene["avg_us"]), 3),
+            "psigene_max_us": round(float(psigene["max_us"]), 3),
+            "modsec_avg_us": round(float(modsec["avg_us"]), 3),
+            "bro_avg_us": round(float(bro["avg_us"]), 3),
+            "slowdown_vs_modsec": round(
+                float(psigene["avg_us"] / modsec["avg_us"]), 3
+            ),
+            "slowdown_vs_bro": round(
+                float(psigene["avg_us"] / bro["avg_us"]), 3
+            ),
+        },
+        data={"rows": rows},
+        corpus=context_corpus,
+    ))
 
     # pSigene is the slowest detector (many count_all invocations).
     assert psigene["avg_us"] > modsec["avg_us"]

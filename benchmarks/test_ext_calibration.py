@@ -9,12 +9,13 @@ reliability bins behind them.
 
 import numpy as np
 
+from repro.bench import BenchResult
 from repro.eval import format_table
 from repro.learn.calibration import calibration_report
 
 
 def test_signature_probability_calibration(benchmark, bench_context,
-                                           record):
+                                           record, emit, context_corpus):
     nine, _ = bench_context.psigene_sets()
     datasets = bench_context.datasets
 
@@ -47,6 +48,34 @@ def test_signature_probability_calibration(benchmark, bench_context,
         ),
     )
     record("ext_calibration", table)
+
+    emit(BenchResult(
+        bench="ext_calibration",
+        kind="extension",
+        seed=2012,
+        metrics={
+            "ece": round(float(report.ece), 6),
+            "brier": round(float(report.brier), 6),
+            "n_samples": int(report.n_samples),
+            "low_bin_rate": round(float(report.bins[0].observed_rate), 6),
+            "high_bin_rate": round(
+                float(report.bins[-1].observed_rate), 6
+            ),
+        },
+        data={
+            "bins": [
+                {
+                    "low": round(float(b.low), 3),
+                    "high": round(float(b.high), 3),
+                    "count": int(b.count),
+                    "mean_predicted": round(float(b.mean_predicted), 6),
+                    "observed_rate": round(float(b.observed_rate), 6),
+                }
+                for b in report.bins
+            ],
+        },
+        corpus=context_corpus,
+    ))
 
     # The probabilistic interpretation must hold at the extremes: the
     # lowest bin is overwhelmingly benign, the highest overwhelmingly

@@ -6,11 +6,12 @@ update (Experiment 2's machinery, warm-started) wins detection back
 without any manual signature work.
 """
 
+from repro.bench import BenchResult
 from repro.eval import format_table, percent
 from repro.eval.drift import drift_study
 
 
-def test_drift_and_recovery(benchmark, bench_context, record):
+def test_drift_and_recovery(benchmark, bench_context, record, emit):
     rounds = benchmark.pedantic(
         drift_study,
         args=(bench_context.pipeline, bench_context.result),
@@ -30,6 +31,42 @@ def test_drift_and_recovery(benchmark, bench_context, record):
               "incremental recovery",
     )
     record("ext_drift", table)
+
+    emit(BenchResult(
+        bench="ext_drift",
+        kind="extension",
+        seed=99,
+        metrics={
+            "epochs": len(rounds),
+            "min_tpr_before": round(
+                min(float(r.tpr_before_update) for r in rounds), 6
+            ),
+            "final_tpr_after": round(
+                float(rounds[-1].tpr_after_update), 6
+            ),
+            "max_update_loss": round(
+                max(
+                    float(r.tpr_before_update - r.tpr_after_update)
+                    for r in rounds
+                ), 6
+            ),
+        },
+        data={
+            "rounds": [
+                {
+                    "epoch": int(r.epoch),
+                    "shift": round(float(r.shift), 3),
+                    "tpr_before_update": round(
+                        float(r.tpr_before_update), 6
+                    ),
+                    "tpr_after_update": round(
+                        float(r.tpr_after_update), 6
+                    ),
+                }
+                for r in rounds
+            ],
+        },
+    ))
 
     assert len(rounds) == 3
     # Generalization keeps drifted traffic mostly detected even before

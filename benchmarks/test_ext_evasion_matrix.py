@@ -7,6 +7,7 @@ Snort and Bro (single-pass decode) fall to double encoding, %u escapes,
 fullwidth unicode, and inline-comment splitting.
 """
 
+from repro.bench import BenchResult
 from repro.eval import format_table
 from repro.eval.evasion import TECHNIQUES, evasion_matrix
 from repro.ids import PSigeneDetector
@@ -17,7 +18,7 @@ from repro.ids.rulesets import (
 )
 
 
-def test_evasion_matrix(benchmark, bench_context, record):
+def test_evasion_matrix(benchmark, bench_context, record, emit):
     nine, _ = bench_context.psigene_sets()
     detectors = [
         PSigeneDetector(nine, name="psigene"),
@@ -46,6 +47,42 @@ def test_evasion_matrix(benchmark, bench_context, record):
 
     def recall(technique, detector):
         return by_key[(technique, detector)].recall
+
+    evasion_techniques = ("double-encoding", "inline-comments",
+                          "unicode-%u", "fullwidth-unicode")
+    emit(BenchResult(
+        bench="ext_evasion_matrix",
+        kind="extension",
+        seed=2012,
+        metrics={
+            "techniques": len(TECHNIQUES),
+            "detectors": len(names),
+            "psigene_min_identity": round(
+                float(recall("identity", "psigene")), 6
+            ),
+            "psigene_min_evasion_recall": round(
+                min(
+                    float(recall(t, "psigene"))
+                    for t in evasion_techniques
+                ), 6
+            ),
+            "modsec_min_evasion_recall": round(
+                min(
+                    float(recall(t, "modsecurity"))
+                    for t in evasion_techniques
+                ), 6
+            ),
+        },
+        data={
+            "recall": {
+                technique: {
+                    name: round(float(recall(technique, name)), 6)
+                    for name in names
+                }
+                for technique, _ in TECHNIQUES
+            },
+        },
+    ))
 
     # Everyone handles the control row.
     for name in names:

@@ -12,9 +12,7 @@ same configuration and fails CI when any number moves without the
 artifact being re-committed.
 """
 
-import json
-import os
-
+from repro.bench import BenchResult
 from repro.conformance import train_default_detector
 from repro.corpus import SURFACE_FAMILIES, SurfaceCorpusGenerator, VulnerableWebApp
 from repro.eval import format_table
@@ -27,9 +25,6 @@ from repro.surfaces import (
     evasion_bases,
     score_request,
 )
-
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-BASELINE_PATH = os.path.join(RESULTS_DIR, "BENCH_surfaces.json")
 
 #: The ledger's fixed configuration — the guard recomputes exactly this.
 SEED = 2012
@@ -114,16 +109,13 @@ def measure_surfaces(detector) -> dict:
     ).run(evasion_bases(seed=SEED, count=EVASION_BASES)).to_dict()
 
     return {
-        "bench": "surfaces",
-        "seed": SEED,
-        "family_count": FAMILY_COUNT,
         "families": families,
         "scanner": scanner,
         "evasion": evasion,
     }
 
 
-def test_surface_bench(record):
+def test_surface_bench(record, emit):
     detector = train_default_detector(SEED)
     ledger = measure_surfaces(detector)
     families = ledger["families"]
@@ -153,10 +145,24 @@ def test_surface_bench(record):
     assert evasion["attacked"] > 0
     assert 0.0 <= evasion["survival_rate"] <= 1.0
 
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(BASELINE_PATH, "w") as handle:
-        json.dump(ledger, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    emit(BenchResult(
+        bench="surfaces",
+        kind="extension",
+        seed=SEED,
+        metrics={
+            "family_count": FAMILY_COUNT,
+            "scanner_probes": ledger["scanner"]["probes"],
+            "scanner_detected_full": ledger["scanner"]["detected_full"],
+            "scanner_detected_legacy": (
+                ledger["scanner"]["detected_legacy"]
+            ),
+            "scanner_rate_full": ledger["scanner"]["rate_full"],
+            "evasion_attacked": evasion["attacked"],
+            "evasion_evaded": evasion["evaded"],
+            "evasion_survival_rate": evasion["survival_rate"],
+        },
+        data=ledger,
+    ))
 
     rows = [
         [

@@ -7,11 +7,12 @@ holes; the sample dendrogram's cophenetic correlation coefficient is 0.92.
 
 import os
 
+from repro.bench import BenchResult, results_dir
 from repro.cluster.heatmap import render_ppm
 from repro.eval import figure2_heatmap
 
 
-def test_figure2(benchmark, bench_context, record):
+def test_figure2(benchmark, bench_context, record, emit):
     heatmap, text = benchmark.pedantic(
         figure2_heatmap, args=(bench_context,), rounds=1, iterations=1
     )
@@ -28,16 +29,28 @@ def test_figure2(benchmark, bench_context, record):
     )
     record("figure2_heatmap", header + text)
 
-    results_dir = os.path.join(os.path.dirname(__file__), "results")
-    os.makedirs(results_dir, exist_ok=True)
-    render_ppm(heatmap, os.path.join(results_dir, "figure2_heatmap.ppm"))
+    render_ppm(heatmap, os.path.join(results_dir(), "figure2_heatmap.ppm"))
+
+    labels = heatmap.row_cluster_of
+    nonzero = labels[labels > 0]
+    transitions = sum(1 for a, b in zip(nonzero, nonzero[1:]) if a != b)
+    emit(BenchResult(
+        bench="figure2_heatmap",
+        kind="figure",
+        seed=2012,
+        metrics={
+            "biclusters": total,
+            "black_holes": black_holes,
+            "cophenetic": round(float(cophenetic), 6),
+            "row_transitions": transitions,
+            "heatmap_rows": int(heatmap.z.shape[0]),
+            "heatmap_cols": int(heatmap.z.shape[1]),
+        },
+    ))
 
     # Shape assertions.
     assert 6 <= total <= 11
     assert 1 <= black_holes <= 3
     assert cophenetic > 0.6
     # The heatmap rows must group bicluster members contiguously.
-    labels = heatmap.row_cluster_of
-    nonzero = labels[labels > 0]
-    transitions = sum(1 for a, b in zip(nonzero, nonzero[1:]) if a != b)
     assert transitions <= total + 2

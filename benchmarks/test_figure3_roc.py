@@ -8,10 +8,11 @@ an operator pick which signatures to enable.
 
 import numpy as np
 
+from repro.bench import BenchResult
 from repro.eval import figure3_roc, format_table
 
 
-def test_figure3(benchmark, bench_context, record):
+def test_figure3(benchmark, bench_context, record, emit, context_corpus):
     curves = benchmark.pedantic(
         figure3_roc, args=(bench_context,), rounds=1, iterations=1
     )
@@ -39,6 +40,25 @@ def test_figure3(benchmark, bench_context, record):
            "\n".join(series_lines))
 
     aucs = [c.auc(max_fpr=0.05) for c in curves.values()]
+    emit(BenchResult(
+        bench="figure3_roc",
+        kind="figure",
+        seed=2012,
+        metrics={
+            "curves": len(curves),
+            "best_partial_auc": round(float(max(aucs)), 6),
+            "worst_partial_auc": round(float(min(aucs)), 6),
+            "auc_spread": round(float(max(aucs) - min(aucs)), 6),
+        },
+        data={
+            "partial_auc_by_signature": {
+                str(index): round(float(curve.auc(max_fpr=0.05)), 6)
+                for index, curve in sorted(curves.items())
+            },
+        },
+        corpus=context_corpus,
+    ))
+
     # One curve per signature.
     assert len(curves) == len(bench_context.result.signature_set)
     # Wide variability in signature quality (paper's first observation).

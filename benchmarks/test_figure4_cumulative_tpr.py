@@ -5,10 +5,11 @@ Paper: signatures sorted by quality; signature 1 contributes the most
 non-trivially and the running sum reaches the set's overall TPR.
 """
 
+from repro.bench import BenchResult
 from repro.eval import figure4_cumulative_tpr, format_table
 
 
-def test_figure4(benchmark, bench_context, record):
+def test_figure4(benchmark, bench_context, record, emit, context_corpus):
     rows = benchmark.pedantic(
         figure4_cumulative_tpr, args=(bench_context,),
         rounds=1, iterations=1,
@@ -25,11 +26,25 @@ def test_figure4(benchmark, bench_context, record):
     )
     record("figure4_cumulative_tpr", table)
 
+    individual = [r["individual_tpr"] for r in rows]
+    cumulative = [r["cumulative_tpr"] for r in rows]
+    emit(BenchResult(
+        bench="figure4_cumulative_tpr",
+        kind="figure",
+        seed=2012,
+        metrics={
+            "signatures": len(rows),
+            "top_marginal": round(float(rows[0]["marginal"]), 6),
+            "tail_marginal": round(float(rows[-1]["marginal"]), 6),
+            "set_tpr": round(float(cumulative[-1]), 6),
+        },
+        data={"rows": rows},
+        corpus=context_corpus,
+    ))
+
     assert len(rows) == len(bench_context.result.signature_set)
     # Ordered best-first and monotone cumulative.
-    individual = [r["individual_tpr"] for r in rows]
     assert individual == sorted(individual, reverse=True)
-    cumulative = [r["cumulative_tpr"] for r in rows]
     assert all(b >= a - 1e-12 for a, b in zip(cumulative, cumulative[1:]))
     # The top signature carries a large share; the tail still adds some.
     assert rows[0]["marginal"] >= 0.1

@@ -14,15 +14,13 @@ regresses more than 15% against that committed baseline.
 """
 
 import json
-import os
 
+from repro.bench import corpus_digest
 from repro.eval import format_table
 from repro.match import bench_fused_matching
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
-
-def test_bench_fused_matching(benchmark, bench_context, record):
+def test_bench_fused_matching(benchmark, bench_context, record, emit):
     nine, _ = bench_context.psigene_sets()
     requests = list(bench_context.datasets.sqlmap.requests[:600])
     requests += list(bench_context.datasets.benign.requests[:600])
@@ -49,16 +47,15 @@ def test_bench_fused_matching(benchmark, bench_context, record):
         ),
     )
     record("bench_matching", table)
-    json_path = os.path.join(RESULTS_DIR, "BENCH_matching.json")
-    with open(json_path, "w") as handle:
-        handle.write(result.to_json() + "\n")
-    print(f"[saved to {json_path}]")
+    emit(result.to_bench_result(
+        seed=2012, corpus={"payloads": corpus_digest(payloads)}
+    ))
 
     # Bit-exact parity on every payload is non-negotiable.
     assert result.identical
     # The artifact CI diffs must round-trip.
     reloaded = json.loads(result.to_json())
-    assert reloaded["bench"] == "serial_matching"
-    assert reloaded["speedup"] == round(result.speedup, 3)
+    assert reloaded["bench"] == "matching"
+    assert reloaded["metrics"]["speedup"] == round(result.speedup, 3)
     # The ISSUE's bar: >= 3x on the serial matching path.
     assert result.speedup >= 3.0

@@ -10,6 +10,7 @@ exactly the bookkeeping the real registry performs.
 
 import time
 
+from repro.bench import BenchResult
 from repro.eval import format_table
 from repro.http import Trace
 from repro.ids import PSigeneDetector, SignatureEngine
@@ -39,7 +40,8 @@ def _min_wall_s_interleaved(
     return bests[0], bests[1]
 
 
-def test_instrumentation_overhead_under_5_percent(bench_context, record):
+def test_instrumentation_overhead_under_5_percent(bench_context, record,
+                                                  emit):
     signature_set = bench_context.result.signature_set
     requests = bench_context.datasets.sqlmap.requests[:REQUESTS]
     trace = Trace(name="overhead-bench", requests=list(requests))
@@ -78,6 +80,22 @@ def test_instrumentation_overhead_under_5_percent(bench_context, record):
         ),
     )
     record("obs_overhead", table)
+
+    # Emit before the overhead assertion so a noisy-machine failure still
+    # records the measurement.
+    emit(BenchResult(
+        bench="obs_overhead",
+        kind="perf",
+        seed=2012,
+        metrics={
+            "requests": len(trace),
+            "repeats": REPEATS,
+            "instrumented_wall_s": round(instrumented_s, 6),
+            "null_wall_s": round(null_s, 6),
+            "per_request_us": round(per_request_us, 3),
+            "overhead_fraction": round(overhead, 6),
+        },
+    ))
 
     assert per_request_us > 0.0
     assert overhead <= 0.05, (

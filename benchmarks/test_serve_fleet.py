@@ -22,13 +22,10 @@ Saved to ``results/serve_fleet.txt`` and the machine-readable baseline
 """
 
 import asyncio
-import json
-import os
 
+from repro.bench import BenchResult, corpus_digest
 from repro.conformance import train_default_detector
 from repro.serve import build_load_trace, run_fleet_loadgen
-
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 SHARD_COUNTS = (1, 2, 4)
 QUEUE_BOUND = 256
@@ -40,7 +37,7 @@ SLO_MS = 50.0
 MIN_MODELED_SPEEDUP_AT_4 = 2.5
 
 
-def test_serve_fleet_scaling(record):
+def test_serve_fleet_scaling(record, emit):
     detector = train_default_detector(2012)
     trace = build_load_trace(seed=7, n_benign=2000, n_vulnerabilities=12)
     payloads = trace.payloads()
@@ -131,32 +128,35 @@ def test_serve_fleet_scaling(record):
     ]
     record("serve_fleet", "\n".join(lines))
 
-    artifact = {
-        "bench": "fleet_serving",
-        "detector": detector.name,
-        "requests": len(payloads),
-        "queue_bound": QUEUE_BOUND,
-        "workers_per_shard": WORKERS,
-        "c1_rps": round(c1, 1),
-        "scaling": scaling,
-        "modeled_speedup_at_4": scaling[-1]["modeled_speedup"],
-        "parity_ok": True,
-        "pressure": {
-            "shards": 2,
-            "queue_bound": PRESSURE_QUEUE_BOUND,
-            "offered_rps": round(pressure.offered_rps, 1),
-            "serviced_rps": round(pressure.serviced_rps, 1),
-            "shed_rate": round(pressure.shed_rate, 4),
-            "slo_ms": SLO_MS,
-            "slo_attainment": round(pressure.slo_attainment, 4),
-            "p99_ms": round(pressure.latency_ms["p99_ms"], 3),
+    emit(BenchResult(
+        bench="serving",
+        kind="perf",
+        seed=2012,
+        metrics={
+            "requests": len(payloads),
+            "queue_bound": QUEUE_BOUND,
+            "workers_per_shard": WORKERS,
+            "c1_rps": round(c1, 1),
+            "modeled_speedup_at_4": scaling[-1]["modeled_speedup"],
+            "parity_ok": True,
         },
-    }
-    json_path = os.path.join(RESULTS_DIR, "BENCH_serving.json")
-    with open(json_path, "w") as handle:
-        json.dump(artifact, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"[saved to {json_path}]")
+        data={
+            "detector": detector.name,
+            "trace_seed": 7,
+            "scaling": scaling,
+            "pressure": {
+                "shards": 2,
+                "queue_bound": PRESSURE_QUEUE_BOUND,
+                "offered_rps": round(pressure.offered_rps, 1),
+                "serviced_rps": round(pressure.serviced_rps, 1),
+                "shed_rate": round(pressure.shed_rate, 4),
+                "slo_ms": SLO_MS,
+                "slo_attainment": round(pressure.slo_attainment, 4),
+                "p99_ms": round(pressure.latency_ms["p99_ms"], 3),
+            },
+        },
+        corpus={"loadgen_trace": corpus_digest(payloads)},
+    ))
 
     # The ISSUE's bar: the modeled fleet reaches >= 2.5x single-shard
     # throughput at 4 shards on the sqlmap+benign replay trace.

@@ -15,6 +15,7 @@ import asyncio
 
 import pytest
 
+from repro.bench import BenchResult, corpus_digest
 from repro.core import PipelineConfig, PSigenePipeline
 from repro.ids import PSigeneDetector
 from repro.ids.rulesets import build_modsec_ruleset
@@ -43,7 +44,7 @@ def detectors():
     ]
 
 
-def test_serve_loadgen(detectors, record):
+def test_serve_loadgen(detectors, record, emit):
     trace = build_load_trace(seed=7, n_benign=2000, n_vulnerabilities=12)
     payloads = trace.payloads()
     header = (
@@ -58,6 +59,7 @@ def test_serve_loadgen(detectors, record):
         header,
         "-" * len(header),
     ]
+    runs = []
     for detector in detectors:
         for bound in QUEUE_BOUNDS:
             report = asyncio.run(run_loadgen(
@@ -72,6 +74,19 @@ def test_serve_loadgen(detectors, record):
             assert report.parity is not None and report.parity.ok
             assert report.completed + report.shed == report.requests
             latency = report.latency_ms
+            runs.append({
+                "detector": report.detector,
+                "queue_bound": bound,
+                "policy": report.policy,
+                "requests": int(report.requests),
+                "completed": int(report.completed),
+                "shed": int(report.shed),
+                "shed_rate": round(float(report.shed_rate), 6),
+                "p50_ms": round(float(latency["p50_ms"]), 3),
+                "p95_ms": round(float(latency["p95_ms"]), 3),
+                "p99_ms": round(float(latency["p99_ms"]), 3),
+                "parity_ok": bool(report.parity.ok),
+            })
             lines.append(
                 f"{report.detector:<24} {bound:>5} {report.policy:>6} "
                 f"{report.throughput_rps:>9,.0f} "
@@ -82,3 +97,19 @@ def test_serve_loadgen(detectors, record):
                 f"{'OK' if report.parity.ok else 'FAIL':>7}"
             )
     record("serve_loadgen", "\n".join(lines))
+
+    emit(BenchResult(
+        bench="serve_loadgen",
+        kind="perf",
+        seed=2012,
+        metrics={
+            "requests": runs[0]["requests"],
+            "detectors": len(detectors),
+            "queue_bounds": len(QUEUE_BOUNDS),
+            "parity_ok": all(r["parity_ok"] for r in runs),
+            "tight_queue_shed_rate": runs[0]["shed_rate"],
+            "roomy_queue_shed_rate": runs[1]["shed_rate"],
+        },
+        data={"trace_seed": 7, "runs": runs},
+        corpus={"loadgen_trace": corpus_digest(payloads)},
+    ))

@@ -7,10 +7,11 @@ high/medium-risk MySQL-backed vulnerabilities of that month, the crawled
 dataset contained launchable attack samples.
 """
 
+from repro.bench import BenchResult
 from repro.eval import format_table, table1_vulnerability_coverage
 
 
-def test_table1(benchmark, bench_context, record):
+def test_table1(benchmark, bench_context, record, emit):
     result = benchmark.pedantic(
         table1_vulnerability_coverage, args=(bench_context,),
         rounds=1, iterations=1,
@@ -24,6 +25,21 @@ def test_table1(benchmark, bench_context, record):
         ),
     )
     record("table1_vulndb", table)
+
+    emit(BenchResult(
+        bench="table1_vulndb",
+        kind="table",
+        seed=2012,
+        metrics={
+            "printed_rows": len(result["table1_rows"]),
+            "cohort_size": int(result["cohort_size"]),
+            "covered": int(result["covered"]),
+            "coverage_ratio": round(
+                float(result["covered"] / result["cohort_size"]), 6
+            ),
+        },
+        data={"rows": result["table1_rows"]},
+    ))
 
     assert len(result["table1_rows"]) == 4
     assert result["cohort_size"] >= 28

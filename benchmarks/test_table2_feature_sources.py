@@ -6,10 +6,11 @@ initial catalog of 477 features, reduced to 159 active ones by pruning
 (the pruning half is asserted against the bench corpus here).
 """
 
+from repro.bench import BenchResult
 from repro.eval import format_table, table2_feature_sources
 
 
-def test_table2(benchmark, bench_context, record):
+def test_table2(benchmark, bench_context, record, emit):
     rows = benchmark.pedantic(table2_feature_sources, rounds=1, iterations=1)
     table = format_table(
         ["FEATURE SOURCE", "FEATURES", "EXAMPLES"],
@@ -21,11 +22,25 @@ def test_table2(benchmark, bench_context, record):
     )
     record("table2_feature_sources", table)
 
+    pruning = bench_context.result.pruning
+    emit(BenchResult(
+        bench="table2_feature_sources",
+        kind="table",
+        seed=2012,
+        metrics={
+            "sources": len(rows),
+            "initial_features": int(
+                sum(r["features"] for r in rows)
+            ),
+            "final_features": int(pruning.final_features),
+        },
+        data={"rows": rows},
+    ))
+
     assert len(rows) == 3
     assert sum(r["features"] for r in rows) == 477
 
     # The pruning companion fact: 477 → paper's 159; ours lands in the
     # same regime (an order-one fraction survives).
-    pruning = bench_context.result.pruning
     assert pruning.initial_features == 477
     assert 80 <= pruning.final_features <= 250

@@ -5,10 +5,11 @@ signature 6: six features, among them ``=``, ``=[-0-9\\%]*``,
 Θ₆ᵀ = −3.761054 + 0.262131·f25 + ...).
 """
 
+from repro.bench import BenchResult
 from repro.eval import format_table, table3_signature_features
 
 
-def test_table3(benchmark, bench_context, record):
+def test_table3(benchmark, bench_context, record, emit):
     # The paper picks bicluster 6; we print the mid-sized signature of the
     # measured set (paper signature 6 had 6 features — small).
     signatures = sorted(
@@ -31,6 +32,26 @@ def test_table3(benchmark, bench_context, record):
         ),
     )
     record("table3_signature_features", table)
+
+    emit(BenchResult(
+        bench="table3_signature_features",
+        kind="table",
+        seed=2012,
+        metrics={
+            "bicluster": int(result["bicluster"]),
+            "n_features": len(result["features"]),
+            "theta_len": len(result["theta"]),
+            "theta_consistent": (
+                len(result["theta"]) == len(result["features"]) + 1
+                and result["theta"][0] != 0.0
+            ),
+            "intercept": round(float(result["theta"][0]), 6),
+        },
+        data={
+            "features": result["features"],
+            "theta": [round(float(t), 6) for t in result["theta"]],
+        },
+    ))
 
     # Shape: a signature is a small feature subset with a full Θ vector
     # (intercept + one weight per feature), exactly the paper's form.

@@ -9,6 +9,7 @@ Snort's the shortest (avg 27.1).
 
 import pytest
 
+from repro.bench import BenchResult
 from repro.eval import format_table, table4_ruleset_comparison
 
 PAPER = {
@@ -19,7 +20,7 @@ PAPER = {
 }
 
 
-def test_table4(benchmark, record):
+def test_table4(benchmark, record, emit):
     rows = benchmark.pedantic(
         table4_ruleset_comparison, rounds=1, iterations=1
     )
@@ -36,6 +37,28 @@ def test_table4(benchmark, record):
     record("table4_rulesets", table)
 
     measured = {r["rules"]: r for r in rows}
+    emit(BenchResult(
+        bench="table4_rulesets",
+        kind="table",
+        seed=2012,
+        metrics={
+            "bro_rules": int(measured["bro"]["sqli_rules"]),
+            "snort_rules": int(measured["snort"]["sqli_rules"]),
+            "et_rules": int(
+                measured["emerging-threats"]["sqli_rules"]
+            ),
+            "modsec_rules": int(
+                measured["modsecurity"]["sqli_rules"]
+            ),
+            "bro_avg_pattern_len": round(
+                float(measured["bro"]["avg_pattern_len"]), 3
+            ),
+            "snort_avg_pattern_len": round(
+                float(measured["snort"]["avg_pattern_len"]), 3
+            ),
+        },
+        data={"rows": rows},
+    ))
     for name, (count, enabled, regex) in PAPER.items():
         row = measured[name]
         assert row["sqli_rules"] == count, name

@@ -13,6 +13,7 @@ between ModSec and Snort/Bro; Bro has exactly zero false positives; Snort
 has the worst FPR; pSigene's FPR beats Snort's and ModSec's.
 """
 
+from repro.bench import BenchResult
 from repro.eval import format_table, percent, table5_accuracy
 
 PAPER_ROWS = [
@@ -24,7 +25,7 @@ PAPER_ROWS = [
 ]
 
 
-def test_table5(benchmark, bench_context, record):
+def test_table5(benchmark, bench_context, record, emit, context_corpus):
     rows = benchmark.pedantic(
         table5_accuracy, args=(bench_context,), rounds=1, iterations=1
     )
@@ -54,6 +55,29 @@ def test_table5(benchmark, bench_context, record):
     snort = by_name["snort-et"]
     bro = by_name["bro"]
     psigene = by_name["psigene-many"]
+
+    emit(BenchResult(
+        bench="table5_accuracy",
+        kind="table",
+        seed=2012,
+        metrics={
+            "psigene_tpr_sqlmap": round(
+                float(psigene["tpr_sqlmap"]), 6
+            ),
+            "psigene_tpr_arachni": round(
+                float(psigene["tpr_arachni"]), 6
+            ),
+            "psigene_fpr": round(float(psigene["fpr"]), 6),
+            "modsec_tpr_sqlmap": round(float(modsec["tpr_sqlmap"]), 6),
+            "modsec_fpr": round(float(modsec["fpr"]), 6),
+            "snort_tpr_sqlmap": round(float(snort["tpr_sqlmap"]), 6),
+            "snort_fpr": round(float(snort["fpr"]), 6),
+            "bro_tpr_sqlmap": round(float(bro["tpr_sqlmap"]), 6),
+            "bro_fpr": round(float(bro["fpr"]), 6),
+        },
+        data={"rows": rows},
+        corpus=context_corpus,
+    ))
 
     # -- who wins (paper's ordering) --------------------------------------
     assert modsec["tpr_sqlmap"] >= psigene["tpr_sqlmap"]

@@ -6,10 +6,11 @@ regression prunes them hard (90 → 33, 13, 11); all but one signature use
 ≤ 14 features.
 """
 
+from repro.bench import BenchResult
 from repro.eval import format_table, table6_cluster_details
 
 
-def test_table6(benchmark, bench_context, record):
+def test_table6(benchmark, bench_context, record, emit):
     rows = benchmark.pedantic(
         table6_cluster_details, args=(bench_context,),
         rounds=1, iterations=1,
@@ -26,9 +27,25 @@ def test_table6(benchmark, bench_context, record):
     )
     record("table6_cluster_details", table)
 
+    sizes = [r["samples"] for r in rows]
+    compact = sum(1 for r in rows if r["features_signature"] <= 14)
+    emit(BenchResult(
+        bench="table6_cluster_details",
+        kind="table",
+        seed=2012,
+        metrics={
+            "n_signatures": len(rows),
+            "size_spread": round(max(sizes) / min(sizes), 3),
+            "compact_signatures": compact,
+            "max_signature_features": int(
+                max(r["features_signature"] for r in rows)
+            ),
+        },
+        data={"rows": rows},
+    ))
+
     assert 5 <= len(rows) <= 9  # paper: 9 signatures
 
-    sizes = [r["samples"] for r in rows]
     assert max(sizes) / min(sizes) >= 1.5  # wide size spread
 
     # Logistic pruning: signatures never exceed, and usually shrink,
@@ -43,5 +60,4 @@ def test_table6(benchmark, bench_context, record):
     )
 
     # Most signatures are compact (paper: all but one ≤ 14 features).
-    compact = sum(1 for r in rows if r["features_signature"] <= 14)
     assert compact >= len(rows) - 2

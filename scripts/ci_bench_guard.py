@@ -1,50 +1,43 @@
-"""CI guard: serving-path performance must not regress against baseline.
+"""CI guard: every committed bench artifact must validate and hold its floor.
 
-Two committed artifacts under ``benchmarks/results/`` are the baseline
-ledger the guard holds the tree to:
+All benchmarks emit a machine-readable ``BENCH_<slug>.json`` next to their
+text table under ``benchmarks/results/`` (the shared :mod:`repro.bench`
+schema).  This guard holds the tree to that ledger in three layers:
 
-``BENCH_matching.json`` — the fused single-pass matcher.  The guard
-re-measures the same configuration fresh (canonical small detector,
-seeded fuzz corpus — no bench-scale training required) and fails when:
+**Layer 1 — schema sweep.**  Every ``BENCH_*.json`` on disk must validate
+against the ``BenchResult`` schema and be byte-identical to its canonical
+re-serialization (one writer, one byte layout — diffs stay reviewable).
 
-1. the fresh run's verdicts are not bit-identical to the legacy path, or
-2. the fresh speedup falls below 85% of the committed baseline speedup
-   (a >15% regression of the fast path relative to the reference loop —
-   a ratio of ratios, so it is insensitive to the runner's absolute
-   speed).
+**Layer 2 — per-bench floors.**  Every artifact slug must appear in the
+``FLOORS`` table below and clear its floors — constant (metric, op, bound)
+triples mirroring each bench's own acceptance assertions, so a regressed
+artifact cannot be committed even when the bench run that produced it was
+skipped.  A slug with no floors entry fails (unguarded artifact); a floors
+entry with no artifact fails (missing trajectory point).
 
-``BENCH_serving.json`` — the sharded fleet (DESIGN.md §15).  The
-committed artifact must clear the acceptance bars (modeled speedup
->= 2.5x at 4 shards, offline parity), and a fresh 2-shard live probe
-must still serve with bit-exact parity and retain at least half of
-single-shard aggregate capacity (multi-process coordination overhead
-has not blown up).
+**Layer 3 — deep guards.**  Four benches get live re-measurement on top of
+the committed numbers:
 
-``BENCH_canary.json`` — the closed canary loop (DESIGN.md §16).  The
-committed artifact must record one round promoted through the
-two-phase fleet reload with zero conformance divergences and one
-injected FPR-budget violation rejected with the incumbent provably
-unchanged.  The guard then replays both committed rounds through the
-*current* gate implementation: the deltas the bench measured must
-still produce the same promote/reject decisions, so gate-semantics
-drift against the committed ledger fails CI even before the live
-canary smoke step runs.
+``BENCH_matching.json`` — the fused single-pass matcher is re-measured
+fresh (canonical small detector, seeded fuzz corpus); verdicts must stay
+bit-identical to the legacy path and the fresh speedup must hold 85% of
+the committed baseline speedup (a ratio of ratios — insensitive to the
+runner's absolute speed).
 
-``BENCH_surfaces.json`` — the multi-surface detection ledger
-(DESIGN.md §17).  Everything in it is deterministic from committed
-seeds, so the guard recomputes the exact bench configuration (per-
-family TPR/FPR through the full surface selection, the legacy
-extraction's blindness, the surface scanner's detectability, and the
-adversarial evasion search's survival rate) and requires the fresh
-numbers to be *identical* to the committed artifact — any drift means
-detector or extractor semantics changed without the ledger being
-re-recorded.  The committed artifact must also clear the bench's
-acceptance floors and keep the legacy-blind families at exactly zero
-legacy TPR.
+``BENCH_serving.json`` — a live 2-shard fleet probe must serve with
+bit-exact parity and retain at least half of single-shard capacity.
+
+``BENCH_canary.json`` — the committed promote/reject rounds replay
+through the *current* gate implementation; both decisions must reproduce,
+so gate-semantics drift fails CI before the live canary smoke step.
+
+``BENCH_surfaces.json`` — the surface ledger is deterministic from
+committed seeds, so the guard recomputes the exact bench configuration
+and requires the fresh ledger to be *identical* to the committed one.
 
 When a baseline artifact does not exist in HEAD (first run on a fresh
-branch), that guard section records what it measured and passes: there
-is nothing to regress against yet.
+branch), the deep guards record what they measured and pass: there is
+nothing to regress against yet.
 
 Usage: ``PYTHONPATH=src python scripts/ci_bench_guard.py``
 """
@@ -66,6 +59,155 @@ MIN_MODELED_SPEEDUP_AT_4 = 2.5
 MIN_PROBE_EFFICIENCY = 0.5
 PROBE_PAYLOAD_COUNT = 400
 
+# Per-bench regression floors: slug -> ((metric, op, bound), ...).
+# Each triple mirrors an acceptance assertion in the bench module that
+# produced the artifact; ops are ">=", "<=", "==".  Derived-margin
+# metrics (e.g. ``tpr_gain_40`` = TPR(+40%) − TPR(base)) turn the
+# benches' cross-metric assertions into constant comparisons.
+FLOORS: dict[str, tuple[tuple[str, str, object], ...]] = {
+    "matching": (
+        ("identical", "==", True),
+        ("speedup", ">=", 3.0),
+    ),
+    "serving": (
+        ("parity_ok", "==", True),
+        ("modeled_speedup_at_4", ">=", MIN_MODELED_SPEEDUP_AT_4),
+    ),
+    "canary": (
+        ("promoted", "==", True),
+        ("rejected_fpr_budget", "==", True),
+        ("incumbent_unchanged", "==", True),
+    ),
+    "surfaces": (
+        ("scanner_detected_legacy", "==", 0),
+        ("scanner_rate_full", ">=", 0.6),
+        ("evasion_survival_rate", "<=", 1.0),
+    ),
+    "exp2_incremental": (
+        ("tpr_gain_40", ">=", 0.0),
+        ("tpr_gain_40", "<=", 0.25),
+        ("fpr_cost_40", "<=", 0.002),
+    ),
+    "exp3_perdisci": (
+        ("tpr", "<=", 0.35),
+        ("fpr", "<=", 0.001),
+        ("train_gap", ">=", 0.1),
+        ("psigene_margin", ">=", 0.3),
+    ),
+    "exp4_performance": (
+        ("slowdown_vs_modsec", ">=", 1.5),
+        ("slowdown_vs_modsec", "<=", 100.0),
+        ("slowdown_vs_bro", ">=", 1.5),
+        ("psigene_max_us", "<=", 20_000.0),
+    ),
+    "exp4_parallel": (
+        ("verdict_parity", "==", True),
+        ("speedup_at_max", ">=", 1.2),
+    ),
+    "exp4_batch_extraction": (
+        ("identical", "==", True),
+        ("modeled_speedup_at_4", ">=", 1.5),
+    ),
+    "exp4_batch_matching": (
+        ("identical", "==", True),
+        ("modeled_speedup_at_4", ">=", 1.5),
+    ),
+    "ablation_binary_features": (
+        ("fpr_penalty", ">=", 0.0),
+        ("tpr_edge", ">=", -0.08),
+    ),
+    "ablation_blackhole_rule": (
+        ("tpr_gain", ">=", -1e-6),
+        ("fpr_cost", ">=", 0.0),
+    ),
+    "ablation_incremental_strategy": (
+        ("iteration_savings", ">=", 1),
+        ("warm_fpr", "<=", 0.005),
+    ),
+    "ablation_regularization": (
+        ("weight_shrink", ">=", 0.0),
+        ("min_tpr", ">=", 0.5),
+    ),
+    "ablation_selection_rule": (
+        ("paper_biclusters", ">=", 5),
+        ("paper_coverage", ">=", 0.6),
+    ),
+    "table1_vulndb": (
+        ("printed_rows", "==", 4),
+        ("coverage_ratio", "==", 1.0),
+    ),
+    "table2_feature_sources": (
+        ("sources", "==", 3),
+        ("initial_features", "==", 477),
+        ("final_features", ">=", 80),
+        ("final_features", "<=", 250),
+    ),
+    "table3_signature_features": (
+        ("theta_consistent", "==", True),
+        ("n_features", ">=", 1),
+        ("n_features", "<=", 40),
+    ),
+    "table4_rulesets": (
+        ("bro_rules", "==", 6),
+        ("snort_rules", "==", 79),
+        ("et_rules", "==", 4231),
+        ("modsec_rules", "==", 34),
+    ),
+    "table5_accuracy": (
+        ("psigene_tpr_sqlmap", ">=", 0.75),
+        ("modsec_tpr_sqlmap", ">=", 0.9),
+        ("bro_fpr", "==", 0.0),
+        ("snort_fpr", "<=", 0.01),
+    ),
+    "table6_cluster_details": (
+        ("n_signatures", ">=", 5),
+        ("n_signatures", "<=", 9),
+        ("size_spread", ">=", 1.5),
+    ),
+    "figure2_heatmap": (
+        ("biclusters", ">=", 6),
+        ("biclusters", "<=", 11),
+        ("black_holes", ">=", 1),
+        ("black_holes", "<=", 3),
+        ("cophenetic", ">=", 0.6),
+    ),
+    "figure3_roc": (
+        ("best_partial_auc", ">=", 0.02),
+        ("auc_spread", ">=", 0.0),
+    ),
+    "figure4_cumulative_tpr": (
+        ("top_marginal", ">=", 0.1),
+        ("set_tpr", ">=", 0.7),
+    ),
+    "ext_calibration": (
+        ("ece", "<=", 0.12),
+        ("brier", "<=", 0.1),
+        ("low_bin_rate", "<=", 0.2),
+        ("high_bin_rate", ">=", 0.8),
+    ),
+    "ext_drift": (
+        ("min_tpr_before", ">=", 0.5),
+        ("final_tpr_after", ">=", 0.7),
+    ),
+    "ext_evasion_matrix": (
+        ("psigene_min_identity", ">=", 0.8),
+        ("psigene_min_evasion_recall", ">=", 0.6),
+        ("modsec_min_evasion_recall", ">=", 0.6),
+    ),
+    "serve_loadgen": (
+        ("parity_ok", "==", True),
+        ("tight_queue_shed_rate", "<=", 1.0),
+    ),
+    "obs_overhead": (
+        ("overhead_fraction", "<=", 0.05),
+        ("per_request_us", "<=", 100_000.0),
+    ),
+    "micro_substrates": (
+        ("normalize_us", "<=", 100_000.0),
+        ("extract_us", "<=", 100_000.0),
+    ),
+}
+
 
 def committed_baseline(path: str = BASELINE_PATH) -> dict | None:
     """The baseline artifact as committed in HEAD, or None if absent."""
@@ -84,6 +226,69 @@ def committed_baseline(path: str = BASELINE_PATH) -> dict | None:
         ) from error
 
 
+def sweep_artifacts() -> str:
+    """Layer 1 + 2: validate every on-disk artifact and apply its floors.
+
+    Returns the verdict line; raises AssertionError on the first broken
+    artifact, missing floors entry, or missing artifact.
+    """
+    from repro.bench import dump_bench_json, list_artifacts, load_artifact
+
+    paths = list_artifacts()
+    if not paths:
+        raise AssertionError(
+            "no BENCH_*.json artifacts under benchmarks/results/; "
+            "run scripts/reproduce_all.py"
+        )
+    seen: set[str] = set()
+    for path in paths:
+        payload = load_artifact(path)  # raises BenchSchemaError on bad shape
+        with open(path, encoding="utf-8") as handle:
+            raw = handle.read()
+        if dump_bench_json(payload) != raw:
+            raise AssertionError(
+                f"{path} is not in canonical serialization; rewrite it "
+                f"through repro.bench.write_artifact"
+            )
+        slug = payload["bench"]
+        seen.add(slug)
+        floors = FLOORS.get(slug)
+        if floors is None:
+            raise AssertionError(
+                f"{path}: bench '{slug}' has no FLOORS entry in "
+                f"scripts/ci_bench_guard.py — every artifact must be "
+                f"guarded"
+            )
+        for metric, op, bound in floors:
+            if metric not in payload["metrics"]:
+                raise AssertionError(
+                    f"{path}: floors expect metric '{metric}' which the "
+                    f"artifact does not record"
+                )
+            value = payload["metrics"][metric]
+            ok = (
+                value >= bound if op == ">=" else
+                value <= bound if op == "<=" else
+                value == bound
+            )
+            if not ok:
+                raise AssertionError(
+                    f"{path}: {metric}={value!r} violates floor "
+                    f"'{metric} {op} {bound!r}'"
+                )
+    missing = sorted(set(FLOORS) - seen)
+    if missing:
+        raise AssertionError(
+            f"floors defined but artifact missing for: {', '.join(missing)}"
+            f" — run scripts/reproduce_all.py and commit the results"
+        )
+    return (
+        f"artifact sweep OK: {len(paths)} artifacts schema-valid, "
+        f"canonical, and clear of {sum(len(f) for f in FLOORS.values())} "
+        f"floors across {len(FLOORS)} benches"
+    )
+
+
 def fresh_measurement() -> dict:
     """Benchmark the canonical small detector on the seeded fuzz corpus."""
     from repro.conformance import generate_corpus, train_default_detector
@@ -99,31 +304,31 @@ def fresh_measurement() -> dict:
 
 def check(baseline: dict | None, fresh: dict) -> str:
     """The guard's verdict line; raises AssertionError on regression."""
-    if not fresh["identical"]:
+    speedup = fresh["metrics"]["speedup"]
+    if not fresh["metrics"]["identical"]:
         raise AssertionError(
             "fused verdicts diverged from the legacy path"
         )
-    if fresh["speedup"] < 1.0:
+    if speedup < 1.0:
         raise AssertionError(
-            f"fused path is slower than legacy "
-            f"(speedup {fresh['speedup']:.2f}x)"
+            f"fused path is slower than legacy (speedup {speedup:.2f}x)"
         )
     if baseline is None:
         return (
             f"bench guard OK (no committed {BASELINE_PATH} baseline): "
-            f"fresh speedup {fresh['speedup']:.2f}x, verdicts identical"
+            f"fresh speedup {speedup:.2f}x, verdicts identical"
         )
-    floor = ALLOWED_FRACTION * float(baseline["speedup"])
-    if fresh["speedup"] < floor:
+    baseline_speedup = float(baseline["metrics"]["speedup"])
+    floor = ALLOWED_FRACTION * baseline_speedup
+    if speedup < floor:
         raise AssertionError(
-            f"fused speedup regressed >15%: fresh {fresh['speedup']:.2f}x "
-            f"< floor {floor:.2f}x "
-            f"(baseline {baseline['speedup']:.2f}x)"
+            f"fused speedup regressed >15%: fresh {speedup:.2f}x "
+            f"< floor {floor:.2f}x (baseline {baseline_speedup:.2f}x)"
         )
     return (
-        f"bench guard OK: fresh speedup {fresh['speedup']:.2f}x "
-        f">= floor {floor:.2f}x "
-        f"(baseline {baseline['speedup']:.2f}x), verdicts identical"
+        f"bench guard OK: fresh speedup {speedup:.2f}x "
+        f">= floor {floor:.2f}x (baseline {baseline_speedup:.2f}x), "
+        f"verdicts identical"
     )
 
 
@@ -186,13 +391,14 @@ def check_serving(baseline: dict | None, probe: dict) -> str:
             f"serving guard OK (no committed {SERVING_BASELINE_PATH} "
             f"baseline): probe efficiency {efficiency:.2f}, parity OK"
         )
-    modeled = float(baseline.get("modeled_speedup_at_4", 0.0))
+    metrics = baseline["metrics"]
+    modeled = float(metrics.get("modeled_speedup_at_4", 0.0))
     if modeled < MIN_MODELED_SPEEDUP_AT_4:
         raise AssertionError(
             f"committed {SERVING_BASELINE_PATH} modeled_speedup_at_4 "
             f"{modeled:.2f}x < {MIN_MODELED_SPEEDUP_AT_4}x bar"
         )
-    if not baseline.get("parity_ok", False):
+    if not metrics.get("parity_ok", False):
         raise AssertionError(
             f"committed {SERVING_BASELINE_PATH} records parity_ok=false"
         )
@@ -242,9 +448,10 @@ def check_canary(baseline: dict | None) -> str:
         evaluate_gate,
     )
 
-    promote = baseline["promote"]
-    reject = baseline["reject"]
-    policy = GatePolicy(**baseline["policy"])
+    ledger = baseline["data"]
+    promote = ledger["promote"]
+    reject = ledger["reject"]
+    policy = GatePolicy(**ledger["policy"])
     if promote["outcome"] != "promoted" or promote["reasons"]:
         raise AssertionError(
             f"committed {CANARY_BASELINE_PATH} promote round did not "
@@ -373,13 +580,14 @@ def check_surfaces(baseline: dict | None, fresh: dict) -> str:
             f"surfaces guard OK (no committed {SURFACES_BASELINE_PATH} "
             f"baseline): floors clear, evasion survival {survival:.3f}"
         )
+    ledger = baseline["data"]
     for section in ("families", "scanner", "evasion"):
-        if fresh[section] != baseline.get(section):
+        if fresh[section] != ledger.get(section):
             raise AssertionError(
                 f"surface ledger drifted in '{section}': fresh "
                 f"{json.dumps(fresh[section], sort_keys=True)[:300]} != "
                 f"committed "
-                f"{json.dumps(baseline.get(section), sort_keys=True)[:300]}"
+                f"{json.dumps(ledger.get(section), sort_keys=True)[:300]}"
                 f"; re-run benchmarks/test_ext_surfaces.py and commit "
                 f"{SURFACES_BASELINE_PATH}"
             )
@@ -392,8 +600,9 @@ def check_surfaces(baseline: dict | None, fresh: dict) -> str:
 
 
 def main() -> int:
-    """Run both guards; returns a process exit code."""
+    """Run all guard layers; returns a process exit code."""
     try:
+        print(sweep_artifacts())
         baseline = committed_baseline()
         fresh = fresh_measurement()
         print(check(baseline, fresh))

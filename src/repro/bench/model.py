@@ -1,0 +1,249 @@
+"""The shared benchmark result model and its strict schema.
+
+The artifact layout is deliberately uniform across every bench — a flat
+``metrics`` dict carries the numbers regression floors bind to
+(throughput, µs/request, p50/p95/p99, speedup, TPR/FPR and their derived
+margins), ``data`` carries the bench-specific structured payload (table
+rows, scaling curves, per-family ledgers), ``corpus`` carries SHA-256
+content hashes of the inputs the bench measured, and ``provenance``
+records against which code and environment the numbers were taken.
+
+Validation is *strict*: a missing key, an extra key, or a mistyped value
+all raise :class:`BenchSchemaError`.  Schema evolution happens by
+bumping :data:`BENCH_SCHEMA`, never by tolerating drift.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "BENCH_KINDS",
+    "BENCH_SCHEMA",
+    "BenchResult",
+    "BenchSchemaError",
+    "collect_provenance",
+    "validate_bench",
+]
+
+#: Current artifact schema version.
+BENCH_SCHEMA = 1
+
+#: The benchmark taxonomy: paper experiments, tables, and figures, plus
+#: the reproduction's own ablations, performance benches, and
+#: extensions.
+BENCH_KINDS = (
+    "experiment",
+    "table",
+    "figure",
+    "ablation",
+    "perf",
+    "extension",
+)
+
+#: Exactly these top-level keys, no more, no fewer.
+_TOP_LEVEL_KEYS = (
+    "schema",
+    "bench",
+    "kind",
+    "seed",
+    "metrics",
+    "data",
+    "corpus",
+    "provenance",
+)
+
+#: Exactly these provenance keys (all strings).
+_PROVENANCE_KEYS = ("git", "python", "platform", "numpy")
+
+_SLUG_RE = re.compile(r"^[a-z0-9][a-z0-9_]*$")
+_SHA256_RE = re.compile(r"^[0-9a-f]{64}$")
+
+#: Types a ``metrics`` value may take.  Bool before int matters only for
+#: error messages; ``isinstance(True, int)`` holds either way.
+_METRIC_TYPES = (bool, int, float, str)
+
+
+class BenchSchemaError(ValueError):
+    """An artifact that does not conform to the bench schema."""
+
+
+def collect_provenance(git: str | None = None) -> dict[str, str]:
+    """The environment fingerprint recorded in every artifact.
+
+    Args:
+        git: code version override; computed via
+            :func:`repro.obs.manifest.git_describe` when absent.
+    """
+    import numpy
+
+    from repro.obs.manifest import git_describe
+
+    return {
+        "git": git if git is not None else git_describe(),
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "numpy": numpy.__version__,
+    }
+
+
+def _json_safe(value: Any) -> Any:
+    """Recursively coerce numpy scalars/arrays into plain JSON types."""
+    import numpy
+
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, numpy.ndarray):
+        return [_json_safe(item) for item in value.tolist()]
+    if isinstance(value, numpy.generic):
+        return value.item()
+    return value
+
+
+def _require_json_safe(value: Any, where: str) -> None:
+    """Reject payloads json.dumps would mangle or refuse."""
+    try:
+        json.dumps(value, allow_nan=False)
+    except (TypeError, ValueError) as error:
+        raise BenchSchemaError(
+            f"{where} is not JSON-serializable: {error}"
+        ) from error
+
+
+def validate_bench(payload: Any) -> dict[str, Any]:
+    """Check an artifact payload against the schema; return it on success.
+
+    Raises:
+        BenchSchemaError: wrong container type, missing or extra keys,
+            mistyped values, malformed slugs or hashes, or non-JSON-safe
+            nesting anywhere in ``data``.
+    """
+    if not isinstance(payload, dict):
+        raise BenchSchemaError(
+            f"artifact must be an object, got {type(payload).__name__}"
+        )
+    missing = [key for key in _TOP_LEVEL_KEYS if key not in payload]
+    if missing:
+        raise BenchSchemaError(f"artifact missing required keys {missing}")
+    extra = [key for key in payload if key not in _TOP_LEVEL_KEYS]
+    if extra:
+        raise BenchSchemaError(f"artifact carries unknown keys {extra}")
+    if not isinstance(payload["schema"], int) or isinstance(
+        payload["schema"], bool
+    ):
+        raise BenchSchemaError("'schema' must be an integer")
+    if payload["schema"] != BENCH_SCHEMA:
+        raise BenchSchemaError(
+            f"unsupported bench schema {payload['schema']!r} "
+            f"(expected {BENCH_SCHEMA})"
+        )
+    if not isinstance(payload["bench"], str) or not _SLUG_RE.match(
+        payload["bench"]
+    ):
+        raise BenchSchemaError(
+            f"'bench' must be a [a-z0-9_] slug, got {payload['bench']!r}"
+        )
+    if payload["kind"] not in BENCH_KINDS:
+        raise BenchSchemaError(
+            f"'kind' must be one of {BENCH_KINDS}, got {payload['kind']!r}"
+        )
+    if not isinstance(payload["seed"], int) or isinstance(
+        payload["seed"], bool
+    ):
+        raise BenchSchemaError("'seed' must be an integer")
+    metrics = payload["metrics"]
+    if not isinstance(metrics, dict) or not metrics:
+        raise BenchSchemaError("'metrics' must be a non-empty object")
+    for key, value in metrics.items():
+        if not isinstance(key, str):
+            raise BenchSchemaError(f"metric key {key!r} is not a string")
+        if not isinstance(value, _METRIC_TYPES):
+            raise BenchSchemaError(
+                f"metric {key!r} must be a scalar "
+                f"(bool/int/float/str), got {type(value).__name__}"
+            )
+        if isinstance(value, float) and value != value:
+            raise BenchSchemaError(f"metric {key!r} is NaN")
+    if not isinstance(payload["data"], dict):
+        raise BenchSchemaError("'data' must be an object")
+    _require_json_safe(payload["data"], "'data'")
+    corpus = payload["corpus"]
+    if not isinstance(corpus, dict):
+        raise BenchSchemaError("'corpus' must be an object")
+    for name, digest in corpus.items():
+        if not isinstance(name, str):
+            raise BenchSchemaError(f"corpus key {name!r} is not a string")
+        if not isinstance(digest, str) or not _SHA256_RE.match(digest):
+            raise BenchSchemaError(
+                f"corpus {name!r} must map to a sha256 hex digest, "
+                f"got {digest!r}"
+            )
+    provenance = payload["provenance"]
+    if not isinstance(provenance, dict):
+        raise BenchSchemaError("'provenance' must be an object")
+    missing = [key for key in _PROVENANCE_KEYS if key not in provenance]
+    if missing:
+        raise BenchSchemaError(f"provenance missing keys {missing}")
+    extra = [key for key in provenance if key not in _PROVENANCE_KEYS]
+    if extra:
+        raise BenchSchemaError(f"provenance carries unknown keys {extra}")
+    for key in _PROVENANCE_KEYS:
+        if not isinstance(provenance[key], str):
+            raise BenchSchemaError(f"provenance {key!r} must be a string")
+    return payload
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark's machine-readable result.
+
+    Attributes:
+        bench: unique artifact slug (``BENCH_<bench>.json``).
+        kind: taxonomy bucket, one of :data:`BENCH_KINDS`.
+        seed: the master seed the measurement ran under.
+        metrics: flat scalar metrics — the values regression floors and
+            the unified summary bind to.
+        data: bench-specific structured payload (rows, curves, ledgers).
+        corpus: SHA-256 content hashes of the measured inputs.
+        provenance: git/environment fingerprint; collected automatically
+            when left ``None``.
+    """
+
+    bench: str
+    kind: str
+    seed: int
+    metrics: dict[str, Any]
+    data: dict[str, Any] = field(default_factory=dict)
+    corpus: dict[str, str] = field(default_factory=dict)
+    provenance: dict[str, str] | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """The validated artifact payload."""
+        payload = {
+            "schema": BENCH_SCHEMA,
+            "bench": self.bench,
+            "kind": self.kind,
+            "seed": self.seed,
+            "metrics": _json_safe(dict(self.metrics)),
+            "data": _json_safe(dict(self.data)),
+            "corpus": dict(self.corpus),
+            "provenance": (
+                dict(self.provenance)
+                if self.provenance is not None
+                else collect_provenance()
+            ),
+        }
+        return validate_bench(payload)
+
+    def to_json(self) -> str:
+        """The canonical artifact body (see :func:`dump_bench_json`)."""
+        from repro.bench.writer import dump_bench_json
+
+        return dump_bench_json(self.to_dict())

@@ -1,0 +1,143 @@
+"""The unified eval summary and corpus content hashing.
+
+``scripts/reproduce_all.py`` folds every ``BENCH_*.json`` artifact into
+one ``benchmarks/results/SUMMARY.json``: per-bench kind/seed/metrics
+plus the corpus hash ledger, so a reviewer (or a later speed PR) reads
+the whole evaluation trajectory from a single schema-validated file.
+
+Corpus hashing follows the canary ledger's discipline: a corpus is
+fingerprinted by the SHA-256 over its payloads' individual SHA-256
+digests in order, so two corpora hash equal iff they contain the same
+payloads in the same order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable
+from typing import Any
+
+from repro.bench.model import BenchSchemaError, validate_bench
+
+__all__ = [
+    "SUMMARY_SCHEMA",
+    "build_summary",
+    "corpus_digest",
+    "validate_summary",
+]
+
+#: Current summary schema version.
+SUMMARY_SCHEMA = 1
+
+#: Exactly these top-level summary keys.
+_SUMMARY_KEYS = (
+    "schema",
+    "mode",
+    "provenance",
+    "benches",
+    "corpus_hashes",
+)
+
+
+def corpus_digest(payloads: Iterable[str]) -> str:
+    """Order-sensitive SHA-256 fingerprint of a payload corpus."""
+    outer = hashlib.sha256()
+    for payload in payloads:
+        outer.update(
+            hashlib.sha256(payload.encode("utf-8")).digest()
+        )
+    return outer.hexdigest()
+
+
+def build_summary(
+    artifacts: Iterable[dict[str, Any]],
+    *,
+    mode: str,
+    corpus_hashes: dict[str, str],
+    provenance: dict[str, str] | None = None,
+) -> dict[str, Any]:
+    """Fold validated artifacts into the unified summary payload.
+
+    Args:
+        artifacts: artifact payloads (each validated against the bench
+            schema before folding).
+        mode: how the bundle was produced (``"full"`` or ``"quick"``).
+        corpus_hashes: the corpus hash ledger body.
+        provenance: environment fingerprint; collected when absent.
+    """
+    from repro.bench.model import collect_provenance
+
+    benches: dict[str, Any] = {}
+    for artifact in artifacts:
+        validate_bench(artifact)
+        slug = artifact["bench"]
+        if slug in benches:
+            raise BenchSchemaError(
+                f"duplicate artifact slug {slug!r} in summary"
+            )
+        benches[slug] = {
+            "kind": artifact["kind"],
+            "seed": artifact["seed"],
+            "metrics": dict(artifact["metrics"]),
+        }
+    return {
+        "schema": SUMMARY_SCHEMA,
+        "mode": mode,
+        "provenance": (
+            dict(provenance)
+            if provenance is not None
+            else collect_provenance()
+        ),
+        "benches": benches,
+        "corpus_hashes": dict(corpus_hashes),
+    }
+
+
+def validate_summary(payload: Any) -> dict[str, Any]:
+    """Check a summary payload; returns it on success.
+
+    Raises:
+        BenchSchemaError: wrong shape, missing/extra keys, or a bench
+            entry that lacks kind/seed/metrics.
+    """
+    if not isinstance(payload, dict):
+        raise BenchSchemaError(
+            f"summary must be an object, got {type(payload).__name__}"
+        )
+    missing = [key for key in _SUMMARY_KEYS if key not in payload]
+    if missing:
+        raise BenchSchemaError(f"summary missing required keys {missing}")
+    extra = [key for key in payload if key not in _SUMMARY_KEYS]
+    if extra:
+        raise BenchSchemaError(f"summary carries unknown keys {extra}")
+    if payload["schema"] != SUMMARY_SCHEMA:
+        raise BenchSchemaError(
+            f"unsupported summary schema {payload['schema']!r}"
+        )
+    if payload["mode"] not in ("full", "quick"):
+        raise BenchSchemaError(
+            f"summary mode must be 'full' or 'quick', "
+            f"got {payload['mode']!r}"
+        )
+    if not isinstance(payload["provenance"], dict):
+        raise BenchSchemaError("summary 'provenance' must be an object")
+    benches = payload["benches"]
+    if not isinstance(benches, dict) or not benches:
+        raise BenchSchemaError("summary 'benches' must be non-empty")
+    for slug, entry in benches.items():
+        if not isinstance(entry, dict) or set(entry) != {
+            "kind",
+            "seed",
+            "metrics",
+        }:
+            raise BenchSchemaError(
+                f"summary bench {slug!r} must carry exactly "
+                f"kind/seed/metrics"
+            )
+        if not isinstance(entry["metrics"], dict) or not entry["metrics"]:
+            raise BenchSchemaError(
+                f"summary bench {slug!r} metrics must be non-empty"
+            )
+    if not isinstance(payload["corpus_hashes"], dict):
+        raise BenchSchemaError("summary 'corpus_hashes' must be an object")
+    return payload

@@ -16,7 +16,6 @@ the first entry of the ROADMAP's bench-trajectory ledger.
 
 from __future__ import annotations
 
-import json
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -49,11 +48,22 @@ class FusedMatchBench:
     fused_p95_us: float
     identical: bool
 
-    def to_json(self) -> str:
-        """The ``BENCH_matching.json`` artifact body."""
-        return json.dumps(
-            {
-                "bench": "serial_matching",
+    def to_bench_result(
+        self, *, seed: int = 2012, corpus: dict[str, str] | None = None
+    ):
+        """The shared-schema :class:`repro.bench.BenchResult`.
+
+        The canonical measured configuration is seeded with 2012 (both
+        the bench context and the CI guard's fresh probe), so that is
+        the default recorded seed.
+        """
+        from repro.bench import BenchResult
+
+        return BenchResult(
+            bench="matching",
+            kind="perf",
+            seed=seed,
+            metrics={
                 "requests": self.requests,
                 "signatures": self.signatures,
                 "patterns": self.patterns,
@@ -68,9 +78,12 @@ class FusedMatchBench:
                 "fused_p95_us": round(self.fused_p95_us, 3),
                 "identical": self.identical,
             },
-            indent=2,
-            sort_keys=True,
+            corpus=corpus or {},
         )
+
+    def to_json(self) -> str:
+        """The ``BENCH_matching.json`` artifact body."""
+        return self.to_bench_result().to_json()
 
 
 def _best_pass_seconds(
